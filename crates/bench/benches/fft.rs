@@ -1,0 +1,44 @@
+//! Microbenchmarks of the FFT substrate (supports the Table II runtime
+//! analysis: full-size FFTs dominate the per-iteration cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsopc_fft::{Fft2d, FftPlan};
+use lsopc_grid::{C64, Grid};
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for &n in &[256usize, 1024, 4096] {
+        let plan = FftPlan::<f64>::new(n);
+        let data: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                buf
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_2d");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let fft = Fft2d::<f64>::new(n, n);
+        let grid = Grid::from_fn(n, n, |x, y| C64::new((x % 7) as f64, (y % 5) as f64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = grid.clone();
+                fft.forward(&mut g);
+                g
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_2d);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Level-set toolkit benchmarks: signed distance transform and upwind
+//! gradient (the non-simulation part of each optimizer iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsopc_grid::Grid;
+use lsopc_levelset::{godunov_gradient, gradient_magnitude, signed_distance};
+
+fn mask(n: usize) -> Grid<f64> {
+    Grid::from_fn(n, n, |x, y| {
+        let a = (n / 8..n / 3).contains(&x) && (n / 8..7 * n / 8).contains(&y);
+        let b = (n / 2..3 * n / 4).contains(&x) && (n / 4..n / 2).contains(&y);
+        if a || b {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_sdf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signed_distance");
+    for &n in &[256usize, 512, 1024] {
+        let m = mask(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| signed_distance(&m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_schemes");
+    for &n in &[256usize, 512] {
+        let psi = signed_distance(&mask(n));
+        let speed = Grid::from_fn(n, n, |x, y| ((x * 3 + y) % 5) as f64 - 2.0);
+        group.bench_with_input(BenchmarkId::new("central", n), &n, |b, _| {
+            b.iter(|| gradient_magnitude(&psi));
+        });
+        group.bench_with_input(BenchmarkId::new("godunov", n), &n, |b, _| {
+            b.iter(|| godunov_gradient(&psi, &speed));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sdf, bench_gradients);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Forward-simulation and gradient benchmarks: the CPU (per-kernel FFT)
+//! backend against the accelerated ("GPU") backend. These are the
+//! building blocks of the paper's Table II runtime story.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsopc_grid::Grid;
+use lsopc_litho::{AcceleratedBackend, FftBackend, SimBackend};
+use lsopc_optics::OpticsConfig;
+
+fn mask(n: usize) -> Grid<f64> {
+    Grid::from_fn(n, n, |x, y| {
+        if (n / 4..n / 2).contains(&x) && (n / 4..3 * n / 4).contains(&y) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_aerial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aerial_image");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let kernels = OpticsConfig::iccad2013()
+            .with_field_nm(2048.0)
+            .with_kernel_count(24)
+            .kernels(0.0);
+        let m = mask(n);
+        let fft = FftBackend::new();
+        let acc = AcceleratedBackend::new(1);
+        group.bench_with_input(BenchmarkId::new("fft_cpu", n), &n, |b, _| {
+            b.iter(|| fft.aerial_image(&kernels, &m));
+        });
+        group.bench_with_input(BenchmarkId::new("accelerated", n), &n, |b, _| {
+            b.iter(|| acc.aerial_image(&kernels, &m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let kernels = OpticsConfig::iccad2013()
+            .with_field_nm(2048.0)
+            .with_kernel_count(24)
+            .kernels(0.0);
+        let m = mask(n);
+        let z = Grid::from_fn(n, n, |x, y| 0.01 * ((x + y) % 9) as f64);
+        let fft = FftBackend::new();
+        let acc = AcceleratedBackend::new(1);
+        group.bench_with_input(BenchmarkId::new("fft_cpu", n), &n, |b, _| {
+            b.iter(|| fft.gradient(&kernels, &m, &z));
+        });
+        group.bench_with_input(BenchmarkId::new("accelerated", n), &n, |b, _| {
+            b.iter(|| acc.gradient(&kernels, &m, &z));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aerial, bench_gradient);
+criterion_main!(benches);

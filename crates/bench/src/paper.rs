@@ -1,0 +1,174 @@
+//! The paper's published numbers (Table I and Table II), used to report
+//! paper-vs-measured comparisons.
+
+/// One method's Table I row set: per-case `(EPE, PVB nm², score)`.
+#[derive(Copy, Clone, Debug)]
+pub struct Table1Row {
+    /// Method name as printed in the paper.
+    pub method: &'static str,
+    /// `(#EPE, PVB, Score)` for B1..B10.
+    pub cases: [(u32, u64, u64); 10],
+    /// The paper's average score.
+    pub avg_score: f64,
+}
+
+/// Table I: comparison with top winners of ICCAD 2013 and previous
+/// algorithms.
+pub const TABLE1: [Table1Row; 5] = [
+    Table1Row {
+        method: "MOSAIC_fast",
+        cases: [
+            (6, 58232, 263246),
+            (10, 47139, 238812),
+            (59, 82195, 624101),
+            (1, 28244, 118298),
+            (6, 56253, 255327),
+            (1, 50981, 209238),
+            (0, 46309, 185475),
+            (2, 22482, 100186),
+            (6, 65331, 291646),
+            (0, 18868, 75703),
+        ],
+        avg_score: 236203.0,
+    },
+    Table1Row {
+        method: "MOSAIC_exact",
+        cases: [
+            (9, 56890, 274267),
+            (4, 48312, 214493),
+            (52, 84608, 600955),
+            (3, 24723, 115161),
+            (2, 56299, 237363),
+            (1, 49285, 204224),
+            (0, 46280, 186761),
+            (2, 22342, 100031),
+            (3, 62529, 268138),
+            (0, 18141, 73276),
+        ],
+        avg_score: 227467.0,
+    },
+    Table1Row {
+        method: "robust OPC",
+        cases: [
+            (0, 66218, 265150),
+            (0, 53434, 213878),
+            (18, 146776, 677256),
+            (0, 33266, 133371),
+            (1, 65631, 267713),
+            (0, 62068, 248625),
+            (0, 51069, 204495),
+            (0, 25898, 103691),
+            (1, 75387, 306667),
+            (0, 18536, 74205),
+        ],
+        avg_score: 249505.0,
+    },
+    Table1Row {
+        method: "PVOPC",
+        cases: [
+            (2, 58269, 243240),
+            (0, 52674, 210826),
+            (47, 81541, 561367),
+            (0, 26960, 108030),
+            (4, 61820, 267342),
+            (0, 55090, 220414),
+            (0, 51977, 207982),
+            (0, 22869, 91541),
+            (0, 70713, 282907),
+            (0, 17846, 71425),
+        ],
+        avg_score: 226507.0,
+    },
+    Table1Row {
+        method: "Ours",
+        cases: [
+            (4, 62693, 270895),
+            (1, 50724, 207977),
+            (29, 100945, 598994),
+            (0, 29831, 119508),
+            (1, 56510, 231116),
+            (1, 51204, 209881),
+            (0, 45056, 180288),
+            (1, 22757, 96095),
+            (0, 64597, 258466),
+            (0, 18769, 75140),
+        ],
+        avg_score: 224836.0,
+    },
+];
+
+/// Table II: runtime (seconds) per case for
+/// `[MOSAIC_fast, MOSAIC_exact, robust OPC, PVOPC, Ours-CPU, Ours-GPU]`.
+pub const TABLE2: [[f64; 6]; 10] = [
+    [318.0, 1707.0, 278.0, 164.0, 365.0, 123.0],
+    [256.0, 1245.0, 142.0, 130.0, 303.0, 81.0],
+    [321.0, 2523.0, 152.0, 203.0, 902.0, 214.0],
+    [322.0, 1269.0, 307.0, 190.0, 591.0, 184.0],
+    [315.0, 2167.0, 189.0, 62.0, 218.0, 76.0],
+    [314.0, 2084.0, 353.0, 54.0, 223.0, 65.0],
+    [239.0, 1641.0, 219.0, 74.0, 220.0, 64.0],
+    [258.0, 663.0, 99.0, 65.0, 200.0, 67.0],
+    [322.0, 3022.0, 119.0, 55.0, 219.0, 63.0],
+    [231.0, 712.0, 61.0, 41.0, 206.0, 64.0],
+];
+
+/// Table II column labels.
+pub const TABLE2_METHODS: [&str; 6] = [
+    "MOSAIC_fast",
+    "MOSAIC_exact",
+    "robust OPC",
+    "PVOPC",
+    "Ours-CPU",
+    "Ours-GPU",
+];
+
+/// Average runtimes as printed in the paper.
+pub const TABLE2_AVG: [f64; 6] = [289.6, 1703.3, 191.9, 103.8, 344.7, 100.1];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_averages_match_rows() {
+        for row in &TABLE1 {
+            let avg: f64 =
+                row.cases.iter().map(|&(_, _, s)| s as f64).sum::<f64>() / 10.0;
+            // The printed averages round to the nearest integer.
+            assert!(
+                (avg - row.avg_score).abs() <= 1.0,
+                "{}: computed {avg}, printed {}",
+                row.method,
+                row.avg_score
+            );
+        }
+    }
+
+    #[test]
+    fn table2_averages_match_rows() {
+        for (m, &printed) in TABLE2_AVG.iter().enumerate() {
+            let avg: f64 = TABLE2.iter().map(|row| row[m]).sum::<f64>() / 10.0;
+            assert!(
+                (avg - printed).abs() <= 0.1,
+                "{}: computed {avg}, printed {printed}",
+                TABLE2_METHODS[m]
+            );
+        }
+    }
+
+    #[test]
+    fn ours_has_best_average_score() {
+        let ours = TABLE1.last().expect("five rows");
+        assert_eq!(ours.method, "Ours");
+        for other in &TABLE1[..4] {
+            assert!(ours.avg_score < other.avg_score);
+        }
+    }
+
+    #[test]
+    fn gpu_is_faster_than_cpu_everywhere() {
+        for row in &TABLE2 {
+            assert!(row[5] < row[4]);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Table rendering and CSV output.
+
+use crate::runner::{CaseOutcome, Method};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Groups outcomes per case (preserving B1..B10 order) and per method.
+pub fn group_by_case(outcomes: &[CaseOutcome]) -> Vec<(String, Vec<&CaseOutcome>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut map: BTreeMap<String, Vec<&CaseOutcome>> = BTreeMap::new();
+    for o in outcomes {
+        if !order.contains(&o.case) {
+            order.push(o.case.clone());
+        }
+        map.entry(o.case.clone()).or_default().push(o);
+    }
+    order
+        .into_iter()
+        .map(|case| {
+            let rows = map.remove(&case).unwrap_or_default();
+            (case, rows)
+        })
+        .collect()
+}
+
+/// Renders the Table I-style quality table to a string (two header
+/// rows: method names spanning their `#EPE | PVB | score` columns).
+pub fn render_table1(outcomes: &[CaseOutcome], methods: &[Method]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<6}{:>14}", "", ""));
+    for m in methods {
+        out.push_str(&format!("{:>31}", m.label()));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<6}{:>14}", "case", "area(nm2)"));
+    for _ in methods {
+        out.push_str(&format!("{:>8}{:>11}{:>12}", "#EPE", "PVB", "score"));
+    }
+    out.push('\n');
+    let grouped = group_by_case(outcomes);
+    let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for (case, rows) in &grouped {
+        let area = rows.first().map_or(0, |o| o.pattern_area_nm2);
+        out.push_str(&format!("{case:<6}{area:>14}"));
+        for m in methods {
+            if let Some(o) = rows.iter().find(|o| o.method == *m) {
+                out.push_str(&format!(
+                    "{:>8}{:>11.0}{:>12.0}",
+                    o.epe_violations, o.pvb_nm2, o.score
+                ));
+                *sums.entry(m.label()).or_default() += o.score;
+                *counts.entry(m.label()).or_default() += 1;
+            } else {
+                out.push_str(&format!("{:>8}{:>11}{:>12}", "-", "-", "-"));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<6}{:>14}", "avg", ""));
+    for m in methods {
+        let label = m.label();
+        let avg = sums.get(label).copied().unwrap_or(0.0)
+            / counts.get(label).copied().unwrap_or(1).max(1) as f64;
+        out.push_str(&format!("{:>8}{:>11}{:>12.0}", "", "", avg));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the Table II-style runtime table to a string.
+pub fn render_table2(outcomes: &[CaseOutcome], methods: &[Method]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<6}", "case"));
+    for m in methods {
+        out.push_str(&format!("{:>14}", m.label()));
+    }
+    out.push('\n');
+    let grouped = group_by_case(outcomes);
+    let mut sums = vec![0.0f64; methods.len()];
+    let mut counts = vec![0usize; methods.len()];
+    for (case, rows) in &grouped {
+        out.push_str(&format!("{case:<6}"));
+        for (i, m) in methods.iter().enumerate() {
+            if let Some(o) = rows.iter().find(|o| o.method == *m) {
+                out.push_str(&format!("{:>14.1}", o.runtime_s));
+                sums[i] += o.runtime_s;
+                counts[i] += 1;
+            } else {
+                out.push_str(&format!("{:>14}", "-"));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<6}", "avg"));
+    for (i, _) in methods.iter().enumerate() {
+        out.push_str(&format!("{:>14.1}", sums[i] / counts[i].max(1) as f64));
+    }
+    out.push('\n');
+    out
+}
+
+/// Writes outcomes as CSV.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] when the file cannot be written.
+pub fn write_csv(outcomes: &[CaseOutcome], path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut buf = Vec::new();
+    writeln!(
+        buf,
+        "case,method,pattern_area_nm2,epe_violations,pvb_nm2,shape_violations,runtime_s,score"
+    )?;
+    for o in outcomes {
+        writeln!(
+            buf,
+            "{},{},{},{},{:.1},{},{:.3},{:.1}",
+            o.case,
+            o.method.label(),
+            o.pattern_area_nm2,
+            o.epe_violations,
+            o.pvb_nm2,
+            o.shape_violations,
+            o.runtime_s,
+            o.score
+        )?;
+    }
+    std::fs::write(path, buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(case: &str, method: Method, score: f64) -> CaseOutcome {
+        CaseOutcome {
+            method,
+            case: case.to_string(),
+            pattern_area_nm2: 1000,
+            epe_violations: 1,
+            pvb_nm2: 500.0,
+            shape_violations: 0,
+            runtime_s: 2.0,
+            score,
+        }
+    }
+
+    #[test]
+    fn grouping_preserves_case_order() {
+        let outcomes = vec![
+            outcome("B2", Method::PvOpc, 1.0),
+            outcome("B1", Method::PvOpc, 2.0),
+            outcome("B2", Method::LevelSetGpu, 3.0),
+        ];
+        let grouped = group_by_case(&outcomes);
+        assert_eq!(grouped[0].0, "B2");
+        assert_eq!(grouped[0].1.len(), 2);
+        assert_eq!(grouped[1].0, "B1");
+    }
+
+    #[test]
+    fn tables_render_all_methods() {
+        let methods = [Method::PvOpc, Method::LevelSetGpu];
+        let outcomes = vec![
+            outcome("B1", Method::PvOpc, 100.0),
+            outcome("B1", Method::LevelSetGpu, 90.0),
+        ];
+        let t1 = render_table1(&outcomes, &methods);
+        assert!(t1.contains("B1"));
+        assert!(t1.contains("avg"));
+        let t2 = render_table2(&outcomes, &methods);
+        assert!(t2.contains("levelset-gpu"));
+        assert!(t2.contains("2.0"));
+    }
+
+    #[test]
+    fn csv_roundtrip_fields() {
+        let path = std::env::temp_dir().join(format!("lsopc_csv_{}.csv", std::process::id()));
+        write_csv(&[outcome("B1", Method::PvOpc, 1.5)], &path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.starts_with("case,method"));
+        assert!(text.contains("B1,pvopc,1000,1,500.0,0,2.000,1.5"));
+        std::fs::remove_file(path).ok();
+    }
+}

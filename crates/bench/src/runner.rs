@@ -1,0 +1,369 @@
+//! Shared experiment runner: method registry + suite loop.
+
+use lsopc_baselines::{MaskOptimizer, PixelIlt, PixelIltMode, PvOpc, RobustOpc};
+use lsopc_benchsuite::{CaseSpec, Iccad2013Suite};
+use lsopc_core::LevelSetIlt;
+use lsopc_geometry::{rasterize, Layout};
+use lsopc_grid::Grid;
+use lsopc_litho::LithoSimulator;
+use lsopc_metrics::{evaluate_mask, ContestScore};
+use lsopc_optics::OpticsConfig;
+use serde::{Deserialize, Serialize};
+
+/// A method entry of the comparison tables.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// MOSAIC_fast-style pixel ILT.
+    MosaicFast,
+    /// MOSAIC_exact-style pixel ILT.
+    MosaicExact,
+    /// Robust OPC-style pixel ILT (two simulated corners/iteration).
+    RobustOpc,
+    /// PVOPC-style pixel ILT with momentum.
+    PvOpc,
+    /// The paper's level-set method on the per-kernel FFT backend
+    /// ("CPU" column).
+    LevelSetCpu,
+    /// The paper's level-set method on the accelerated backend
+    /// ("GPU" column; see DESIGN.md §2).
+    LevelSetGpu,
+}
+
+impl Method {
+    /// All methods in Table II column order.
+    pub fn all() -> [Method; 6] {
+        [
+            Method::MosaicFast,
+            Method::MosaicExact,
+            Method::RobustOpc,
+            Method::PvOpc,
+            Method::LevelSetCpu,
+            Method::LevelSetGpu,
+        ]
+    }
+
+    /// The Table I method set (the level-set entry is the fast backend).
+    pub fn table1() -> [Method; 5] {
+        [
+            Method::MosaicFast,
+            Method::MosaicExact,
+            Method::RobustOpc,
+            Method::PvOpc,
+            Method::LevelSetGpu,
+        ]
+    }
+
+    /// Method label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::MosaicFast => "mosaic-fast",
+            Method::MosaicExact => "mosaic-exact",
+            Method::RobustOpc => "robust-opc",
+            Method::PvOpc => "pvopc",
+            Method::LevelSetCpu => "levelset-cpu",
+            Method::LevelSetGpu => "levelset-gpu",
+        }
+    }
+
+    /// Parses a label back into a method.
+    pub fn parse(label: &str) -> Option<Method> {
+        Method::all().into_iter().find(|m| m.label() == label)
+    }
+}
+
+/// Scale and budget of a suite run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Simulation grid (pixels per side); the pixel size is
+    /// `2048 / grid_px` nm.
+    pub grid_px: usize,
+    /// Optical kernel count `K`.
+    pub kernel_count: usize,
+    /// Iteration budget of the level-set method.
+    pub levelset_iterations: usize,
+    /// Iteration budgets of the baselines (fast, exact, robust, pvopc).
+    pub baseline_iterations: [usize; 4],
+    /// Thread fan-out of the accelerated backend.
+    pub threads: usize,
+    /// Case indices to run (0-based; empty = all ten).
+    pub case_filter: Vec<usize>,
+}
+
+impl ExperimentConfig {
+    /// The default reproduction scale: 512 px (4 nm/px), K = 24, tuned
+    /// iteration budgets (see EXPERIMENTS.md). MOSAIC_exact gets a 4x
+    /// budget because its published version iterates to tight convergence
+    /// — that is what its Table II runtime column reflects.
+    pub fn default_scale() -> Self {
+        Self {
+            grid_px: 512,
+            kernel_count: 24,
+            levelset_iterations: 50,
+            baseline_iterations: [50, 80, 25, 15],
+            threads: 1,
+            case_filter: Vec::new(),
+        }
+    }
+
+    /// Pixel size in nm for the 2048 nm field.
+    pub fn pixel_nm(&self) -> f64 {
+        2048.0 / self.grid_px as f64
+    }
+
+    /// Builds the simulator for one method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (grid not a power of two or
+    /// too small for the optical band).
+    pub fn simulator(&self, method: Method) -> LithoSimulator {
+        let optics = OpticsConfig::iccad2013().with_kernel_count(self.kernel_count);
+        let sim = LithoSimulator::from_optics(&optics, self.grid_px, self.pixel_nm())
+            .expect("valid experiment configuration");
+        match method {
+            // The level-set "GPU" column and all pixel baselines run on
+            // the accelerated backend (the paper's baselines are equally
+            // FFT-based); the "CPU" column uses the per-kernel FFT path.
+            Method::LevelSetCpu => sim,
+            Method::LevelSetGpu => sim.with_accelerated_backend(self.threads),
+            _ => sim,
+        }
+    }
+
+    /// Cases selected by the filter.
+    pub fn cases(&self) -> Vec<CaseSpec> {
+        let suite = Iccad2013Suite::new();
+        suite
+            .cases()
+            .iter()
+            .filter(|c| self.case_filter.is_empty() || self.case_filter.contains(&c.index))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Everything measured for one `(method, case)` pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CaseOutcome {
+    /// Method that produced the mask.
+    pub method: Method,
+    /// Case name (`B1`..`B10`).
+    pub case: String,
+    /// Pattern area of the case, nm².
+    pub pattern_area_nm2: i64,
+    /// EPE violations of the nominal print.
+    pub epe_violations: usize,
+    /// PV band area, nm².
+    pub pvb_nm2: f64,
+    /// Shape violations.
+    pub shape_violations: usize,
+    /// End-to-end optimization runtime, seconds.
+    pub runtime_s: f64,
+    /// Contest score (Eq. (18)).
+    pub score: f64,
+}
+
+/// Optimizes one case with one method and measures the contest metrics.
+///
+/// # Panics
+///
+/// Panics if the optimization fails (malformed target), which cannot
+/// happen for the built-in suite.
+pub fn run_case(method: Method, cfg: &ExperimentConfig, case: &CaseSpec, layout: &Layout) -> CaseOutcome {
+    let sim = cfg.simulator(method);
+    let target = rasterize(layout, cfg.grid_px, cfg.grid_px, cfg.pixel_nm());
+    let (mask, runtime_s) = optimize(method, cfg, &sim, &target);
+    let eval = evaluate_mask(&sim, &mask, layout, &target);
+    let score = ContestScore {
+        runtime_s,
+        pvb_nm2: eval.pvb_area_nm2,
+        epe_violations: eval.epe.violations,
+        shape_violations: eval.shapes.total(),
+    };
+    CaseOutcome {
+        method,
+        case: case.name.clone(),
+        pattern_area_nm2: case.target_area_nm2,
+        epe_violations: eval.epe.violations,
+        pvb_nm2: eval.pvb_area_nm2,
+        shape_violations: eval.shapes.total(),
+        runtime_s,
+        score: score.value(),
+    }
+}
+
+fn optimize(
+    method: Method,
+    cfg: &ExperimentConfig,
+    sim: &LithoSimulator,
+    target: &Grid<f64>,
+) -> (Grid<f64>, f64) {
+    match method {
+        Method::MosaicFast => {
+            let result = PixelIlt::new(PixelIltMode::Fast)
+                .with_iterations(cfg.baseline_iterations[0])
+                .optimize(sim, target)
+                .expect("suite targets are well-formed");
+            (result.mask, result.runtime_s)
+        }
+        Method::MosaicExact => {
+            let result = PixelIlt::new(PixelIltMode::Exact)
+                .with_iterations(cfg.baseline_iterations[1])
+                .optimize(sim, target)
+                .expect("suite targets are well-formed");
+            (result.mask, result.runtime_s)
+        }
+        Method::RobustOpc => {
+            let result = RobustOpc::new()
+                .with_iterations(cfg.baseline_iterations[2])
+                .optimize(sim, target)
+                .expect("suite targets are well-formed");
+            (result.mask, result.runtime_s)
+        }
+        Method::PvOpc => {
+            let result = PvOpc::new()
+                .with_iterations(cfg.baseline_iterations[3])
+                .optimize(sim, target)
+                .expect("suite targets are well-formed");
+            (result.mask, result.runtime_s)
+        }
+        Method::LevelSetCpu | Method::LevelSetGpu => {
+            let result = LevelSetIlt::builder()
+                .max_iterations(cfg.levelset_iterations)
+                .build()
+                .optimize(sim, target)
+                .expect("suite targets are well-formed");
+            (result.mask, result.runtime_s)
+        }
+    }
+}
+
+/// Runs a set of methods over the (filtered) suite, reporting progress on
+/// stderr.
+pub fn run_suite(methods: &[Method], cfg: &ExperimentConfig) -> Vec<CaseOutcome> {
+    let suite = Iccad2013Suite::new();
+    let cases = cfg.cases();
+    let mut outcomes = Vec::new();
+    for case in &cases {
+        let layout = suite.layout(case);
+        for &method in methods {
+            eprintln!(
+                "[suite] {} / {} (grid {} px, K = {})",
+                case.name,
+                method.label(),
+                cfg.grid_px,
+                cfg.kernel_count
+            );
+            outcomes.push(run_case(method, cfg, case, &layout));
+        }
+    }
+    outcomes
+}
+
+/// Parses the common CLI flags (`--grid`, `--kernels`, `--iters`,
+/// `--threads`, `--cases`) into a config; unknown flags are ignored so
+/// binaries can add their own.
+pub fn config_from_args(args: &[String]) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default_scale();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--grid" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.grid_px = v;
+                }
+            }
+            "--kernels" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.kernel_count = v;
+                }
+            }
+            "--iters" => {
+                if let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) {
+                    cfg.levelset_iterations = v;
+                    cfg.baseline_iterations = [v, v, v, v];
+                }
+            }
+            "--threads" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.threads = v;
+                }
+            }
+            "--cases" => {
+                if let Some(list) = it.next() {
+                    cfg.case_filter = list
+                        .split(',')
+                        .filter_map(|t| t.trim().parse::<usize>().ok())
+                        .map(|one_based: usize| one_based.saturating_sub(1))
+                        .collect();
+                }
+            }
+            _ => {}
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_consistent() {
+        let cfg = ExperimentConfig::default_scale();
+        assert_eq!(cfg.pixel_nm(), 4.0);
+        assert_eq!(cfg.cases().len(), 10);
+    }
+
+    #[test]
+    fn case_filter_selects_subset() {
+        let mut cfg = ExperimentConfig::default_scale();
+        cfg.case_filter = vec![0, 9];
+        let cases = cfg.cases();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].name, "B1");
+        assert_eq!(cases[1].name, "B10");
+    }
+
+    #[test]
+    fn args_parse_round_trip() {
+        let args: Vec<String> = [
+            "--grid", "256", "--kernels", "8", "--iters", "5", "--threads", "2", "--cases", "1,4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = config_from_args(&args);
+        assert_eq!(cfg.grid_px, 256);
+        assert_eq!(cfg.kernel_count, 8);
+        assert_eq!(cfg.levelset_iterations, 5);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.case_filter, vec![0, 3]);
+    }
+
+    #[test]
+    fn method_labels_round_trip() {
+        for m in Method::all() {
+            assert_eq!(Method::parse(m.label()), Some(m));
+        }
+        assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn tiny_end_to_end_case_runs() {
+        // A minimal smoke run: one case, tiny budgets, coarse grid.
+        let mut cfg = ExperimentConfig::default_scale();
+        cfg.grid_px = 256;
+        cfg.kernel_count = 4;
+        cfg.levelset_iterations = 2;
+        cfg.baseline_iterations = [2, 2, 2, 2];
+        cfg.case_filter = vec![3]; // B4, the smallest pattern
+        let outcomes = run_suite(&[Method::LevelSetGpu, Method::PvOpc], &cfg);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.runtime_s > 0.0);
+            assert!(o.score >= 0.0);
+            assert_eq!(o.case, "B4");
+        }
+    }
+}

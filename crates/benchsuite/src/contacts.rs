@@ -1,0 +1,181 @@
+//! Contact/via-array layout synthesis.
+//!
+//! The contest's B10 tile is a via-like array (note its pattern area,
+//! 102400 nm² = 320²). Contact layers stress OPC differently from metal
+//! routing: dense 2-D arrays of small squares with strong optical
+//! cross-talk between neighbours. This generator synthesizes such tiles
+//! for experiments beyond the ten metal-style cases.
+
+use crate::{CaseSpec, FIELD_NM};
+use lsopc_geometry::{Layout, Rect, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic contact-array tile.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ContactArraySpec {
+    /// Contact side length, nm (square contacts).
+    pub size_nm: i64,
+    /// Centre-to-centre pitch, nm.
+    pub pitch_nm: i64,
+    /// Number of columns and rows of the array grid.
+    pub cols: usize,
+    /// Rows of the array grid.
+    pub rows: usize,
+    /// Fraction of sites populated (1.0 = full array; lower values make
+    /// the irregular "shotgun" patterns that are hardest for OPC).
+    pub fill: f64,
+    /// RNG seed used when `fill < 1.0`.
+    pub seed: u64,
+}
+
+impl ContactArraySpec {
+    /// A 32 nm-node-flavoured default: 70 nm contacts on a 140 nm pitch,
+    /// 10x10 sites, 70 % populated.
+    pub fn default_via_array() -> Self {
+        Self {
+            size_nm: 70,
+            pitch_nm: 140,
+            cols: 10,
+            rows: 10,
+            fill: 0.7,
+            seed: 0xC0117AC7,
+        }
+    }
+
+    /// Generates the layout, centred in the 2048 nm field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (non-positive sizes, pitch
+    /// smaller than the contact, `fill` outside `(0, 1]`) or the array
+    /// does not fit the field.
+    pub fn generate(&self) -> Layout {
+        assert!(self.size_nm > 0, "contact size must be positive");
+        assert!(
+            self.pitch_nm >= self.size_nm,
+            "pitch must be at least the contact size"
+        );
+        assert!(self.cols > 0 && self.rows > 0, "array must be non-empty");
+        assert!(
+            self.fill > 0.0 && self.fill <= 1.0,
+            "fill must be in (0, 1]"
+        );
+        let span_x = (self.cols as i64 - 1) * self.pitch_nm + self.size_nm;
+        let span_y = (self.rows as i64 - 1) * self.pitch_nm + self.size_nm;
+        assert!(
+            span_x < FIELD_NM && span_y < FIELD_NM,
+            "array {span_x}x{span_y} exceeds the {FIELD_NM} nm field"
+        );
+        let x0 = (FIELD_NM - span_x) / 2;
+        let y0 = (FIELD_NM - span_y) / 2;
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut layout = Layout::new();
+        layout.name = Some(format!(
+            "contacts_{}x{}_{}nm",
+            self.cols, self.rows, self.size_nm
+        ));
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.fill < 1.0 && rng.gen_range(0.0..1.0) >= self.fill {
+                    continue;
+                }
+                let x = x0 + c as i64 * self.pitch_nm;
+                let y = y0 + r as i64 * self.pitch_nm;
+                layout.push(Shape::Rect(Rect::from_origin_size(
+                    x,
+                    y,
+                    self.size_nm,
+                    self.size_nm,
+                )));
+            }
+        }
+        layout
+    }
+
+    /// Wraps the generated layout in a [`CaseSpec`]-style descriptor (the
+    /// area is whatever the fill produced).
+    pub fn as_case(&self, index: usize) -> (CaseSpec, Layout) {
+        let layout = self.generate();
+        let case = CaseSpec {
+            index,
+            name: format!("V{}", index + 1),
+            target_area_nm2: layout.total_area(),
+            seed: self.seed,
+        };
+        (case, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsopc_geometry::rasterize;
+
+    #[test]
+    fn full_array_has_exact_count_and_area() {
+        let spec = ContactArraySpec {
+            fill: 1.0,
+            ..ContactArraySpec::default_via_array()
+        };
+        let layout = spec.generate();
+        assert_eq!(layout.len(), 100);
+        assert_eq!(layout.total_area(), 100 * 70 * 70);
+    }
+
+    #[test]
+    fn partial_fill_is_deterministic_and_sparse() {
+        let spec = ContactArraySpec::default_via_array();
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        assert!(a.len() < 100 && a.len() > 40, "fill 0.7 gave {}", a.len());
+    }
+
+    #[test]
+    fn array_is_centred_and_disjoint() {
+        let spec = ContactArraySpec {
+            fill: 1.0,
+            ..ContactArraySpec::default_via_array()
+        };
+        let layout = spec.generate();
+        let bbox = layout.bbox().expect("non-empty");
+        let margin_left = bbox.x0;
+        let margin_right = FIELD_NM - bbox.x1;
+        assert!((margin_left - margin_right).abs() <= 1);
+        // Disjointness: raster area equals summed area.
+        let grid = rasterize(&layout, 2048, 2048, 1.0);
+        assert_eq!(grid.sum() as i64, layout.total_area());
+    }
+
+    #[test]
+    fn as_case_records_produced_area() {
+        let (case, layout) = ContactArraySpec::default_via_array().as_case(10);
+        assert_eq!(case.name, "V11");
+        assert_eq!(case.target_area_nm2, layout.total_area());
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch")]
+    fn overlapping_pitch_panics() {
+        let _ = ContactArraySpec {
+            size_nm: 100,
+            pitch_nm: 50,
+            ..ContactArraySpec::default_via_array()
+        }
+        .generate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_array_panics() {
+        let _ = ContactArraySpec {
+            cols: 40,
+            rows: 40,
+            pitch_nm: 140,
+            ..ContactArraySpec::default_via_array()
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,293 @@
+//! Deterministic M1-style layout synthesis with exact pattern area.
+//!
+//! The generator fills the 2048 nm field with a metal-1-like mix of
+//! horizontal/vertical wires, L- and T-shaped polygons and square pads,
+//! all with ≥ 56 nm critical dimensions (isolated features much below
+//! ~50 nm do not print in this 193 nm / NA 1.35 system, matching the
+//! contest's 32 nm-node M1 drawn sizes) and ≥ 70 nm spacing, then hits
+//! the target area *exactly* with two dedicated adjuster wires of heights
+//! 61 nm and 60 nm: because gcd(61, 60) = 1, any residual `d` decomposes
+//! as `d = 61·a + 60·b` with small `a, b`, which become length tweaks of
+//! the two adjusters.
+
+use crate::CaseSpec;
+use lsopc_geometry::{Layout, Point, Polygon, Rect, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Field margin kept clear of patterns (optical halo), nm.
+const MARGIN: i64 = 160;
+/// Minimum spacing between shape bounding boxes, nm.
+const SPACING: i64 = 70;
+/// Field size, nm.
+const FIELD: i64 = crate::FIELD_NM;
+
+/// Generates the deterministic layout of a case, with
+/// `layout.total_area() == case.target_area_nm2` guaranteed.
+///
+/// # Panics
+///
+/// Panics if the target area is too small to host the adjuster wires
+/// (`< 40_000 nm²`) or larger than the usable field.
+pub fn generate_layout(case: &CaseSpec) -> Layout {
+    let target = case.target_area_nm2;
+    assert!(target >= 40_000, "target area too small: {target}");
+    let usable = (FIELD - 2 * MARGIN) * (FIELD - 2 * MARGIN);
+    assert!(target < usable / 3, "target area too large: {target}");
+
+    let mut rng = StdRng::seed_from_u64(case.seed);
+    let mut layout = Layout::new();
+    layout.name = Some(case.name.clone());
+    let mut occupied: Vec<Rect> = Vec::new();
+
+    // The two area adjusters: horizontal wires of heights 61 and 60 nm,
+    // placed at the bottom of the field with free space to their right.
+    let adj1 = Rect::from_origin_size(MARGIN, FIELD - MARGIN - 61, 400, 61);
+    let adj2 = Rect::from_origin_size(MARGIN, FIELD - MARGIN - 61 - SPACING - 60, 400, 60);
+    occupied.push(adj1.inflated(SPACING + 300)); // reserve stretch room
+    occupied.push(adj2.inflated(SPACING + 300));
+
+    let mut placed_area = adj1.area() + adj2.area();
+
+    // Random feature placement until close to the target.
+    let mut stall = 0;
+    while placed_area < target - 3_600 && stall < 400 {
+        let remaining = target - placed_area;
+        match random_shape(&mut rng, remaining) {
+            Some(shape) => match try_place(&mut rng, &shape, &occupied) {
+                Some(placed) => {
+                    placed_area += placed.area();
+                    occupied.push(placed.bbox().inflated(SPACING));
+                    layout.push(placed);
+                    stall = 0;
+                }
+                None => stall += 1,
+            },
+            None => break,
+        }
+    }
+    // Mop up any sizeable residue with thin 60nm wires.
+    while placed_area < target - 3_660 && stall < 800 {
+        let remaining = target - placed_area;
+        let len = (remaining / 60).clamp(60, 420);
+        let shape = Shape::Rect(Rect::from_origin_size(0, 0, len, 60));
+        match try_place(&mut rng, &shape, &occupied) {
+            Some(placed) => {
+                placed_area += placed.area();
+                occupied.push(placed.bbox().inflated(SPACING));
+                layout.push(placed);
+            }
+            None => stall += 1,
+        }
+    }
+
+    // Exact-area adjustment: d = 61·a + 60·b.
+    let d = target - placed_area;
+    let mut a = d.rem_euclid(60);
+    let mut b = (d - 61 * a) / 60;
+    // Keep both adjuster lengths in a sane range by shifting multiples of
+    // 60·61 between them (61·60 = 60·61).
+    while b < -300 {
+        b += 61;
+        a -= 60;
+    }
+    while a < -300 {
+        a += 60;
+        b -= 61;
+    }
+    let len1 = 400 + a;
+    let len2 = 400 + b;
+    assert!(
+        len1 >= 60 && len2 >= 60 && len1 <= 800 && len2 <= 800,
+        "adjuster lengths out of range: {len1}, {len2} (d = {d})"
+    );
+    layout.push(Shape::Rect(Rect::from_origin_size(
+        adj1.x0,
+        adj1.y0,
+        len1,
+        61,
+    )));
+    layout.push(Shape::Rect(Rect::from_origin_size(
+        adj2.x0,
+        adj2.y0,
+        len2,
+        60,
+    )));
+    debug_assert_eq!(layout.total_area(), target);
+    layout
+}
+
+/// Draws a random M1-ish shape whose area does not exceed the remaining
+/// budget (minus the adjusters' head-room), or `None` when nothing fits.
+fn random_shape(rng: &mut StdRng, remaining: i64) -> Option<Shape> {
+    let budget = remaining - 3_660;
+    if budget < 56 * 56 {
+        return None;
+    }
+    for _ in 0..20 {
+        let shape = match rng.gen_range(0..10) {
+            // Vertical wire.
+            0..=2 => {
+                let w = *[56i64, 64, 72, 80].get(rng.gen_range(0..4)).expect("static");
+                let h = rng.gen_range(160..=720);
+                Shape::Rect(Rect::from_origin_size(0, 0, w, h))
+            }
+            // Horizontal wire.
+            3..=5 => {
+                let h = *[56i64, 64, 72, 80].get(rng.gen_range(0..4)).expect("static");
+                let w = rng.gen_range(160..=720);
+                Shape::Rect(Rect::from_origin_size(0, 0, w, h))
+            }
+            // Square pad.
+            6 => {
+                let s = rng.gen_range(80..=140);
+                Shape::Rect(Rect::from_origin_size(0, 0, s, s))
+            }
+            // L-shape.
+            7..=8 => l_shape(rng),
+            // T-shape.
+            _ => t_shape(rng),
+        };
+        if shape.area() <= budget {
+            return Some(shape);
+        }
+    }
+    // Fall back to the smallest pad.
+    Some(Shape::Rect(Rect::from_origin_size(0, 0, 80, 80)))
+}
+
+fn l_shape(rng: &mut StdRng) -> Shape {
+    let w = rng.gen_range(56..=80); // arm width
+    let lx = rng.gen_range(160..=420); // horizontal arm length
+    let ly = rng.gen_range(160..=420); // vertical arm length
+    let poly = Polygon::new(vec![
+        Point::new(0, 0),
+        Point::new(lx, 0),
+        Point::new(lx, w),
+        Point::new(w, w),
+        Point::new(w, ly),
+        Point::new(0, ly),
+    ])
+    .expect("rectilinear by construction");
+    Shape::Polygon(poly)
+}
+
+fn t_shape(rng: &mut StdRng) -> Shape {
+    let w = rng.gen_range(56..=80); // stem width
+    let bar = rng.gen_range(200..=420); // bar length
+    let stem = rng.gen_range(160..=360); // stem length
+    let cx = bar / 2;
+    let poly = Polygon::new(vec![
+        Point::new(0, 0),
+        Point::new(bar, 0),
+        Point::new(bar, w),
+        Point::new(cx + w / 2, w),
+        Point::new(cx + w / 2, w + stem),
+        Point::new(cx - w / 2, w + stem),
+        Point::new(cx - w / 2, w),
+        Point::new(0, w),
+    ])
+    .expect("rectilinear by construction");
+    Shape::Polygon(poly)
+}
+
+/// Tries random positions for a shape; returns the translated shape on
+/// success.
+fn try_place(rng: &mut StdRng, shape: &Shape, occupied: &[Rect]) -> Option<Shape> {
+    let bbox = shape.bbox();
+    let (w, h) = (bbox.width(), bbox.height());
+    let max_x = FIELD - MARGIN - w;
+    let max_y = FIELD - MARGIN - h;
+    if max_x <= MARGIN || max_y <= MARGIN {
+        return None;
+    }
+    for _ in 0..60 {
+        let x = rng.gen_range(MARGIN..=max_x);
+        let y = rng.gen_range(MARGIN..=max_y);
+        let candidate = Rect::from_origin_size(x, y, w, h);
+        if occupied.iter().all(|r| !r.intersects(&candidate)) {
+            return Some(shape.translated(x - bbox.x0, y - bbox.y0));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsopc_geometry::rasterize;
+
+    fn case(area: i64, seed: u64) -> CaseSpec {
+        CaseSpec {
+            index: 0,
+            name: "T".to_string(),
+            target_area_nm2: area,
+            seed,
+        }
+    }
+
+    #[test]
+    fn exact_area_across_seeds_and_sizes() {
+        for (i, &area) in crate::PAPER_PATTERN_AREAS.iter().enumerate() {
+            let layout = generate_layout(&case(area, 77 + i as u64));
+            assert_eq!(layout.total_area(), area, "case {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_layout(&case(215344, 5));
+        let b = generate_layout(&case(215344, 5));
+        assert_eq!(a, b);
+        let c = generate_layout(&case(215344, 6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes_stay_inside_margin() {
+        let layout = generate_layout(&case(286234, 3));
+        let bbox = layout.bbox().expect("non-empty");
+        assert!(bbox.x0 >= MARGIN && bbox.y0 >= MARGIN);
+        assert!(bbox.x1 <= FIELD - MARGIN && bbox.y1 <= FIELD - MARGIN);
+    }
+
+    #[test]
+    fn shapes_do_not_overlap() {
+        // The rasterized area must equal the summed shape areas — any
+        // overlap would make it smaller.
+        let layout = generate_layout(&case(169280, 9));
+        let grid = rasterize(&layout, 2048, 2048, 1.0);
+        assert_eq!(grid.sum() as i64, layout.total_area());
+    }
+
+    #[test]
+    fn respects_minimum_feature_size() {
+        let layout = generate_layout(&case(128544, 11));
+        for shape in layout.shapes() {
+            let bbox = shape.bbox();
+            assert!(
+                bbox.width() >= 56 && bbox.height() >= 56,
+                "feature below 56nm: {bbox}"
+            );
+        }
+    }
+
+    #[test]
+    fn has_polygon_variety() {
+        let layout = generate_layout(&case(317581, 8));
+        let polys = layout
+            .shapes()
+            .iter()
+            .filter(|s| matches!(s, Shape::Polygon(_)))
+            .count();
+        let rects = layout.shapes().len() - polys;
+        assert!(polys >= 1, "expected L/T polygons");
+        assert!(rects >= 3, "expected wires and pads");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_target_panics() {
+        let _ = generate_layout(&case(10_000, 1));
+    }
+}

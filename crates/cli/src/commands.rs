@@ -1,0 +1,297 @@
+//! The CLI subcommands.
+
+use crate::args::Flags;
+use lsopc_benchsuite::Iccad2013Suite;
+use lsopc_core::LevelSetIlt;
+use lsopc_geometry::{
+    mask_to_polygons, parse_glp, polygons_to_layout, rasterize, write_glp, Layout,
+};
+use lsopc_litho::LithoSimulator;
+use lsopc_metrics::{evaluate_mask, render_report, MaskComplexity, MrcReport};
+use lsopc_optics::OpticsConfig;
+use std::error::Error;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+lsopc — level-set inverse lithography mask optimization
+
+USAGE:
+  lsopc optimize --glp <design.glp> --out <mask.glp>
+                 [--grid 512] [--iters 30] [--kernels 24] [--pvb-weight 1.0]
+  lsopc evaluate --glp <design.glp> --mask <mask.glp>
+                 [--grid 512] [--kernels 24]
+  lsopc report   --glp <design.glp> --mask <mask.glp>
+                 [--grid 512] [--kernels 24] [--min-width-nm 40] [--min-space-nm 40]
+  lsopc suite    [--cases 1,2,...] [--grid 256] [--iters 20] [--kernels 24]
+  lsopc help
+
+The field is 2048nm; --grid sets the pixels per side (power of two).";
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+fn build_sim(flags: &Flags, default_grid: usize) -> Result<(LithoSimulator, usize, f64), Box<dyn Error>> {
+    let grid: usize = flags.num("grid", default_grid)?;
+    let kernels: usize = flags.num("kernels", 24)?;
+    let pixel_nm = 2048.0 / grid as f64;
+    let optics = OpticsConfig::iccad2013().with_kernel_count(kernels);
+    let sim = LithoSimulator::from_optics(&optics, grid, pixel_nm)?.with_accelerated_backend(1);
+    Ok((sim, grid, pixel_nm))
+}
+
+fn load_layout(path: &str) -> Result<Layout, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(parse_glp(&text)?)
+}
+
+/// `lsopc optimize`: design in, optimized mask out.
+pub fn optimize(args: &[String]) -> CliResult {
+    let flags = Flags::parse(args)?;
+    let design = load_layout(flags.require("glp")?)?;
+    let out_path = flags.require("out")?.to_string();
+    let iters: usize = flags.num("iters", 30)?;
+    let w_pvb: f64 = flags.num("pvb-weight", 1.0)?;
+    let (sim, grid, pixel_nm) = build_sim(&flags, 512)?;
+
+    let target = rasterize(&design, grid, grid, pixel_nm);
+    eprintln!(
+        "optimizing {} shapes at {grid}px ({pixel_nm} nm/px), {iters} iterations…",
+        design.len()
+    );
+    let result = LevelSetIlt::builder()
+        .max_iterations(iters)
+        .pvb_weight(w_pvb)
+        .build()
+        .optimize(&sim, &target)?;
+
+    let polygons = mask_to_polygons(&result.mask, pixel_nm);
+    let mut mask_layout = polygons_to_layout(&polygons);
+    mask_layout.name = design.name.clone().map(|n| format!("{n}_opc"));
+    std::fs::write(&out_path, write_glp(&mask_layout))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    let eval = evaluate_mask(&sim, &result.mask, &design, &target);
+    let complexity = MaskComplexity::measure(&result.mask);
+    println!(
+        "done in {:.2}s / {} iterations (cost {:.1} -> {:.1})",
+        result.runtime_s,
+        result.iterations,
+        result.history.first().map_or(f64::NAN, |r| r.cost_total),
+        result.final_cost()
+    );
+    println!(
+        "#EPE {}  PVB {:.0} nm²  shapes {}  score {:.0}",
+        eval.epe.violations,
+        eval.pvb_area_nm2,
+        eval.shapes.total(),
+        eval.score(result.runtime_s).value()
+    );
+    println!(
+        "mask: {} polygons, jaggedness {:.2} -> {out_path}",
+        mask_layout.len(),
+        complexity.jaggedness
+    );
+    Ok(())
+}
+
+/// `lsopc evaluate`: score an existing mask against a design.
+pub fn evaluate(args: &[String]) -> CliResult {
+    let flags = Flags::parse(args)?;
+    let design = load_layout(flags.require("glp")?)?;
+    let mask_layout = load_layout(flags.require("mask")?)?;
+    let (sim, grid, pixel_nm) = build_sim(&flags, 512)?;
+
+    let target = rasterize(&design, grid, grid, pixel_nm);
+    let mask = rasterize(&mask_layout, grid, grid, pixel_nm);
+    let eval = evaluate_mask(&sim, &mask, &design, &target);
+    println!(
+        "#EPE {} / {} probes",
+        eval.epe.violations, eval.epe.total_probes
+    );
+    println!("PVB {:.0} nm²", eval.pvb_area_nm2);
+    println!(
+        "shape violations: {} (extra {}, missing {}, bridges {})",
+        eval.shapes.total(),
+        eval.shapes.extra,
+        eval.shapes.missing,
+        eval.shapes.bridges
+    );
+    println!("score (without runtime): {:.0}", eval.score(0.0).value());
+    Ok(())
+}
+
+/// `lsopc report`: full quality + manufacturability report for a mask.
+pub fn report(args: &[String]) -> CliResult {
+    let flags = Flags::parse(args)?;
+    let design = load_layout(flags.require("glp")?)?;
+    let mask_layout = load_layout(flags.require("mask")?)?;
+    let min_width_nm: f64 = flags.num("min-width-nm", 40.0)?;
+    let min_space_nm: f64 = flags.num("min-space-nm", 40.0)?;
+    let (sim, grid, pixel_nm) = build_sim(&flags, 512)?;
+
+    let target = rasterize(&design, grid, grid, pixel_nm);
+    let mask = rasterize(&mask_layout, grid, grid, pixel_nm);
+    let eval = evaluate_mask(&sim, &mask, &design, &target);
+    let complexity = MaskComplexity::measure(&mask);
+    let mrc = MrcReport::check(
+        &mask,
+        (min_width_nm / pixel_nm).round().max(1.0) as usize,
+        (min_space_nm / pixel_nm).round().max(1.0) as usize,
+    );
+    let title = mask_layout.name.as_deref().unwrap_or("mask").to_string();
+    print!("{}", render_report(&title, &eval, &complexity, Some(&mrc), 0.0));
+    Ok(())
+}
+
+/// `lsopc suite`: run the level-set method over the built-in benchmarks.
+pub fn suite(args: &[String]) -> CliResult {
+    let flags = Flags::parse(args)?;
+    let case_filter = flags.index_list("cases")?;
+    let iters: usize = flags.num("iters", 20)?;
+    let (_, grid, pixel_nm) = build_sim(&flags, 256)?;
+
+    let suite = Iccad2013Suite::new();
+    println!(
+        "{:<6}{:>12}{:>8}{:>12}{:>8}{:>10}{:>12}",
+        "case", "area(nm²)", "#EPE", "PVB(nm²)", "shape", "RT(s)", "score"
+    );
+    let mut total = 0.0;
+    let mut ran = 0;
+    for case in suite.cases() {
+        if !case_filter.is_empty() && !case_filter.contains(&case.index) {
+            continue;
+        }
+        let layout = suite.layout(case);
+        // Fresh simulator per case keeps kernel caches bounded.
+        let (sim, _, _) = build_sim(&flags, 256)?;
+        let target = rasterize(&layout, grid, grid, pixel_nm);
+        let result = LevelSetIlt::builder()
+            .max_iterations(iters)
+            .build()
+            .optimize(&sim, &target)?;
+        let eval = evaluate_mask(&sim, &result.mask, &layout, &target);
+        let score = eval.score(result.runtime_s);
+        println!(
+            "{:<6}{:>12}{:>8}{:>12.0}{:>8}{:>10.1}{:>12.0}",
+            case.name,
+            case.target_area_nm2,
+            eval.epe.violations,
+            eval.pvb_area_nm2,
+            eval.shapes.total(),
+            result.runtime_s,
+            score.value()
+        );
+        total += score.value();
+        ran += 1;
+    }
+    if ran > 0 {
+        println!("{:<6}{:>62}{:>12.0}", "avg", "", total / ran as f64);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lsopc_cli_{}_{name}", std::process::id()))
+    }
+
+    fn to_args(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn optimize_then_evaluate_roundtrip() {
+        let design_path = tmpfile("design.glp");
+        let mask_path = tmpfile("mask.glp");
+        std::fs::write(
+            &design_path,
+            "BEGIN\nCELL cli_test\nRECT 832 480 384 1088 ;\nEND\n",
+        )
+        .expect("write design");
+
+        optimize(&to_args(&[
+            "--glp",
+            design_path.to_str().expect("utf8"),
+            "--out",
+            mask_path.to_str().expect("utf8"),
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+            "--iters",
+            "4",
+        ]))
+        .expect("optimize runs");
+        assert!(mask_path.exists());
+
+        evaluate(&to_args(&[
+            "--glp",
+            design_path.to_str().expect("utf8"),
+            "--mask",
+            mask_path.to_str().expect("utf8"),
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+        ]))
+        .expect("evaluate runs");
+
+        std::fs::remove_file(design_path).ok();
+        std::fs::remove_file(mask_path).ok();
+    }
+
+    #[test]
+    fn optimize_requires_flags() {
+        let err = optimize(&to_args(&["--glp", "x.glp"])).expect_err("missing --out");
+        assert!(err.to_string().contains("--out") || err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn suite_runs_one_small_case() {
+        suite(&to_args(&[
+            "--cases",
+            "4",
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+            "--iters",
+            "2",
+        ]))
+        .expect("suite runs");
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+
+    #[test]
+    fn report_subcommand_runs() {
+        let dir = std::env::temp_dir();
+        let design = dir.join(format!("lsopc_rep_{}.glp", std::process::id()));
+        std::fs::write(&design, "BEGIN\nCELL rep\nRECT 832 480 384 1088 ;\nEND\n")
+            .expect("write design");
+        // Report the design against itself (uncorrected mask).
+        report(
+            &[
+                "--glp",
+                design.to_str().expect("utf8"),
+                "--mask",
+                design.to_str().expect("utf8"),
+                "--grid",
+                "128",
+                "--kernels",
+                "4",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .expect("report runs");
+        std::fs::remove_file(design).ok();
+    }
+}

@@ -1,0 +1,39 @@
+//! `lsopc` — command-line level-set OPC.
+//!
+//! ```text
+//! lsopc optimize --glp design.glp --out mask.glp [--grid 512] [--iters 30]
+//! lsopc evaluate --glp design.glp --mask mask.glp [--grid 512]
+//! lsopc suite [--cases 1,2] [--grid 256] [--iters 20]
+//! lsopc help
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "optimize" => commands::optimize(rest),
+        "evaluate" => commands::evaluate(rest),
+        "report" => commands::report(rest),
+        "suite" => commands::suite(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE).into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The Polak–Ribière–Polyak conjugate-gradient rule (paper Eq. (15)–(16)).
+
+use lsopc_grid::{dot, l2_norm_sq, Grid};
+
+/// The PRP coefficient
+/// `λ = (‖g_i‖² − g_i·g_{i−1}) / ‖g_{i−1}‖²` (paper Eq. (16)), with the
+/// standard PRP+ safeguard `λ ← max(λ, 0)` that restarts the search
+/// direction whenever the raw coefficient turns negative (see DESIGN.md
+/// §7).
+///
+/// Here `g` is the gradient-velocity `G(M)·|∇ψ|` of the paper.
+///
+/// Returns 0 when the previous gradient is (numerically) zero.
+///
+/// # Panics
+///
+/// Panics if the grids differ in shape.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_core::cg::prp_beta;
+/// use lsopc_grid::Grid;
+///
+/// let g_prev = Grid::from_vec(2, 1, vec![1.0, 0.0]);
+/// // Same gradient twice → numerator ‖g‖² − g·g = 0 → λ = 0 (restart).
+/// assert_eq!(prp_beta(&g_prev, &g_prev), 0.0);
+/// // Orthogonal new gradient → λ = ‖g‖²/‖g_prev‖² = 4.
+/// let g = Grid::from_vec(2, 1, vec![0.0, 2.0]);
+/// assert_eq!(prp_beta(&g, &g_prev), 4.0);
+/// ```
+pub fn prp_beta(g: &Grid<f64>, g_prev: &Grid<f64>) -> f64 {
+    let denom = l2_norm_sq(g_prev);
+    if denom <= 1e-300 {
+        return 0.0;
+    }
+    let beta = (l2_norm_sq(g) - dot(g, g_prev)) / denom;
+    beta.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_gradients_restart() {
+        let g = Grid::from_vec(3, 1, vec![1.0, -2.0, 0.5]);
+        assert_eq!(prp_beta(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn zero_previous_gradient_is_safe() {
+        let g = Grid::from_vec(2, 1, vec![1.0, 1.0]);
+        let zero = Grid::new(2, 1, 0.0);
+        assert_eq!(prp_beta(&g, &zero), 0.0);
+    }
+
+    #[test]
+    fn negative_raw_coefficient_is_clamped() {
+        // g·g_prev > ‖g‖² makes the raw PRP negative.
+        let g = Grid::from_vec(2, 1, vec![1.0, 0.0]);
+        let g_prev = Grid::from_vec(2, 1, vec![3.0, 0.0]);
+        assert_eq!(prp_beta(&g, &g_prev), 0.0);
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        let g = Grid::from_vec(2, 1, vec![2.0, 1.0]);
+        let g_prev = Grid::from_vec(2, 1, vec![1.0, 1.0]);
+        // (‖g‖² − g·g_prev)/‖g_prev‖² = (5 − 3)/2 = 1.
+        assert_eq!(prp_beta(&g, &g_prev), 1.0);
+    }
+}

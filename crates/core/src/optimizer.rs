@@ -1,0 +1,555 @@
+//! The optimization loop (paper Algorithm 1).
+
+use crate::cg::prp_beta;
+use crate::{Evolution, IterationRecord, LevelSetIlt};
+use lsopc_grid::{max_abs, Grid};
+use lsopc_levelset::{
+    cfl_time_step, curvature, evolve, godunov_gradient, gradient_magnitude, mask_from_levelset,
+    reinitialize, signed_distance, NarrowBand,
+};
+use lsopc_litho::{cost_and_gradient, cost_only, LithoSimulator};
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Error returned by [`LevelSetIlt::optimize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimizeError {
+    /// Target grid does not match the simulator grid.
+    TargetDimsMismatch {
+        /// Target grid dimensions.
+        target: (usize, usize),
+        /// Simulator grid dimension.
+        sim: usize,
+    },
+    /// Target contains no pattern (nothing to optimize).
+    EmptyTarget,
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TargetDimsMismatch { target, sim } => write!(
+                f,
+                "target grid {}x{} does not match simulator grid {sim}x{sim}",
+                target.0, target.1
+            ),
+            Self::EmptyTarget => write!(f, "target contains no pattern"),
+        }
+    }
+}
+
+impl Error for OptimizeError {}
+
+/// The outcome of a level-set ILT run.
+#[derive(Clone, Debug)]
+pub struct IltResult {
+    /// The optimized binary mask `M*`.
+    pub mask: Grid<f64>,
+    /// The final level-set function `ψ`.
+    pub levelset: Grid<f64>,
+    /// Per-iteration records (always collected; they are cheap).
+    pub history: Vec<IterationRecord>,
+    /// Number of iterations actually run.
+    pub iterations: usize,
+    /// True when the run stopped on the `max|v| ≤ ε` criterion.
+    pub converged: bool,
+    /// End-to-end wall-clock runtime in seconds.
+    pub runtime_s: f64,
+    /// Mask snapshots `(iteration, mask)` when snapshotting was enabled
+    /// (for reproducing the paper's Fig. 2).
+    pub snapshots: Vec<(usize, Grid<f64>)>,
+}
+
+impl IltResult {
+    /// Total cost at the last iteration.
+    pub fn final_cost(&self) -> f64 {
+        self.history.last().map_or(f64::NAN, |r| r.cost_total)
+    }
+}
+
+impl LevelSetIlt {
+    /// Runs Algorithm 1: optimizes a mask for `target` on the given
+    /// simulator.
+    ///
+    /// The initial mask is the target itself (binarized at 0.5), per the
+    /// paper's initialization. The returned mask is the binary mask of the
+    /// best-scoring iterate (by total cost), which for a well-behaved run
+    /// is the final one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if the target does not match the
+    /// simulator grid or contains no pattern.
+    pub fn optimize(
+        &self,
+        sim: &LithoSimulator,
+        target: &Grid<f64>,
+    ) -> Result<IltResult, OptimizeError> {
+        let n = sim.grid_px();
+        if target.dims() != (n, n) {
+            return Err(OptimizeError::TargetDimsMismatch {
+                target: target.dims(),
+                sim: n,
+            });
+        }
+        let target = target.binarize(0.5);
+        if target.sum() == 0.0 {
+            return Err(OptimizeError::EmptyTarget);
+        }
+
+        let start = Instant::now();
+        // Line 1: ψ₀ from the initial mask M₀ = R*.
+        let mut psi = signed_distance(&target);
+        let mut history = Vec::with_capacity(self.max_iterations);
+        let mut snapshots = Vec::new();
+        let mut prev_gradient_velocity: Option<Grid<f64>> = None;
+        let mut prev_velocity: Option<Grid<f64>> = None;
+        let mut best: Option<(f64, Grid<f64>, Grid<f64>)> = None;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for i in 0..self.max_iterations {
+            iterations = i + 1;
+            // Line 7 (Eq. (6)): current binary mask from ψ.
+            let mask = mask_from_levelset(&psi);
+            if self.snapshot_interval > 0 && i % self.snapshot_interval == 0 {
+                snapshots.push((i, mask.clone()));
+            }
+
+            // Lines 8–9: simulate, evaluate, back-propagate (Eq. (11)/(14)).
+            let (report, gradient) = cost_and_gradient(sim, &mask, &target, self.w_pvb);
+            if best.as_ref().is_none_or(|(c, _, _)| report.total() < *c) {
+                best = Some((report.total(), mask.clone(), psi.clone()));
+            }
+
+            // Eq. (10) up to sign: with the Eq. (5)/(6) convention
+            // (ψ ≤ 0 inside, M = H(−ψ)) we have ∂L/∂ψ = −G·δ(ψ), so the
+            // descent update is ψ̇ = +G·|∇ψ| — the sign printed in
+            // Eq. (10) corresponds to the opposite inside/outside
+            // convention (see DESIGN.md §7).
+            let gradmag = if self.upwind {
+                godunov_gradient(&psi, &gradient)
+            } else {
+                gradient_magnitude(&psi)
+            };
+            // The gradient-velocity g_i = G·|∇ψ| drives both the descent
+            // direction and the PRP coefficient.
+            let gradient_velocity = gradient.zip_map(&gradmag, |&g, &m| g * m);
+            let mut velocity = gradient_velocity.clone();
+
+            // Eq. (15)–(16): combine with the previous velocity according
+            // to the configured evolution scheme.
+            let mut beta = 0.0;
+            match self.evolution {
+                Evolution::Plain => {}
+                Evolution::PrpConjugateGradient => {
+                    if let (Some(g_prev), Some(v_prev)) =
+                        (prev_gradient_velocity.as_ref(), prev_velocity.as_ref())
+                    {
+                        beta = prp_beta(&gradient_velocity, g_prev);
+                        if beta > 0.0 {
+                            for (v, &pv) in
+                                velocity.as_mut_slice().iter_mut().zip(v_prev.as_slice())
+                            {
+                                *v += beta * pv;
+                            }
+                        }
+                    }
+                }
+                Evolution::HeavyBall { beta: momentum } => {
+                    if let Some(v_prev) = prev_velocity.as_ref() {
+                        beta = momentum;
+                        for (v, &pv) in velocity.as_mut_slice().iter_mut().zip(v_prev.as_slice())
+                        {
+                            *v += momentum * pv;
+                        }
+                    }
+                }
+            }
+
+            // Optional contour smoothing (extension beyond the paper).
+            if self.curvature_weight > 0.0 {
+                let kappa = curvature(&psi);
+                let central = gradient_magnitude(&psi);
+                for ((v, &k), &m) in velocity
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(kappa.as_slice())
+                    .zip(central.as_slice())
+                {
+                    *v += self.curvature_weight * k * m;
+                }
+            }
+
+            // Optional narrow-band restriction (extension beyond the
+            // paper): freeze the far field so only near-contour cells
+            // evolve.
+            if self.narrow_band > 0.0 {
+                NarrowBand::extract(&psi, self.narrow_band).mask_velocity(&mut velocity);
+            }
+
+            let vmax = max_abs(&velocity);
+            let dt = cfl_time_step(&velocity, self.lambda_t);
+            history.push(IterationRecord {
+                iteration: i,
+                cost_nominal: report.nominal,
+                cost_pvb: report.pvb,
+                cost_total: report.total(),
+                max_velocity: vmax,
+                time_step: dt,
+                cg_beta: beta,
+                elapsed_s: start.elapsed().as_secs_f64(),
+            });
+
+            // Algorithm 1 stop condition: max|v| ≤ ε.
+            if vmax <= self.velocity_tolerance {
+                converged = true;
+                break;
+            }
+
+            // Lines 5–6: CFL step and evolution, optionally guarded by a
+            // backtracking line search on the total cost.
+            if self.line_search {
+                let mut trial_dt = dt;
+                let mut accepted = false;
+                for _ in 0..3 {
+                    let mut trial_psi = psi.clone();
+                    evolve(&mut trial_psi, &velocity, trial_dt);
+                    let trial_mask = mask_from_levelset(&trial_psi);
+                    let trial_cost = cost_only(sim, &trial_mask, &target, self.w_pvb).total();
+                    if trial_cost <= report.total() {
+                        psi = trial_psi;
+                        accepted = true;
+                        break;
+                    }
+                    trial_dt /= 2.0;
+                }
+                if !accepted {
+                    evolve(&mut psi, &velocity, trial_dt);
+                }
+            } else {
+                evolve(&mut psi, &velocity, dt);
+            }
+
+            // Keep ψ a signed distance function periodically.
+            if self.reinit_interval > 0 && (i + 1) % self.reinit_interval == 0 {
+                psi = reinitialize(&psi);
+            }
+
+            prev_gradient_velocity = Some(gradient_velocity);
+            prev_velocity = Some(velocity);
+        }
+
+        // Evaluate the final iterate too, then return the best mask seen.
+        let final_mask = mask_from_levelset(&psi);
+        let (final_report, _) = cost_and_gradient(sim, &final_mask, &target, self.w_pvb);
+        let (mask, levelset) = match best {
+            Some((best_cost, best_mask, best_psi)) if best_cost < final_report.total() => {
+                (best_mask, best_psi)
+            }
+            _ => (final_mask, psi),
+        };
+        if self.snapshot_interval > 0 {
+            snapshots.push((iterations, mask.clone()));
+        }
+
+        Ok(IltResult {
+            mask,
+            levelset,
+            history,
+            iterations,
+            converged,
+            runtime_s: start.elapsed().as_secs_f64(),
+            snapshots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsopc_optics::OpticsConfig;
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::from_optics(
+            &OpticsConfig::iccad2013().with_kernel_count(4),
+            64,
+            4.0,
+        )
+        .expect("valid configuration")
+    }
+
+    fn wire_target() -> Grid<f64> {
+        Grid::from_fn(64, 64, |x, y| {
+            if (26..38).contains(&x) && (12..52).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn optimization_reduces_cost() {
+        let sim = sim();
+        let target = wire_target();
+        let result = LevelSetIlt::builder()
+            .max_iterations(12)
+            .build()
+            .optimize(&sim, &target)
+            .expect("optimization runs");
+        let first = result.history.first().expect("history");
+        let last = result.history.last().expect("history");
+        assert!(
+            last.cost_total < first.cost_total * 0.9,
+            "no real improvement: {} -> {}",
+            first.cost_total,
+            last.cost_total
+        );
+        assert_eq!(result.history.len(), result.iterations);
+    }
+
+    #[test]
+    fn returned_mask_is_binary() {
+        let sim = sim();
+        let result = LevelSetIlt::builder()
+            .max_iterations(5)
+            .build()
+            .optimize(&sim, &wire_target())
+            .expect("optimization runs");
+        assert!(result
+            .mask
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || v == 1.0));
+        assert!(result.mask.sum() > 0.0);
+    }
+
+    #[test]
+    fn returned_mask_is_best_iterate() {
+        let sim = sim();
+        let target = wire_target();
+        let result = LevelSetIlt::builder()
+            .max_iterations(10)
+            .build()
+            .optimize(&sim, &target)
+            .expect("optimization runs");
+        let (best_report, _) = cost_and_gradient(&sim, &result.mask, &target, 1.0);
+        for rec in &result.history {
+            assert!(
+                best_report.total() <= rec.cost_total + 1e-9,
+                "iteration {} had lower cost",
+                rec.iteration
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_are_recorded() {
+        let sim = sim();
+        let result = LevelSetIlt::builder()
+            .max_iterations(6)
+            .snapshot_interval(2)
+            .build()
+            .optimize(&sim, &wire_target())
+            .expect("optimization runs");
+        // Snapshots at 0, 2, 4 plus the final mask.
+        let iters: Vec<usize> = result.snapshots.iter().map(|(i, _)| *i).collect();
+        assert_eq!(iters, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn loose_tolerance_converges_early() {
+        let sim = sim();
+        let result = LevelSetIlt::builder()
+            .max_iterations(30)
+            .velocity_tolerance(1e9)
+            .build()
+            .optimize(&sim, &wire_target())
+            .expect("optimization runs");
+        assert!(result.converged);
+        assert_eq!(result.iterations, 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let sim = sim();
+        let opt = LevelSetIlt::builder().max_iterations(6).build();
+        let a = opt.optimize(&sim, &wire_target()).expect("run a");
+        let b = opt.optimize(&sim, &wire_target()).expect("run b");
+        assert_eq!(a.mask, b.mask);
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.cost_total, y.cost_total);
+        }
+    }
+
+    #[test]
+    fn plain_gradient_mode_also_improves() {
+        let sim = sim();
+        let result = LevelSetIlt::builder()
+            .max_iterations(12)
+            .conjugate_gradient(false)
+            .build()
+            .optimize(&sim, &wire_target())
+            .expect("optimization runs");
+        let first = result.history.first().expect("history");
+        let last = result.history.last().expect("history");
+        assert!(last.cost_total < first.cost_total);
+        assert!(result.history.iter().all(|r| r.cg_beta == 0.0));
+    }
+
+    #[test]
+    fn cg_runs_use_nonzero_beta_eventually() {
+        let sim = sim();
+        let result = LevelSetIlt::builder()
+            .max_iterations(12)
+            .build()
+            .optimize(&sim, &wire_target())
+            .expect("optimization runs");
+        assert!(result.history.iter().any(|r| r.cg_beta > 0.0));
+    }
+
+    #[test]
+    fn rejects_mismatched_target() {
+        let sim = sim();
+        let target = Grid::new(32, 32, 1.0);
+        let err = LevelSetIlt::default()
+            .optimize(&sim, &target)
+            .expect_err("should fail");
+        assert!(matches!(err, OptimizeError::TargetDimsMismatch { .. }));
+        assert!(err.to_string().contains("32x32"));
+    }
+
+    #[test]
+    fn rejects_empty_target() {
+        let sim = sim();
+        let target = Grid::new(64, 64, 0.0);
+        let err = LevelSetIlt::default()
+            .optimize(&sim, &target)
+            .expect_err("should fail");
+        assert_eq!(err, OptimizeError::EmptyTarget);
+    }
+}
+
+#[cfg(test)]
+mod evolution_tests {
+    use super::*;
+    use crate::Evolution;
+    use lsopc_optics::OpticsConfig;
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::from_optics(
+            &OpticsConfig::iccad2013().with_kernel_count(4),
+            64,
+            4.0,
+        )
+        .expect("valid configuration")
+    }
+
+    fn target() -> Grid<f64> {
+        Grid::from_fn(64, 64, |x, y| {
+            if (26..38).contains(&x) && (12..52).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn heavy_ball_improves_cost() {
+        let result = LevelSetIlt::builder()
+            .max_iterations(10)
+            .evolution(Evolution::HeavyBall { beta: 0.5 })
+            .build()
+            .optimize(&sim(), &target())
+            .expect("optimization runs");
+        let first = result.history.first().expect("history");
+        let last = result.history.last().expect("history");
+        assert!(last.cost_total < first.cost_total);
+        // From iteration 1 onward the recorded beta is the momentum.
+        assert!(result.history[1..].iter().all(|r| r.cg_beta == 0.5));
+    }
+
+    #[test]
+    fn narrow_band_run_matches_full_run_closely() {
+        let full = LevelSetIlt::builder()
+            .max_iterations(8)
+            .build()
+            .optimize(&sim(), &target())
+            .expect("optimization runs");
+        let banded = LevelSetIlt::builder()
+            .max_iterations(8)
+            .narrow_band(6.0)
+            .build()
+            .optimize(&sim(), &target())
+            .expect("optimization runs");
+        // Contour motion only depends on near-field ψ, so both runs reach
+        // comparable cost.
+        assert!(banded.final_cost() < full.final_cost() * 1.5 + 1.0);
+        let first = banded.history.first().expect("history");
+        assert!(banded.final_cost() < first.cost_total);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_heavy_ball_coefficient_panics() {
+        let _ = LevelSetIlt::builder().evolution(Evolution::HeavyBall { beta: 1.0 });
+    }
+}
+
+#[cfg(test)]
+mod line_search_tests {
+    use super::*;
+    use lsopc_optics::OpticsConfig;
+
+    #[test]
+    fn line_search_never_does_worse_than_plain() {
+        let sim = LithoSimulator::from_optics(
+            &OpticsConfig::iccad2013().with_kernel_count(4),
+            64,
+            4.0,
+        )
+        .expect("valid configuration");
+        let target = Grid::from_fn(64, 64, |x, y| {
+            if (26..38).contains(&x) && (12..52).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        // A deliberately aggressive step makes plain evolution overshoot.
+        let plain = LevelSetIlt::builder()
+            .max_iterations(8)
+            .lambda_t(4.0)
+            .build()
+            .optimize(&sim, &target)
+            .expect("runs");
+        let guarded = LevelSetIlt::builder()
+            .max_iterations(8)
+            .lambda_t(4.0)
+            .line_search(true)
+            .build()
+            .optimize(&sim, &target)
+            .expect("runs");
+        // Line search makes the cost trace (nearly) monotone; the
+        // unguarded aggressive steps oscillate more.
+        let increases = |history: &[crate::IterationRecord]| {
+            history
+                .windows(2)
+                .filter(|w| w[1].cost_total > w[0].cost_total * (1.0 + 1e-9))
+                .count()
+        };
+        assert!(
+            increases(&guarded.history) <= increases(&plain.history),
+            "guarded had {} increases, plain {}",
+            increases(&guarded.history),
+            increases(&plain.history)
+        );
+        // And the guarded run still makes progress.
+        let first = guarded.history.first().expect("history").cost_total;
+        assert!(guarded.final_cost() < first);
+    }
+}

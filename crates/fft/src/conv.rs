@@ -1,0 +1,142 @@
+//! FFT-based cyclic convolution helpers.
+
+use crate::Fft2d;
+use lsopc_grid::{Complex, Grid, Scalar};
+
+/// Element-wise product of two same-shape complex grids (spectral
+/// multiplication step of FFT convolution).
+///
+/// # Panics
+///
+/// Panics if the grids have different dimensions.
+pub fn spectrum_multiply<T: Scalar>(a: &Grid<Complex<T>>, b: &Grid<Complex<T>>) -> Grid<Complex<T>> {
+    a.zip_map(b, |&x, &y| x * y)
+}
+
+/// Accumulates `acc += w * (a ⊙ b)` element-wise, the inner step of the
+/// SOCS gradient accumulation.
+///
+/// # Panics
+///
+/// Panics if the grids have different dimensions.
+pub fn spectrum_accumulate<T: Scalar>(
+    acc: &mut Grid<Complex<T>>,
+    a: &Grid<Complex<T>>,
+    b: &Grid<Complex<T>>,
+    w: T,
+) {
+    assert_eq!(acc.dims(), a.dims(), "grid dimensions must match");
+    assert_eq!(a.dims(), b.dims(), "grid dimensions must match");
+    for ((dst, &x), &y) in acc
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *dst += (x * y).scale(w);
+    }
+}
+
+/// Cyclic (circular) convolution of two same-shape complex grids via FFT.
+///
+/// `out[x] = Σ_u a[u]·b[(x - u) mod N]` with wraparound in both dimensions,
+/// matching the periodic-field convention of the Hopkins imaging model.
+///
+/// # Panics
+///
+/// Panics if the grids have different dimensions or a dimension is not a
+/// power of two.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_fft::convolve_cyclic;
+/// use lsopc_grid::{Grid, C64};
+///
+/// // Convolving with a unit impulse at the origin is the identity.
+/// let a = Grid::from_fn(4, 4, |x, y| C64::new((x + y) as f64, 0.0));
+/// let mut delta = Grid::new(4, 4, C64::ZERO);
+/// delta[(0, 0)] = C64::ONE;
+/// let out = convolve_cyclic(&a, &delta);
+/// for (p, q) in out.as_slice().iter().zip(a.as_slice()) {
+///     assert!((*p - *q).norm() < 1e-12);
+/// }
+/// ```
+pub fn convolve_cyclic<T: Scalar>(a: &Grid<Complex<T>>, b: &Grid<Complex<T>>) -> Grid<Complex<T>> {
+    assert_eq!(a.dims(), b.dims(), "grid dimensions must match");
+    let (w, h) = a.dims();
+    let fft = Fft2d::new(w, h);
+    let mut fa = a.clone();
+    let mut fb = b.clone();
+    fft.forward(&mut fa);
+    fft.forward(&mut fb);
+    let mut prod = spectrum_multiply(&fa, &fb);
+    fft.inverse(&mut prod);
+    prod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsopc_grid::C64;
+
+    /// Direct O(n⁴) cyclic convolution for verification.
+    fn convolve_direct(a: &Grid<C64>, b: &Grid<C64>) -> Grid<C64> {
+        let (w, h) = a.dims();
+        Grid::from_fn(w, h, |x, y| {
+            let mut acc = C64::ZERO;
+            for v in 0..h {
+                for u in 0..w {
+                    let bx = (x + w - u) % w;
+                    let by = (y + h - v) % h;
+                    acc += a[(u, v)] * b[(bx, by)];
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        let a = Grid::from_fn(8, 8, |x, y| C64::new((x * y % 3) as f64, (x % 2) as f64));
+        let b = Grid::from_fn(8, 8, |x, y| C64::new((x + 2 * y) as f64 * 0.1, 0.0));
+        let fast = convolve_cyclic(&a, &b);
+        let direct = convolve_direct(&a, &b);
+        for (p, q) in fast.as_slice().iter().zip(direct.as_slice()) {
+            assert!((*p - *q).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = Grid::from_fn(4, 4, |x, y| C64::new(x as f64, y as f64));
+        let b = Grid::from_fn(4, 4, |x, y| C64::new((x * y) as f64, 0.5));
+        let ab = convolve_cyclic(&a, &b);
+        let ba = convolve_cyclic(&b, &a);
+        for (p, q) in ab.as_slice().iter().zip(ba.as_slice()) {
+            assert!((*p - *q).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shifted_impulse_translates() {
+        let a = Grid::from_fn(4, 4, |x, y| C64::new((4 * y + x) as f64, 0.0));
+        let mut delta = Grid::new(4, 4, C64::ZERO);
+        delta[(1, 0)] = C64::ONE;
+        let out = convolve_cyclic(&a, &delta);
+        // out[x, y] = a[(x-1) mod 4, y]
+        assert!((out[(1, 2)] - a[(0, 2)]).norm() < 1e-10);
+        assert!((out[(0, 3)] - a[(3, 3)]).norm() < 1e-10);
+    }
+
+    #[test]
+    fn spectrum_accumulate_weighted_sum() {
+        let a = Grid::new(2, 2, C64::new(1.0, 1.0));
+        let b = Grid::new(2, 2, C64::new(2.0, 0.0));
+        let mut acc = Grid::new(2, 2, C64::new(0.5, 0.0));
+        spectrum_accumulate(&mut acc, &a, &b, 2.0);
+        for (_, _, v) in acc.iter_coords() {
+            assert!((*v - C64::new(4.5, 4.0)).norm() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! From-scratch power-of-two FFT used for convolution in lithography
+//! simulation.
+//!
+//! The paper accelerates the Hopkins-model convolutions with FFTs
+//! (Section III-E); this crate provides that substrate without external
+//! dependencies:
+//!
+//! * [`FftPlan`] — an iterative radix-2 decimation-in-time 1-D transform
+//!   with precomputed twiddle factors and bit-reversal tables;
+//! * [`Fft2d`] — row-column 2-D transforms over [`lsopc_grid::Grid`];
+//! * [`naive_dft`]/[`naive_dft2d`] — O(n²) reference transforms used by the
+//!   test-suite to pin correctness;
+//! * convolution helpers and `fftshift` utilities.
+//!
+//! All transforms are generic over [`lsopc_grid::Scalar`] (`f32`/`f64`).
+//!
+//! # Conventions
+//!
+//! The forward transform is unnormalized, `X[k] = Σ x[n]·exp(-2πi kn/N)`;
+//! the inverse divides by `N` so that `inverse(forward(x)) == x`.
+//!
+//! # Example
+//!
+//! ```
+//! use lsopc_fft::FftPlan;
+//! use lsopc_grid::C64;
+//!
+//! let plan = FftPlan::<f64>::new(8);
+//! let mut data: Vec<C64> = (0..8).map(|i| C64::new(i as f64, 0.0)).collect();
+//! let original = data.clone();
+//! plan.forward(&mut data);
+//! plan.inverse(&mut data);
+//! for (a, b) in data.iter().zip(&original) {
+//!     assert!((*a - *b).norm() < 1e-12);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod fft2d;
+mod plan;
+mod reference;
+mod resample;
+mod shift;
+
+pub use conv::{convolve_cyclic, spectrum_accumulate, spectrum_multiply};
+pub use fft2d::Fft2d;
+pub use plan::FftPlan;
+pub use reference::{naive_dft, naive_dft2d};
+pub use resample::upsample_spectral;
+pub use shift::{fftshift, ifftshift, wrap_index};

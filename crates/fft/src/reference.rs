@@ -1,0 +1,112 @@
+//! Naive O(n²) reference DFTs used to pin the fast transforms.
+
+use lsopc_grid::{Complex, Grid, Scalar};
+
+/// Naive discrete Fourier transform (O(n²)).
+///
+/// `inverse = false` computes `X[k] = Σ x[n]·exp(-2πi kn/N)`;
+/// `inverse = true` computes the inverse including the `1/N` factor.
+///
+/// Intended for test comparison only — use [`crate::FftPlan`] in real code.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_fft::naive_dft;
+/// use lsopc_grid::C64;
+///
+/// let x = vec![C64::ONE, C64::ZERO];
+/// let spectrum = naive_dft(&x, false);
+/// assert!((spectrum[0] - C64::ONE).norm() < 1e-15);
+/// assert!((spectrum[1] - C64::ONE).norm() < 1e-15);
+/// ```
+pub fn naive_dft<T: Scalar>(x: &[Complex<T>], inverse: bool) -> Vec<Complex<T>> {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::ZERO;
+        for (j, &v) in x.iter().enumerate() {
+            let theta = T::from_f64(sign * 2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64);
+            acc += v * Complex::cis(theta);
+        }
+        if inverse {
+            acc = acc.scale(T::ONE / T::from_usize(n));
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Naive 2-D DFT over a grid (O(n⁴) in the linear dimension).
+///
+/// Same conventions as [`naive_dft`]; rows are transformed first, then
+/// columns (the DFT is separable so the order does not matter).
+pub fn naive_dft2d<T: Scalar>(g: &Grid<Complex<T>>, inverse: bool) -> Grid<Complex<T>> {
+    let (w, h) = g.dims();
+    // Rows.
+    let mut rows = Grid::new(w, h, Complex::ZERO);
+    for y in 0..h {
+        let out = naive_dft(g.row(y), inverse);
+        rows.row_mut(y).copy_from_slice(&out);
+    }
+    // Columns.
+    let mut result = Grid::new(w, h, Complex::ZERO);
+    for x in 0..w {
+        let col: Vec<Complex<T>> = (0..h).map(|y| rows[(x, y)]).collect();
+        let out = naive_dft(&col, inverse);
+        for (y, v) in out.into_iter().enumerate() {
+            result[(x, y)] = v;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsopc_grid::C64;
+
+    #[test]
+    fn impulse_is_flat() {
+        let mut x = vec![C64::ZERO; 8];
+        x[0] = C64::ONE;
+        for v in naive_dft(&x, false) {
+            assert!((v - C64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x: Vec<C64> = (0..6).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        let back = naive_dft(&naive_dft(&x, false), true);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dft2d_impulse_is_flat() {
+        let mut g = Grid::new(4, 4, C64::ZERO);
+        g[(0, 0)] = C64::ONE;
+        let f = naive_dft2d(&g, false);
+        for (_, _, v) in f.iter_coords() {
+            assert!((*v - C64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft2d_shift_theorem() {
+        // Shifting the impulse to (1, 0) multiplies the spectrum by a phasor
+        // in kx only.
+        let mut g = Grid::new(4, 4, C64::ZERO);
+        g[(1, 0)] = C64::ONE;
+        let f = naive_dft2d(&g, false);
+        for ky in 0..4 {
+            for kx in 0..4 {
+                let expected = C64::cis(-2.0 * std::f64::consts::PI * kx as f64 / 4.0);
+                assert!((f[(kx, ky)] - expected).norm() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Connected-component labelling of binary grids.
+//!
+//! Used by the shape-violation checker to find printed blobs and compare
+//! them against target features.
+
+use crate::Rect;
+use lsopc_grid::Grid;
+
+/// One 4-connected component of a binary grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Label (index into the component list).
+    pub label: u32,
+    /// Number of pixels.
+    pub area: usize,
+    /// Bounding box in pixel coordinates (half-open).
+    pub bbox: Rect,
+    /// One pixel inside the component (useful as a seed).
+    pub seed: (usize, usize),
+}
+
+/// Labels the 4-connected components of `grid >= threshold`.
+///
+/// Returns the label grid (0 = background, `k` = component `k-1`) and the
+/// component descriptors ordered by discovery (row-major scan of seeds).
+///
+/// # Example
+///
+/// ```
+/// use lsopc_geometry::label_components;
+/// use lsopc_grid::Grid;
+///
+/// let mut g = Grid::new(8, 8, 0.0);
+/// g[(1, 1)] = 1.0;
+/// g[(2, 1)] = 1.0;
+/// g[(6, 6)] = 1.0;
+/// let (labels, comps) = label_components(&g, 0.5);
+/// assert_eq!(comps.len(), 2);
+/// assert_eq!(comps[0].area, 2);
+/// assert_eq!(labels[(6, 6)], 2);
+/// ```
+pub fn label_components(grid: &Grid<f64>, threshold: f64) -> (Grid<u32>, Vec<Component>) {
+    let (w, h) = grid.dims();
+    let mut labels: Grid<u32> = Grid::new(w, h, 0);
+    let mut components = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let mut next_label = 1u32;
+
+    for sy in 0..h {
+        for sx in 0..w {
+            if grid[(sx, sy)] < threshold || labels[(sx, sy)] != 0 {
+                continue;
+            }
+            // Flood-fill a new component.
+            let label = next_label;
+            next_label += 1;
+            let mut area = 0usize;
+            let mut bbox = Rect::new(sx as i64, sy as i64, sx as i64 + 1, sy as i64 + 1);
+            stack.push((sx, sy));
+            labels[(sx, sy)] = label;
+            while let Some((x, y)) = stack.pop() {
+                area += 1;
+                bbox = bbox.union_bbox(&Rect::new(x as i64, y as i64, x as i64 + 1, y as i64 + 1));
+                let visit = |nx: usize, ny: usize, labels: &mut Grid<u32>, stack: &mut Vec<(usize, usize)>| {
+                    if grid[(nx, ny)] >= threshold && labels[(nx, ny)] == 0 {
+                        labels[(nx, ny)] = label;
+                        stack.push((nx, ny));
+                    }
+                };
+                if x > 0 {
+                    visit(x - 1, y, &mut labels, &mut stack);
+                }
+                if x + 1 < w {
+                    visit(x + 1, y, &mut labels, &mut stack);
+                }
+                if y > 0 {
+                    visit(x, y - 1, &mut labels, &mut stack);
+                }
+                if y + 1 < h {
+                    visit(x, y + 1, &mut labels, &mut stack);
+                }
+            }
+            components.push(Component {
+                label,
+                area,
+                bbox,
+                seed: (sx, sy),
+            });
+        }
+    }
+    (labels, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_has_no_components() {
+        let g = Grid::new(4, 4, 0.0);
+        let (_, comps) = label_components(&g, 0.5);
+        assert!(comps.is_empty());
+    }
+
+    #[test]
+    fn full_grid_is_one_component() {
+        let g = Grid::new(5, 3, 1.0);
+        let (labels, comps) = label_components(&g, 0.5);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 15);
+        assert_eq!(comps[0].bbox, Rect::new(0, 0, 5, 3));
+        assert!(labels.as_slice().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn diagonal_pixels_are_separate_in_4_connectivity() {
+        let mut g = Grid::new(4, 4, 0.0);
+        g[(0, 0)] = 1.0;
+        g[(1, 1)] = 1.0;
+        let (_, comps) = label_components(&g, 0.5);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn u_shape_is_one_component() {
+        let mut g = Grid::new(5, 5, 0.0);
+        for y in 0..5 {
+            g[(0, y)] = 1.0;
+            g[(4, y)] = 1.0;
+        }
+        for x in 0..5 {
+            g[(x, 4)] = 1.0;
+        }
+        let (_, comps) = label_components(&g, 0.5);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 13);
+    }
+
+    #[test]
+    fn labels_match_component_order() {
+        let mut g = Grid::new(8, 2, 0.0);
+        g[(0, 0)] = 1.0;
+        g[(4, 0)] = 1.0;
+        g[(7, 1)] = 1.0;
+        let (labels, comps) = label_components(&g, 0.5);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(labels[(0, 0)], comps[0].label);
+        assert_eq!(labels[(4, 0)], comps[1].label);
+        assert_eq!(labels[(7, 1)], comps[2].label);
+    }
+}

@@ -1,0 +1,257 @@
+//! Marching-squares iso-contour extraction.
+//!
+//! Used to trace printed-image boundaries for figure generation and for
+//! sub-pixel EPE measurements.
+
+use crate::FPoint;
+use lsopc_grid::Grid;
+
+/// One open or closed iso-contour polyline in pixel coordinates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Contour {
+    /// Polyline vertices; for closed contours the first vertex is repeated
+    /// at the end.
+    pub points: Vec<FPoint>,
+    /// True when the contour closes on itself.
+    pub closed: bool,
+}
+
+impl Contour {
+    /// Total polyline length in pixels.
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+}
+
+/// Extracts the `level` iso-contours of a scalar field using marching
+/// squares with linear interpolation.
+///
+/// Contour vertices lie on cell edges of the dual grid (between pixel
+/// centres), in units of pixels, with pixel `(i, j)`'s centre at
+/// `(i + 0.5, j + 0.5)`. Segments are stitched into polylines.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_geometry::extract_contours;
+/// use lsopc_grid::Grid;
+///
+/// // A disc of radius 5 around the grid centre.
+/// let g = Grid::from_fn(24, 24, |x, y| {
+///     let (dx, dy) = (x as f64 - 12.0, y as f64 - 12.0);
+///     if (dx * dx + dy * dy).sqrt() < 5.0 { 1.0 } else { 0.0 }
+/// });
+/// let contours = extract_contours(&g, 0.5);
+/// assert_eq!(contours.len(), 1);
+/// assert!(contours[0].closed);
+/// ```
+pub fn extract_contours(g: &Grid<f64>, level: f64) -> Vec<Contour> {
+    let (w, h) = g.dims();
+    if w < 2 || h < 2 {
+        return Vec::new();
+    }
+    // Collect line segments per marching-squares cell. A cell (i, j) has
+    // corners at pixel centres (i, j), (i+1, j), (i, j+1), (i+1, j+1).
+    let mut segments: Vec<(FPoint, FPoint)> = Vec::new();
+    for j in 0..h - 1 {
+        for i in 0..w - 1 {
+            let v = [
+                g[(i, j)],         // top-left
+                g[(i + 1, j)],     // top-right
+                g[(i + 1, j + 1)], // bottom-right
+                g[(i, j + 1)],     // bottom-left
+            ];
+            let mut case = 0u8;
+            for (bit, &val) in v.iter().enumerate() {
+                if val >= level {
+                    case |= 1 << bit;
+                }
+            }
+            if case == 0 || case == 15 {
+                continue;
+            }
+            let cx = i as f64 + 0.5;
+            let cy = j as f64 + 0.5;
+            // Interpolated crossing points on the four cell edges.
+            let lerp = |a: f64, b: f64| -> f64 {
+                if (b - a).abs() < 1e-300 {
+                    0.5
+                } else {
+                    ((level - a) / (b - a)).clamp(0.0, 1.0)
+                }
+            };
+            let top = FPoint::new(cx + lerp(v[0], v[1]), cy);
+            let right = FPoint::new(cx + 1.0, cy + lerp(v[1], v[2]));
+            let bottom = FPoint::new(cx + lerp(v[3], v[2]), cy + 1.0);
+            let left = FPoint::new(cx, cy + lerp(v[0], v[3]));
+            // Standard marching-squares case table (ambiguous saddles split
+            // by the cell-centre average).
+            let mut push = |a: FPoint, b: FPoint| segments.push((a, b));
+            match case {
+                1 => push(left, top),
+                2 => push(top, right),
+                3 => push(left, right),
+                4 => push(right, bottom),
+                5 => {
+                    let centre = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if centre >= level {
+                        push(left, bottom);
+                        push(top, right);
+                    } else {
+                        push(left, top);
+                        push(right, bottom);
+                    }
+                }
+                6 => push(top, bottom),
+                7 => push(left, bottom),
+                8 => push(bottom, left),
+                9 => push(bottom, top),
+                10 => {
+                    let centre = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if centre >= level {
+                        push(top, right);
+                        push(bottom, left);
+                    } else {
+                        push(top, left);
+                        push(bottom, right);
+                    }
+                }
+                11 => push(bottom, right),
+                12 => push(right, left),
+                13 => push(right, top),
+                14 => push(top, left),
+                _ => unreachable!("cases 0 and 15 skipped"),
+            }
+        }
+    }
+    stitch(segments)
+}
+
+/// Quantizes a point for hash-join stitching (contour vertices are exact
+/// cell-edge positions up to FP rounding).
+fn key(p: FPoint) -> (i64, i64) {
+    ((p.x * 1024.0).round() as i64, (p.y * 1024.0).round() as i64)
+}
+
+fn stitch(segments: Vec<(FPoint, FPoint)>) -> Vec<Contour> {
+    use std::collections::HashMap;
+    // Adjacency map from endpoint to (segment index, endpoint side).
+    let mut adj: HashMap<(i64, i64), Vec<(usize, bool)>> = HashMap::new();
+    for (idx, (a, b)) in segments.iter().enumerate() {
+        adj.entry(key(*a)).or_default().push((idx, false));
+        adj.entry(key(*b)).or_default().push((idx, true));
+    }
+    let mut used = vec![false; segments.len()];
+    let mut contours = Vec::new();
+    for start in 0..segments.len() {
+        if used[start] {
+            continue;
+        }
+        used[start] = true;
+        let (a, b) = segments[start];
+        let mut points = vec![a, b];
+        // Walk forward from b.
+        loop {
+            let tail = *points.last().expect("non-empty");
+            let mut advanced = false;
+            if let Some(cands) = adj.get(&key(tail)) {
+                for &(idx, side) in cands {
+                    if used[idx] {
+                        continue;
+                    }
+                    used[idx] = true;
+                    let (sa, sb) = segments[idx];
+                    points.push(if side { sa } else { sb });
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        // Walk backward from a.
+        loop {
+            let head = points[0];
+            let mut advanced = false;
+            if let Some(cands) = adj.get(&key(head)) {
+                for &(idx, side) in cands {
+                    if used[idx] {
+                        continue;
+                    }
+                    used[idx] = true;
+                    let (sa, sb) = segments[idx];
+                    points.insert(0, if side { sa } else { sb });
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        let closed = points.len() > 2 && key(points[0]) == key(*points.last().expect("non-empty"));
+        contours.push(Contour { points, closed });
+    }
+    contours
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disc(w: usize, h: usize, cx: f64, cy: f64, r: f64) -> Grid<f64> {
+        Grid::from_fn(w, h, |x, y| {
+            let dx = x as f64 + 0.5 - cx;
+            let dy = y as f64 + 0.5 - cy;
+            // Smooth field so interpolation is meaningful.
+            r - (dx * dx + dy * dy).sqrt()
+        })
+    }
+
+    #[test]
+    fn single_disc_gives_one_closed_contour() {
+        let g = disc(32, 32, 16.0, 16.0, 6.0);
+        let cs = extract_contours(&g, 0.0);
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].closed);
+        // Circumference of a radius-6 circle is about 37.7 pixels.
+        let len = cs[0].length();
+        assert!((len - 2.0 * std::f64::consts::PI * 6.0).abs() < 2.0, "len={len}");
+    }
+
+    #[test]
+    fn contour_vertices_lie_near_radius() {
+        let g = disc(32, 32, 16.0, 16.0, 5.0);
+        let cs = extract_contours(&g, 0.0);
+        for p in &cs[0].points {
+            let d = ((p.x - 16.0).powi(2) + (p.y - 16.0).powi(2)).sqrt();
+            assert!((d - 5.0).abs() < 0.3, "vertex at distance {d}");
+        }
+    }
+
+    #[test]
+    fn two_discs_give_two_contours() {
+        let a = disc(48, 24, 10.0, 12.0, 4.0);
+        let b = disc(48, 24, 36.0, 12.0, 4.0);
+        let g = a.zip_map(&b, |&u, &v| u.max(v));
+        let cs = extract_contours(&g, 0.0);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.iter().all(|c| c.closed));
+    }
+
+    #[test]
+    fn flat_field_has_no_contours() {
+        let g = Grid::new(8, 8, 1.0);
+        assert!(extract_contours(&g, 0.5).is_empty());
+    }
+
+    #[test]
+    fn tiny_grid_is_empty() {
+        let g = Grid::new(1, 1, 0.0);
+        assert!(extract_contours(&g, 0.5).is_empty());
+    }
+}

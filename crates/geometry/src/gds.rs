@@ -1,0 +1,355 @@
+//! Minimal GDSII stream-format reader/writer.
+//!
+//! `.glp` is the contest's exchange format, but real flows move layouts
+//! as GDSII streams. This module implements the subset needed to
+//! round-trip rectilinear mask layouts: one library, one structure,
+//! `BOUNDARY` elements with `LAYER`/`XY` records, and the GDSII 8-byte
+//! excess-64 real encoding for the `UNITS` record. Database units are
+//! 1 nm (`UNITS` = 0.001 user units per db unit, 1e-9 m per db unit).
+//!
+//! Unsupported records (`PATH`, `SREF`, text, properties…) are rejected
+//! with a descriptive error rather than silently dropped.
+
+use crate::{Layout, Point, Polygon, Shape};
+use std::error::Error;
+use std::fmt;
+
+// Record tags: (record type << 8) | data type.
+const HEADER: u16 = 0x0002;
+const BGNLIB: u16 = 0x0102;
+const LIBNAME: u16 = 0x0206;
+const UNITS: u16 = 0x0305;
+const ENDLIB: u16 = 0x0400;
+const BGNSTR: u16 = 0x0502;
+const STRNAME: u16 = 0x0606;
+const ENDSTR: u16 = 0x0700;
+const BOUNDARY: u16 = 0x0800;
+const LAYER: u16 = 0x0D02;
+const DATATYPE: u16 = 0x0E02;
+const XY: u16 = 0x1003;
+const ENDEL: u16 = 0x1100;
+
+/// Error reading a GDSII stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGdsError {
+    offset: usize,
+    message: String,
+}
+
+impl ParseGdsError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset of the offending record.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseGdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gds parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseGdsError {}
+
+/// Encodes an `f64` as a GDSII 8-byte real (excess-64, base-16).
+pub fn to_gds_real(v: f64) -> [u8; 8] {
+    if v == 0.0 {
+        return [0; 8];
+    }
+    let sign = if v < 0.0 { 0x80u8 } else { 0 };
+    let mut mag = v.abs();
+    // Find exponent e with mag / 16^(e-64) in [1/16, 1).
+    let mut e = 64i32;
+    while mag >= 1.0 {
+        mag /= 16.0;
+        e += 1;
+    }
+    while mag < 1.0 / 16.0 {
+        mag *= 16.0;
+        e -= 1;
+    }
+    // 56-bit mantissa.
+    let mant = (mag * (1u64 << 56) as f64).round() as u64;
+    let mut out = [0u8; 8];
+    out[0] = sign | (e as u8);
+    for i in 0..7 {
+        out[1 + i] = ((mant >> (8 * (6 - i))) & 0xFF) as u8;
+    }
+    out
+}
+
+/// Decodes a GDSII 8-byte real.
+pub fn from_gds_real(bytes: [u8; 8]) -> f64 {
+    let sign = if bytes[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+    let e = (bytes[0] & 0x7F) as i32 - 64;
+    let mut mant = 0u64;
+    for &b in &bytes[1..8] {
+        mant = (mant << 8) | b as u64;
+    }
+    sign * (mant as f64 / (1u64 << 56) as f64) * 16f64.powi(e)
+}
+
+/// Serializes a layout as a single-structure GDSII stream on `layer`
+/// (datatype 0), with 1 nm database units.
+pub fn write_gds(layout: &Layout, layer: i16) -> Vec<u8> {
+    let mut out = Vec::new();
+    let name = layout.name.clone().unwrap_or_else(|| "LSOPC".to_string());
+    push_record(&mut out, HEADER, &600i16.to_be_bytes());
+    push_record(&mut out, BGNLIB, &[0u8; 24]); // zeroed timestamps
+    push_string(&mut out, LIBNAME, &name);
+    let mut units = Vec::with_capacity(16);
+    units.extend_from_slice(&to_gds_real(1e-3)); // user units / db unit
+    units.extend_from_slice(&to_gds_real(1e-9)); // db unit in meters (1 nm)
+    push_record(&mut out, UNITS, &units);
+    push_record(&mut out, BGNSTR, &[0u8; 24]);
+    push_string(&mut out, STRNAME, &name);
+    for shape in layout.shapes() {
+        let poly = shape.to_polygon();
+        push_record(&mut out, BOUNDARY, &[]);
+        push_record(&mut out, LAYER, &layer.to_be_bytes());
+        push_record(&mut out, DATATYPE, &0i16.to_be_bytes());
+        let mut xy = Vec::with_capacity((poly.vertices().len() + 1) * 8);
+        for v in poly.vertices() {
+            xy.extend_from_slice(&(v.x as i32).to_be_bytes());
+            xy.extend_from_slice(&(v.y as i32).to_be_bytes());
+        }
+        // GDSII closes boundaries explicitly.
+        let first = poly.vertices()[0];
+        xy.extend_from_slice(&(first.x as i32).to_be_bytes());
+        xy.extend_from_slice(&(first.y as i32).to_be_bytes());
+        push_record(&mut out, XY, &xy);
+        push_record(&mut out, ENDEL, &[]);
+    }
+    push_record(&mut out, ENDSTR, &[]);
+    push_record(&mut out, ENDLIB, &[]);
+    out
+}
+
+fn push_record(out: &mut Vec<u8>, tag: u16, payload: &[u8]) {
+    let len = (payload.len() + 4) as u16;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&tag.to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn push_string(out: &mut Vec<u8>, tag: u16, s: &str) {
+    let mut payload = s.as_bytes().to_vec();
+    if payload.len() % 2 == 1 {
+        payload.push(0); // pad to even length per spec
+    }
+    push_record(out, tag, &payload);
+}
+
+/// Parses a GDSII stream produced by [`write_gds`] (or any stream
+/// restricted to `BOUNDARY` elements) back into a [`Layout`].
+///
+/// All structures are merged; the first structure name becomes the layout
+/// name; layers are ignored on read.
+///
+/// # Errors
+///
+/// Returns [`ParseGdsError`] on truncated records, unsupported element
+/// types, or non-rectilinear boundaries.
+pub fn parse_gds(bytes: &[u8]) -> Result<Layout, ParseGdsError> {
+    let mut layout = Layout::new();
+    let mut pos = 0usize;
+    let mut in_boundary = false;
+    let mut xy: Option<Vec<Point>> = None;
+    while pos + 4 <= bytes.len() {
+        let len = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]) as usize;
+        let tag = u16::from_be_bytes([bytes[pos + 2], bytes[pos + 3]]);
+        if len < 4 || pos + len > bytes.len() {
+            return Err(ParseGdsError::new(pos, format!("bad record length {len}")));
+        }
+        let payload = &bytes[pos + 4..pos + len];
+        match tag {
+            HEADER | BGNLIB | UNITS | LIBNAME | BGNSTR | LAYER | DATATYPE => {}
+            STRNAME => {
+                if layout.name.is_none() {
+                    let text: Vec<u8> = payload.iter().copied().take_while(|&b| b != 0).collect();
+                    layout.name = Some(String::from_utf8_lossy(&text).into_owned());
+                }
+            }
+            BOUNDARY => {
+                in_boundary = true;
+                xy = None;
+            }
+            XY => {
+                if !in_boundary {
+                    return Err(ParseGdsError::new(pos, "XY outside BOUNDARY"));
+                }
+                if payload.len() % 8 != 0 {
+                    return Err(ParseGdsError::new(pos, "XY payload not 8-byte aligned"));
+                }
+                let mut pts = Vec::with_capacity(payload.len() / 8);
+                for chunk in payload.chunks_exact(8) {
+                    let x = i32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                    let y = i32::from_be_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+                    pts.push(Point::new(x as i64, y as i64));
+                }
+                xy = Some(pts);
+            }
+            ENDEL => {
+                if in_boundary {
+                    let mut pts = xy
+                        .take()
+                        .ok_or_else(|| ParseGdsError::new(pos, "BOUNDARY without XY"))?;
+                    // Drop the explicit closing vertex.
+                    if pts.len() >= 2 && pts.first() == pts.last() {
+                        pts.pop();
+                    }
+                    let poly = Polygon::new(pts)
+                        .map_err(|e| ParseGdsError::new(pos, e.to_string()))?;
+                    layout.push(Shape::Polygon(poly));
+                    in_boundary = false;
+                }
+            }
+            ENDSTR => {}
+            ENDLIB => return Ok(layout),
+            other => {
+                return Err(ParseGdsError::new(
+                    pos,
+                    format!("unsupported record 0x{other:04X}"),
+                ));
+            }
+        }
+        pos += len;
+    }
+    Err(ParseGdsError::new(pos, "missing ENDLIB"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    #[test]
+    fn gds_real_encodes_known_values() {
+        // 1.0 = 16^1 · 1/16 → exponent 65, mantissa 0x10000000000000.
+        assert_eq!(to_gds_real(1.0), [0x41, 0x10, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(to_gds_real(0.0), [0; 8]);
+        // Sign bit.
+        assert_eq!(to_gds_real(-1.0)[0], 0xC1);
+    }
+
+    #[test]
+    fn gds_real_roundtrip() {
+        for v in [0.0, 1.0, -1.0, 0.001, 1e-9, 2048.0, 193.5, -0.06125, 6.02e23, 1.6e-19] {
+            let round = from_gds_real(to_gds_real(v));
+            let err = if v == 0.0 {
+                round.abs()
+            } else {
+                ((round - v) / v).abs()
+            };
+            assert!(err < 1e-14, "value {v} round-tripped to {round}");
+        }
+    }
+
+    fn sample_layout() -> Layout {
+        let mut layout = Layout::new();
+        layout.name = Some("TESTCHIP".to_string());
+        layout.push(Rect::new(0, 0, 100, 40).into());
+        layout.push(
+            Polygon::new(vec![
+                Point::new(200, 0),
+                Point::new(260, 0),
+                Point::new(260, 30),
+                Point::new(230, 30),
+                Point::new(230, 80),
+                Point::new(200, 80),
+            ])
+            .expect("valid")
+            .into(),
+        );
+        layout
+    }
+
+    #[test]
+    fn stream_roundtrip_preserves_geometry() {
+        let layout = sample_layout();
+        let bytes = write_gds(&layout, 1);
+        let parsed = parse_gds(&bytes).expect("roundtrip parses");
+        assert_eq!(parsed.name.as_deref(), Some("TESTCHIP"));
+        assert_eq!(parsed.len(), layout.len());
+        assert_eq!(parsed.total_area(), layout.total_area());
+        // Shapes come back as polygons; compare vertex sets via areas and
+        // bboxes.
+        for (a, b) in parsed.shapes().iter().zip(layout.shapes()) {
+            assert_eq!(a.area(), b.area());
+            assert_eq!(a.bbox(), b.bbox());
+        }
+    }
+
+    #[test]
+    fn units_record_is_nanometres() {
+        let bytes = write_gds(&sample_layout(), 1);
+        // Find the UNITS record and decode its two reals.
+        let mut pos = 0;
+        while pos + 4 <= bytes.len() {
+            let len = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]) as usize;
+            let tag = u16::from_be_bytes([bytes[pos + 2], bytes[pos + 3]]);
+            if tag == UNITS {
+                let payload = &bytes[pos + 4..pos + len];
+                let user: [u8; 8] = payload[..8].try_into().expect("8 bytes");
+                let meters: [u8; 8] = payload[8..16].try_into().expect("8 bytes");
+                assert!((from_gds_real(user) - 1e-3).abs() < 1e-18);
+                assert!((from_gds_real(meters) - 1e-9).abs() < 1e-24);
+                return;
+            }
+            pos += len;
+        }
+        panic!("UNITS record missing");
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = write_gds(&sample_layout(), 1);
+        let err = parse_gds(&bytes[..bytes.len() - 6]).expect_err("truncated");
+        assert!(err.to_string().contains("ENDLIB") || err.to_string().contains("length"));
+    }
+
+    #[test]
+    fn rejects_unsupported_records() {
+        // A PATH element (0x0900) inside a structure.
+        let mut bytes = Vec::new();
+        push_record(&mut bytes, HEADER, &600i16.to_be_bytes());
+        push_record(&mut bytes, 0x0900, &[]);
+        let err = parse_gds(&bytes).expect_err("unsupported");
+        assert!(err.to_string().contains("0x0900"));
+        assert!(err.offset() > 0);
+    }
+
+    #[test]
+    fn rejects_diagonal_boundary() {
+        let mut bytes = Vec::new();
+        push_record(&mut bytes, HEADER, &600i16.to_be_bytes());
+        push_record(&mut bytes, BOUNDARY, &[]);
+        let mut xy = Vec::new();
+        for &(x, y) in &[(0i32, 0i32), (10, 10), (10, 0), (0, 5), (0, 0)] {
+            xy.extend_from_slice(&x.to_be_bytes());
+            xy.extend_from_slice(&y.to_be_bytes());
+        }
+        push_record(&mut bytes, XY, &xy);
+        push_record(&mut bytes, ENDEL, &[]);
+        push_record(&mut bytes, ENDLIB, &[]);
+        let err = parse_gds(&bytes).expect_err("diagonal");
+        assert!(err.to_string().contains("axis-parallel"), "got: {err}");
+    }
+
+    #[test]
+    fn glp_and_gds_agree() {
+        // The two formats carry the same geometry.
+        let layout = sample_layout();
+        let via_gds = parse_gds(&write_gds(&layout, 7)).expect("gds parses");
+        let via_glp = crate::parse_glp(&crate::write_glp(&layout)).expect("glp parses");
+        assert_eq!(via_gds.total_area(), via_glp.total_area());
+        assert_eq!(via_gds.bbox(), via_glp.bbox());
+    }
+}

@@ -1,0 +1,233 @@
+//! Reader/writer for the contest-style `.glp` layout text format.
+//!
+//! The ICCAD 2013 benchmarks ship as `.glp` files. This module implements a
+//! compatible dialect:
+//!
+//! ```text
+//! BEGIN
+//! CELL my_cell
+//!   RECT 100 200 80 40 ;          # x y width height (nm)
+//!   PGON 0 0 60 0 60 40 0 40 ;    # vertex list, implicitly closed
+//! END
+//! ```
+//!
+//! Unknown keywords are skipped so that files with extra header lines
+//! (`EQUIV`, `LEVEL`, …) still parse.
+
+use crate::{Layout, Point, Polygon, Rect, Shape};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_glp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGlpError {
+    line: usize,
+    message: String,
+}
+
+impl ParseGlpError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseGlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "glp parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseGlpError {}
+
+/// Parses a `.glp` document into a [`Layout`].
+///
+/// # Errors
+///
+/// Returns [`ParseGlpError`] when a `RECT` or `PGON` record is malformed
+/// (wrong arity, non-integer coordinate, or non-rectilinear polygon).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use lsopc_geometry::parse_glp;
+///
+/// let layout = parse_glp("BEGIN\nCELL t1\nRECT 0 0 40 20 ;\nEND\n")?;
+/// assert_eq!(layout.total_area(), 800);
+/// assert_eq!(layout.name.as_deref(), Some("t1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_glp(text: &str) -> Result<Layout, ParseGlpError> {
+    let mut layout = Layout::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        // Strip comments and the trailing record terminator.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.last() == Some(&";") {
+            tokens.pop();
+        }
+        match tokens[0].to_ascii_uppercase().as_str() {
+            "RECT" => {
+                let nums = parse_ints(&tokens[1..], lineno)?;
+                if nums.len() != 4 {
+                    return Err(ParseGlpError::new(
+                        lineno,
+                        format!("RECT expects 4 integers, got {}", nums.len()),
+                    ));
+                }
+                let r = Rect::from_origin_size(nums[0], nums[1], nums[2], nums[3]);
+                if r.is_degenerate() {
+                    return Err(ParseGlpError::new(lineno, "RECT has zero area"));
+                }
+                layout.push(Shape::Rect(r));
+            }
+            "PGON" => {
+                let nums = parse_ints(&tokens[1..], lineno)?;
+                if nums.len() < 8 || nums.len() % 2 != 0 {
+                    return Err(ParseGlpError::new(
+                        lineno,
+                        "PGON expects an even number (>= 8) of integers",
+                    ));
+                }
+                let vertices: Vec<Point> = nums
+                    .chunks_exact(2)
+                    .map(|c| Point::new(c[0], c[1]))
+                    .collect();
+                let poly = Polygon::new(vertices)
+                    .map_err(|e| ParseGlpError::new(lineno, e.to_string()))?;
+                layout.push(Shape::Polygon(poly));
+            }
+            "CELL" | "CNAME" => {
+                if let Some(name) = tokens.get(1) {
+                    layout.name = Some((*name).to_string());
+                }
+            }
+            // Header/footer and unknown records are tolerated.
+            _ => {}
+        }
+    }
+    Ok(layout)
+}
+
+fn parse_ints(tokens: &[&str], lineno: usize) -> Result<Vec<i64>, ParseGlpError> {
+    tokens
+        .iter()
+        .map(|t| {
+            t.parse::<i64>()
+                .map_err(|_| ParseGlpError::new(lineno, format!("invalid integer `{t}`")))
+        })
+        .collect()
+}
+
+/// Serializes a [`Layout`] to the `.glp` dialect accepted by [`parse_glp`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use lsopc_geometry::{parse_glp, write_glp, Layout, Rect};
+///
+/// let mut layout = Layout::new();
+/// layout.name = Some("case".to_string());
+/// layout.push(Rect::new(0, 0, 10, 10).into());
+/// let text = write_glp(&layout);
+/// assert_eq!(parse_glp(&text)?, layout);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_glp(layout: &Layout) -> String {
+    let mut out = String::from("BEGIN\n");
+    if let Some(name) = &layout.name {
+        out.push_str(&format!("CELL {name}\n"));
+    }
+    for shape in layout.shapes() {
+        match shape {
+            Shape::Rect(r) => {
+                out.push_str(&format!(
+                    "  RECT {} {} {} {} ;\n",
+                    r.x0,
+                    r.y0,
+                    r.width(),
+                    r.height()
+                ));
+            }
+            Shape::Polygon(p) => {
+                out.push_str("  PGON");
+                for v in p.vertices() {
+                    out.push_str(&format!(" {} {}", v.x, v.y));
+                }
+                out.push_str(" ;\n");
+            }
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rects_and_polygons() {
+        let text = "BEGIN\nCELL b1\nRECT 10 20 30 40 ;\nPGON 0 0 20 0 20 10 0 10 ;\nEND\n";
+        let layout = parse_glp(text).expect("valid");
+        assert_eq!(layout.len(), 2);
+        assert_eq!(layout.total_area(), 30 * 40 + 200);
+        assert_eq!(layout.name.as_deref(), Some("b1"));
+    }
+
+    #[test]
+    fn tolerates_headers_and_comments() {
+        let text = "EQUIV 1 1000 MICRON +X,+Y\nLEVEL M1\nRECT 0 0 5 5 ; # a square\n";
+        let layout = parse_glp(text).expect("valid");
+        assert_eq!(layout.total_area(), 25);
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let err = parse_glp("RECT 1 2 3 ;").expect_err("bad");
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("4 integers"));
+    }
+
+    #[test]
+    fn rejects_non_integer() {
+        let err = parse_glp("RECT a 2 3 4 ;").expect_err("bad");
+        assert!(err.to_string().contains("invalid integer"));
+    }
+
+    #[test]
+    fn rejects_degenerate_rect() {
+        let err = parse_glp("RECT 0 0 0 5 ;").expect_err("bad");
+        assert!(err.to_string().contains("zero area"));
+    }
+
+    #[test]
+    fn rejects_diagonal_polygon() {
+        let err = parse_glp("PGON 0 0 5 5 10 0 0 0 ;").expect_err("bad");
+        assert!(err.to_string().contains("axis-parallel") || err.to_string().contains("zero length"));
+    }
+
+    #[test]
+    fn roundtrip_mixed_layout() {
+        let text = "BEGIN\nCELL rt\nRECT 1 2 3 4 ;\nPGON 0 0 30 0 30 10 10 10 10 30 0 30 ;\nEND\n";
+        let layout = parse_glp(text).expect("valid");
+        let rewritten = write_glp(&layout);
+        let reparsed = parse_glp(&rewritten).expect("valid");
+        assert_eq!(layout, reparsed);
+    }
+}

@@ -1,0 +1,174 @@
+//! Layout rasterization onto pixel grids.
+
+use crate::{Layout, Shape};
+use lsopc_grid::Grid;
+
+/// Rasterizes a layout onto a `width` x `height` binary grid with square
+/// pixels of `pixel_nm` nanometres.
+///
+/// Pixel `(i, j)` covers `[i·p, (i+1)·p) x [j·p, (j+1)·p)` in layout
+/// coordinates and is set to `1.0` when its centre lies inside any shape
+/// (even-odd rule for polygons). At 1 nm/px this reproduces shape areas
+/// exactly thanks to the half-open rectangle convention.
+///
+/// # Panics
+///
+/// Panics if `pixel_nm` is not positive or a grid dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_geometry::{rasterize, Layout, Rect};
+///
+/// let mut layout = Layout::new();
+/// layout.push(Rect::new(4, 4, 12, 8).into());
+/// let g = rasterize(&layout, 16, 16, 1.0);
+/// assert_eq!(g.sum() as i64, 8 * 4);
+/// let g2 = rasterize(&layout, 8, 8, 2.0); // coarser pixels
+/// assert_eq!(g2.sum() as i64, 4 * 2);
+/// ```
+pub fn rasterize(layout: &Layout, width: usize, height: usize, pixel_nm: f64) -> Grid<f64> {
+    assert!(pixel_nm > 0.0, "pixel size must be positive");
+    let mut grid = Grid::new(width, height, 0.0);
+    for shape in layout.shapes() {
+        match shape {
+            Shape::Rect(r) => rasterize_rect(&mut grid, r, pixel_nm),
+            Shape::Polygon(p) => rasterize_polygon(&mut grid, p, pixel_nm),
+        }
+    }
+    grid
+}
+
+fn rasterize_rect(grid: &mut Grid<f64>, r: &crate::Rect, p: f64) {
+    let (w, h) = grid.dims();
+    // Pixel centre c = (i + 0.5)p inside [x0, x1)  ⇔  i in [ceil(x0/p - 0.5), ...).
+    let ix0 = ((r.x0 as f64 / p - 0.5).ceil().max(0.0)) as usize;
+    let iy0 = ((r.y0 as f64 / p - 0.5).ceil().max(0.0)) as usize;
+    for j in iy0..h {
+        let cy = (j as f64 + 0.5) * p;
+        if cy >= r.y1 as f64 {
+            break;
+        }
+        for i in ix0..w {
+            let cx = (i as f64 + 0.5) * p;
+            if cx >= r.x1 as f64 {
+                break;
+            }
+            grid[(i, j)] = 1.0;
+        }
+    }
+}
+
+fn rasterize_polygon(grid: &mut Grid<f64>, poly: &crate::Polygon, p: f64) {
+    let (w, h) = grid.dims();
+    let bbox = poly.bbox();
+    let ix0 = ((bbox.x0 as f64 / p - 0.5).ceil().max(0.0)) as usize;
+    let iy0 = ((bbox.y0 as f64 / p - 0.5).ceil().max(0.0)) as usize;
+    // Scanline fill: for each pixel row, collect vertical-edge crossings of
+    // the horizontal line through the pixel centres and fill between pairs.
+    for j in iy0..h {
+        let cy = (j as f64 + 0.5) * p;
+        if cy >= bbox.y1 as f64 {
+            break;
+        }
+        let mut xs: Vec<f64> = Vec::new();
+        for (a, b) in poly.edges() {
+            if a.y == b.y {
+                continue; // horizontal edge, cannot cross
+            }
+            let (ylo, yhi) = (a.y.min(b.y) as f64, a.y.max(b.y) as f64);
+            if cy >= ylo && cy < yhi {
+                xs.push(a.x as f64);
+            }
+        }
+        xs.sort_by(|u, v| u.partial_cmp(v).expect("finite coordinates"));
+        for pair in xs.chunks_exact(2) {
+            let (x_enter, x_exit) = (pair[0], pair[1]);
+            let istart = ((x_enter / p - 0.5).ceil().max(0.0)) as usize;
+            for i in istart.max(ix0)..w {
+                let cx = (i as f64 + 0.5) * p;
+                if cx >= x_exit {
+                    break;
+                }
+                grid[(i, j)] = 1.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Point, Polygon, Rect};
+
+    #[test]
+    fn rect_area_exact_at_1nm() {
+        let mut l = Layout::new();
+        l.push(Rect::new(3, 5, 17, 11).into());
+        let g = rasterize(&l, 32, 32, 1.0);
+        assert_eq!(g.sum() as i64, 14 * 6);
+    }
+
+    #[test]
+    fn adjacent_rects_do_not_double_count() {
+        let mut l = Layout::new();
+        l.push(Rect::new(0, 0, 8, 8).into());
+        l.push(Rect::new(8, 0, 16, 8).into());
+        let g = rasterize(&l, 16, 16, 1.0);
+        assert_eq!(g.sum() as i64, 128);
+    }
+
+    #[test]
+    fn polygon_matches_equivalent_rects() {
+        // The L-shape equals two rectangles.
+        let poly = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(20, 0),
+            Point::new(20, 10),
+            Point::new(10, 10),
+            Point::new(10, 30),
+            Point::new(0, 30),
+        ])
+        .expect("valid");
+        let mut l1 = Layout::new();
+        l1.push(poly.into());
+        let mut l2 = Layout::new();
+        l2.push(Rect::new(0, 0, 20, 10).into());
+        l2.push(Rect::new(0, 10, 10, 30).into());
+        let g1 = rasterize(&l1, 32, 32, 1.0);
+        let g2 = rasterize(&l2, 32, 32, 1.0);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.sum() as i64, 400);
+    }
+
+    #[test]
+    fn coarse_pixels_scale_area() {
+        let mut l = Layout::new();
+        l.push(Rect::new(0, 0, 16, 8).into());
+        let g = rasterize(&l, 8, 8, 4.0);
+        // 16x8 nm at 4 nm/px = 4x2 px.
+        assert_eq!(g.sum() as i64, 8);
+        assert_eq!(g[(0, 0)], 1.0);
+        assert_eq!(g[(4, 0)], 0.0);
+    }
+
+    #[test]
+    fn shapes_clip_to_grid() {
+        let mut l = Layout::new();
+        l.push(Rect::new(-10, -10, 5, 5).into());
+        let g = rasterize(&l, 8, 8, 1.0);
+        assert_eq!(g.sum() as i64, 25);
+    }
+
+    #[test]
+    fn empty_layout_rasterizes_to_zero() {
+        let g = rasterize(&Layout::new(), 4, 4, 1.0);
+        assert_eq!(g.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pixel_size_panics() {
+        let _ = rasterize(&Layout::new(), 4, 4, 0.0);
+    }
+}

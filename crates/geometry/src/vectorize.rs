@@ -1,0 +1,301 @@
+//! Binary-mask → rectilinear-polygon extraction (mask vectorization).
+//!
+//! An OPC flow ends by writing the optimized mask back out as geometry.
+//! [`mask_to_polygons`] traces the pixel-boundary loops of a binary grid
+//! into exact rectilinear [`Polygon`]s (vertices on pixel corners), so a
+//! mask optimized at 1 nm/px round-trips losslessly to `.glp` via
+//! [`crate::write_glp`].
+//!
+//! Hole boundaries are returned as separate loops with opposite
+//! orientation (negative [`Polygon::signed_area`] relative to their
+//! parent); consumers that cannot represent holes may filter on the sign.
+
+use crate::{Layout, Point, Polygon, Shape};
+use lsopc_grid::Grid;
+use std::collections::HashMap;
+
+/// Direction of travel along a boundary edge (y grows downward).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum Dir {
+    Right,
+    Down,
+    Left,
+    Up,
+}
+
+impl Dir {
+    fn delta(self) -> (i64, i64) {
+        match self {
+            Dir::Right => (1, 0),
+            Dir::Down => (0, 1),
+            Dir::Left => (-1, 0),
+            Dir::Up => (0, -1),
+        }
+    }
+
+    /// Turn preference when multiple boundary edges leave one corner
+    /// (saddle configuration): with the interior on the travel
+    /// direction's right (y-down frame), taking the sharpest turn toward
+    /// the interior first keeps the two touching loops separate.
+    fn preference(self) -> [Dir; 4] {
+        match self {
+            Dir::Right => [Dir::Down, Dir::Right, Dir::Up, Dir::Left],
+            Dir::Down => [Dir::Left, Dir::Down, Dir::Right, Dir::Up],
+            Dir::Left => [Dir::Up, Dir::Left, Dir::Down, Dir::Right],
+            Dir::Up => [Dir::Right, Dir::Up, Dir::Left, Dir::Down],
+        }
+    }
+}
+
+/// Traces the boundary loops of `mask >= 0.5` into rectilinear polygons
+/// with vertices in units of `pixel_nm` (pixel corners).
+///
+/// Outer boundaries and hole boundaries are both returned; each loop's
+/// orientation is consistent, so holes can be told apart by comparing
+/// containment (or simply by rasterizing the result — see
+/// [`polygons_to_layout`]). Collinear vertices are collapsed.
+///
+/// # Panics
+///
+/// Panics if `pixel_nm` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_geometry::{mask_to_polygons, rasterize, Layout, Rect};
+/// use lsopc_grid::Grid;
+///
+/// let mut layout = Layout::new();
+/// layout.push(Rect::new(2, 3, 10, 9).into());
+/// let grid = rasterize(&layout, 16, 16, 1.0);
+/// let polys = mask_to_polygons(&grid, 1.0);
+/// assert_eq!(polys.len(), 1);
+/// assert_eq!(polys[0].area(), 8 * 6);
+/// ```
+pub fn mask_to_polygons(mask: &Grid<f64>, pixel_nm: f64) -> Vec<Polygon> {
+    assert!(pixel_nm > 0.0, "pixel size must be positive");
+    let (w, h) = mask.dims();
+    let inside = |x: i64, y: i64| -> bool {
+        x >= 0 && y >= 0 && x < w as i64 && y < h as i64 && mask[(x as usize, y as usize)] >= 0.5
+    };
+
+    // Collect directed boundary edges with the interior on the left
+    // (y-down frame): top edges point +x, right edges +y, bottom −x,
+    // left −y.
+    let mut outgoing: HashMap<(i64, i64), Vec<Dir>> = HashMap::new();
+    let mut push = |x: i64, y: i64, d: Dir| outgoing.entry((x, y)).or_default().push(d);
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            if !inside(x, y) {
+                continue;
+            }
+            if !inside(x, y - 1) {
+                push(x, y, Dir::Right); // top side
+            }
+            if !inside(x + 1, y) {
+                push(x + 1, y, Dir::Down); // right side
+            }
+            if !inside(x, y + 1) {
+                push(x + 1, y + 1, Dir::Left); // bottom side
+            }
+            if !inside(x - 1, y) {
+                push(x, y + 1, Dir::Up); // left side
+            }
+        }
+    }
+
+    // Stitch directed edges into loops.
+    let mut polygons = Vec::new();
+    let mut starts: Vec<(i64, i64)> = outgoing.keys().copied().collect();
+    starts.sort_unstable();
+    for start in starts {
+        loop {
+            let Some(first_dir) = outgoing.get_mut(&start).and_then(Vec::pop) else {
+                break;
+            };
+            let mut vertices: Vec<Point> = vec![Point::new(start.0, start.1)];
+            let mut pos = start;
+            let mut dir = first_dir;
+            loop {
+                let (dx, dy) = dir.delta();
+                pos = (pos.0 + dx, pos.1 + dy);
+                if pos == start {
+                    break;
+                }
+                // Choose the continuation, sharpest-left first.
+                let options = outgoing.get_mut(&pos).expect("boundary loops are closed");
+                let next_dir = *dir
+                    .preference()
+                    .iter()
+                    .find(|d| options.contains(d))
+                    .expect("boundary loops are closed");
+                options.retain(|&d| d != next_dir);
+                if next_dir != dir {
+                    vertices.push(Point::new(pos.0, pos.1));
+                }
+                dir = next_dir;
+            }
+            // Collapse a possible collinear seam at the start vertex.
+            if vertices.len() >= 3 {
+                let a = vertices[vertices.len() - 1];
+                let b = vertices[0];
+                let c = vertices[1];
+                if (a.x == b.x && b.x == c.x) || (a.y == b.y && b.y == c.y) {
+                    vertices.remove(0);
+                }
+            }
+            // Scale pixel corners to nanometres.
+            if pixel_nm != 1.0 {
+                for v in &mut vertices {
+                    v.x = (v.x as f64 * pixel_nm).round() as i64;
+                    v.y = (v.y as f64 * pixel_nm).round() as i64;
+                }
+            }
+            polygons.push(Polygon::new(vertices).expect("traced loops are rectilinear"));
+        }
+    }
+    polygons
+}
+
+/// Wraps extracted polygons into a [`Layout`], dropping hole loops (loops
+/// fully contained in another loop). Suitable for `.glp` export of masks
+/// without ring structures.
+pub fn polygons_to_layout(polygons: &[Polygon]) -> Layout {
+    let mut layout = Layout::new();
+    'outer: for (i, poly) in polygons.iter().enumerate() {
+        // A hole's bbox is contained in another polygon's bbox and one of
+        // its vertices lies strictly inside that polygon.
+        for (j, other) in polygons.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let v = poly.vertices()[0];
+            // Probe just inside the first corner.
+            if other.contains(v.x as f64 + 0.5, v.y as f64 + 0.5)
+                && other.bbox().inflated(1).intersects(&poly.bbox())
+            {
+                continue 'outer;
+            }
+        }
+        layout.push(Shape::Polygon(poly.clone()));
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rasterize, Rect};
+
+    fn raster_of(shapes: &[Shape], n: usize) -> Grid<f64> {
+        let mut layout = Layout::new();
+        for s in shapes {
+            layout.push(s.clone());
+        }
+        rasterize(&layout, n, n, 1.0)
+    }
+
+    #[test]
+    fn single_rect_roundtrip() {
+        let grid = raster_of(&[Rect::new(3, 4, 11, 9).into()], 16);
+        let polys = mask_to_polygons(&grid, 1.0);
+        assert_eq!(polys.len(), 1);
+        assert_eq!(polys[0].vertices().len(), 4);
+        assert_eq!(polys[0].bbox(), Rect::new(3, 4, 11, 9));
+        assert_eq!(polys[0].area(), 40);
+    }
+
+    #[test]
+    fn l_shape_roundtrip_through_raster() {
+        let poly = Polygon::new(vec![
+            Point::new(2, 2),
+            Point::new(12, 2),
+            Point::new(12, 6),
+            Point::new(6, 6),
+            Point::new(6, 12),
+            Point::new(2, 12),
+        ])
+        .expect("valid");
+        let grid = raster_of(&[poly.clone().into()], 16);
+        let extracted = mask_to_polygons(&grid, 1.0);
+        assert_eq!(extracted.len(), 1);
+        assert_eq!(extracted[0].area(), poly.area());
+        assert_eq!(extracted[0].vertices().len(), 6);
+    }
+
+    #[test]
+    fn two_components_give_two_polygons() {
+        let grid = raster_of(
+            &[Rect::new(1, 1, 5, 5).into(), Rect::new(8, 8, 14, 12).into()],
+            16,
+        );
+        let polys = mask_to_polygons(&grid, 1.0);
+        assert_eq!(polys.len(), 2);
+        let total: i64 = polys.iter().map(Polygon::area).sum();
+        assert_eq!(total, 16 + 24);
+    }
+
+    #[test]
+    fn donut_produces_outer_and_hole_loops() {
+        // A ring: 10x10 outer, 4x4 hole.
+        let grid = Grid::from_fn(16, 16, |x, y| {
+            let outer = (2..12).contains(&x) && (2..12).contains(&y);
+            let hole = (5..9).contains(&x) && (5..9).contains(&y);
+            if outer && !hole {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let polys = mask_to_polygons(&grid, 1.0);
+        assert_eq!(polys.len(), 2);
+        let mut areas: Vec<i64> = polys.iter().map(Polygon::area).collect();
+        areas.sort_unstable();
+        assert_eq!(areas, vec![16, 100]);
+        // The layout wrapper drops the hole.
+        let layout = polygons_to_layout(&polys);
+        assert_eq!(layout.len(), 1);
+        assert_eq!(layout.total_area(), 100);
+    }
+
+    #[test]
+    fn diagonal_touch_splits_into_two_loops() {
+        // Two pixels sharing only a corner (saddle case).
+        let mut grid = Grid::new(6, 6, 0.0);
+        grid[(2, 2)] = 1.0;
+        grid[(3, 3)] = 1.0;
+        let polys = mask_to_polygons(&grid, 1.0);
+        assert_eq!(polys.len(), 2, "saddle must split into two loops");
+        assert!(polys.iter().all(|p| p.area() == 1));
+    }
+
+    #[test]
+    fn rasterize_of_extraction_reproduces_mask() {
+        // Full roundtrip: mask -> polygons -> raster == mask.
+        let original = raster_of(
+            &[
+                Rect::new(1, 2, 7, 5).into(),
+                Rect::new(9, 6, 14, 14).into(),
+                Rect::new(1, 8, 6, 13).into(),
+            ],
+            16,
+        );
+        let polys = mask_to_polygons(&original, 1.0);
+        let layout = polygons_to_layout(&polys);
+        let round = rasterize(&layout, 16, 16, 1.0);
+        assert_eq!(round, original);
+    }
+
+    #[test]
+    fn pixel_scaling_multiplies_coordinates() {
+        let grid = raster_of(&[Rect::new(2, 2, 6, 6).into()], 8);
+        let polys = mask_to_polygons(&grid, 4.0);
+        assert_eq!(polys[0].bbox(), Rect::new(8, 8, 24, 24));
+    }
+
+    #[test]
+    fn empty_mask_yields_nothing() {
+        let grid = Grid::new(8, 8, 0.0);
+        assert!(mask_to_polygons(&grid, 1.0).is_empty());
+    }
+}

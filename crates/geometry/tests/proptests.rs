@@ -1,0 +1,102 @@
+//! Property-based invariants of the geometry kit.
+
+use lsopc_geometry::{
+    label_components, mask_to_polygons, parse_glp, polygons_to_layout, probe_sites, rasterize,
+    write_glp, Layout, Polygon, Rect,
+};
+use lsopc_grid::Grid;
+use proptest::prelude::*;
+
+/// Disjoint rectangles on an 8-px-pitch grid inside a 64x64 field.
+fn disjoint_rects() -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec((0usize..8, 0usize..8, 1i64..7, 1i64..7), 1..8).prop_map(|cells| {
+        let mut seen = std::collections::HashSet::new();
+        let mut rects = Vec::new();
+        for (cx, cy, w, h) in cells {
+            if seen.insert((cx, cy)) {
+                let x0 = cx as i64 * 8;
+                let y0 = cy as i64 * 8;
+                rects.push(Rect::new(x0, y0, x0 + w.min(7), y0 + h.min(7)));
+            }
+        }
+        rects
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rasterization at 1 nm/px reproduces exact areas for disjoint rects.
+    #[test]
+    fn raster_area_exact(rects in disjoint_rects()) {
+        let layout: Layout = rects.iter().map(|&r| r.into()).collect();
+        let grid = rasterize(&layout, 64, 64, 1.0);
+        prop_assert_eq!(grid.sum() as i64, layout.total_area());
+    }
+
+    /// Vectorize(rasterize(x)) re-rasterizes to the same grid — the mask
+    /// export path is lossless.
+    #[test]
+    fn vectorize_roundtrip(rects in disjoint_rects()) {
+        let layout: Layout = rects.iter().map(|&r| r.into()).collect();
+        let grid = rasterize(&layout, 64, 64, 1.0);
+        let polys = mask_to_polygons(&grid, 1.0);
+        let back = rasterize(&polygons_to_layout(&polys), 64, 64, 1.0);
+        prop_assert_eq!(back, grid);
+    }
+
+    /// Extracted polygon count equals the connected-component count (no
+    /// holes exist for disjoint solid rects, though touching rects merge).
+    #[test]
+    fn vectorize_counts_components(rects in disjoint_rects()) {
+        let layout: Layout = rects.iter().map(|&r| r.into()).collect();
+        let grid = rasterize(&layout, 64, 64, 1.0);
+        let (_, comps) = label_components(&grid, 0.5);
+        let polys = mask_to_polygons(&grid, 1.0);
+        prop_assert_eq!(polys.len(), comps.len());
+    }
+
+    /// `.glp` round-trips arbitrary layouts of rects exactly.
+    #[test]
+    fn glp_roundtrip(rects in disjoint_rects()) {
+        let mut layout: Layout = rects.iter().map(|&r| r.into()).collect();
+        layout.name = Some("prop".to_string());
+        let reparsed = parse_glp(&write_glp(&layout)).expect("written glp parses");
+        prop_assert_eq!(layout, reparsed);
+    }
+
+    /// Every probe site sits exactly on a shape edge, with a unit normal.
+    #[test]
+    fn probes_sit_on_edges(rects in disjoint_rects(), spacing in 2.0f64..20.0) {
+        let layout: Layout = rects.iter().map(|&r| r.into()).collect();
+        for p in probe_sites(&layout, spacing) {
+            let n2 = p.outward.x * p.outward.x + p.outward.y * p.outward.y;
+            prop_assert!((n2 - 1.0).abs() < 1e-12);
+            // On some rect boundary: x or y coordinate matches an edge
+            // and the other lies within the rect span.
+            let on_edge = rects.iter().any(|r| {
+                let (x, y) = (p.pos.x, p.pos.y);
+                let on_v = (x == r.x0 as f64 || x == r.x1 as f64)
+                    && y >= r.y0 as f64 && y <= r.y1 as f64;
+                let on_h = (y == r.y0 as f64 || y == r.y1 as f64)
+                    && x >= r.x0 as f64 && x <= r.x1 as f64;
+                on_v || on_h
+            });
+            prop_assert!(on_edge, "probe at {:?} off every edge", p.pos);
+        }
+    }
+
+    /// Shoelace area of a rect-as-polygon equals the rect area regardless
+    /// of traversal direction.
+    #[test]
+    fn polygon_area_sign_invariant(x0 in -50i64..50, y0 in -50i64..50, w in 1i64..40, h in 1i64..40) {
+        let r = Rect::from_origin_size(x0, y0, w, h);
+        let poly: Polygon = r.into();
+        let mut reversed: Vec<_> = poly.vertices().to_vec();
+        reversed.reverse();
+        let rpoly = Polygon::new(reversed).expect("still rectilinear");
+        prop_assert_eq!(poly.area(), r.area());
+        prop_assert_eq!(rpoly.area(), r.area());
+        prop_assert_eq!(poly.signed_area(), -rpoly.signed_area());
+    }
+}

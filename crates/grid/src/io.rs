@@ -1,0 +1,144 @@
+//! Export of grids to portable graymap (PGM) images and CSV, used by the
+//! examples and the figure-regeneration harness.
+
+use crate::Grid;
+use std::error::Error;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Error returned by grid export functions.
+#[derive(Debug)]
+pub struct GridIoError {
+    path: String,
+    source: std::io::Error,
+}
+
+impl fmt::Display for GridIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to write grid to {}: {}", self.path, self.source)
+    }
+}
+
+impl Error for GridIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> GridIoError {
+    GridIoError {
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+/// Writes a real grid as a binary 8-bit PGM image, linearly normalizing
+/// values to `[0, 255]` (a constant grid is written as mid-gray).
+///
+/// # Errors
+///
+/// Returns [`GridIoError`] if the file cannot be created or written.
+///
+/// # Example
+///
+/// ```no_run
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use lsopc_grid::{Grid, write_pgm};
+/// let g = Grid::from_fn(64, 64, |x, y| (x * y) as f64);
+/// write_pgm(&g, "out.pgm")?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_pgm(g: &Grid<f64>, path: impl AsRef<Path>) -> Result<(), GridIoError> {
+    let path = path.as_ref();
+    let (lo, hi) = g.as_slice().iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
+    let span = hi - lo;
+    let mut buf = Vec::with_capacity(32 + g.len());
+    write!(&mut buf, "P5\n{} {}\n255\n", g.width(), g.height()).expect("in-memory write");
+    for &v in g.as_slice() {
+        let byte = if span > 0.0 {
+            (((v - lo) / span) * 255.0).round() as u8
+        } else {
+            128
+        };
+        buf.push(byte);
+    }
+    std::fs::write(path, buf).map_err(|e| io_err(path, e))
+}
+
+/// Writes a real grid as CSV, one row per line.
+///
+/// # Errors
+///
+/// Returns [`GridIoError`] if the file cannot be created or written.
+pub fn write_csv(g: &Grid<f64>, path: impl AsRef<Path>) -> Result<(), GridIoError> {
+    let path = path.as_ref();
+    let mut out = String::with_capacity(g.len() * 8);
+    for y in 0..g.height() {
+        let row = g.row(y);
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| io_err(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lsopc_grid_io_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let g = Grid::from_fn(8, 4, |x, _| x as f64);
+        let path = tmp("a.pgm");
+        write_pgm(&g, &path).expect("write");
+        let bytes = std::fs::read(&path).expect("read");
+        assert!(bytes.starts_with(b"P5\n8 4\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n8 4\n255\n".len() + 32);
+        // min maps to 0, max to 255
+        assert_eq!(bytes[b"P5\n8 4\n255\n".len()], 0);
+        assert_eq!(bytes[b"P5\n8 4\n255\n".len() + 7], 255);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pgm_constant_grid_is_midgray() {
+        let g = Grid::new(2, 2, 3.0);
+        let path = tmp("b.pgm");
+        write_pgm(&g, &path).expect("write");
+        let bytes = std::fs::read(&path).expect("read");
+        assert_eq!(*bytes.last().expect("nonempty"), 128);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip_values() {
+        let g = Grid::from_vec(2, 2, vec![1.0, 2.5, -3.0, 0.0]);
+        let path = tmp("c.csv");
+        write_csv(&g, &path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text, "1,2.5\n-3,0\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn error_includes_path() {
+        let g = Grid::new(1, 1, 0.0);
+        let err = write_pgm(&g, "/nonexistent_dir_lsopc/x.pgm").expect_err("should fail");
+        assert!(err.to_string().contains("nonexistent_dir_lsopc"));
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,108 @@
+//! Mean curvature of level-set contours.
+
+use lsopc_grid::Grid;
+
+/// Mean curvature `κ = div(∇ψ/|∇ψ|)` of the level sets of `ψ`, computed
+/// with central differences and clamped to `±1/px`.
+///
+/// Adding `w·κ·|∇ψ|` to the evolution velocity smooths the contour
+/// (motion by curvature), suppressing the edge glitches the paper
+/// attributes to pixel-based ILT. This is an optional regularizer beyond
+/// the paper's formulation; see the ablation benches.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_grid::Grid;
+/// use lsopc_levelset::curvature;
+///
+/// // The signed distance of a disc of radius 8: the contour through a
+/// // point at distance d from the centre has curvature 1/d.
+/// let psi = Grid::from_fn(32, 32, |x, y| {
+///     let (dx, dy) = (x as f64 - 16.0, y as f64 - 16.0);
+///     (dx * dx + dy * dy).sqrt() - 8.0
+/// });
+/// assert!((curvature(&psi)[(24, 16)] - 1.0 / 8.0).abs() < 0.01);
+/// ```
+pub fn curvature(psi: &Grid<f64>) -> Grid<f64> {
+    let (w, h) = psi.dims();
+    let at = |x: i64, y: i64| {
+        let xc = x.clamp(0, w as i64 - 1) as usize;
+        let yc = y.clamp(0, h as i64 - 1) as usize;
+        psi[(xc, yc)]
+    };
+    Grid::from_fn(w, h, |xu, yu| {
+        let (x, y) = (xu as i64, yu as i64);
+        let px = (at(x + 1, y) - at(x - 1, y)) / 2.0;
+        let py = (at(x, y + 1) - at(x, y - 1)) / 2.0;
+        let pxx = at(x + 1, y) - 2.0 * at(x, y) + at(x - 1, y);
+        let pyy = at(x, y + 1) - 2.0 * at(x, y) + at(x, y - 1);
+        let pxy = (at(x + 1, y + 1) - at(x + 1, y - 1) - at(x - 1, y + 1) + at(x - 1, y - 1)) / 4.0;
+        let g2 = px * px + py * py;
+        if g2 < 1e-12 {
+            return 0.0;
+        }
+        let kappa = (pxx * py * py - 2.0 * px * py * pxy + pyy * px * px) / g2.powf(1.5);
+        kappa.clamp(-1.0, 1.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signed_distance;
+
+    #[test]
+    fn straight_edge_has_zero_curvature() {
+        let mask = Grid::from_fn(32, 32, |x, _| if x >= 16 { 1.0 } else { 0.0 });
+        let kappa = curvature(&signed_distance(&mask));
+        assert!(kappa[(16, 16)].abs() < 1e-9);
+        assert!(kappa[(10, 8)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn disc_curvature_scales_inversely_with_radius() {
+        // Analytic SDF of a disc: ψ = |r⃗| − R. The level set through a
+        // point at distance d from the centre has curvature 1/d.
+        let disc_sdf = |r: f64| {
+            Grid::from_fn(64, 64, |x, y| {
+                let (dx, dy) = (x as f64 - 32.0, y as f64 - 32.0);
+                (dx * dx + dy * dy).sqrt() - r
+            })
+        };
+        let k_small = curvature(&disc_sdf(6.0))[(38, 32)]; // distance 6
+        let k_big = curvature(&disc_sdf(12.0))[(44, 32)]; // distance 12
+        assert!(k_small > k_big, "smaller disc must curve more");
+        assert!((k_small - 1.0 / 6.0).abs() < 0.02, "k_small={k_small}");
+        assert!((k_big - 1.0 / 12.0).abs() < 0.01, "k_big={k_big}");
+    }
+
+    #[test]
+    fn curvature_sign_flips_for_hole() {
+        // A hole (mask inverted disc): the contour curves the other way.
+        let mask = Grid::from_fn(64, 64, |x, y| {
+            let (dx, dy) = (x as f64 - 32.0, y as f64 - 32.0);
+            if (dx * dx + dy * dy).sqrt() <= 10.0 {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        let kappa = curvature(&signed_distance(&mask));
+        assert!(kappa[(42, 32)] < -0.05);
+    }
+
+    #[test]
+    fn flat_field_is_zero() {
+        let psi = Grid::new(8, 8, 3.0);
+        let kappa = curvature(&psi);
+        assert!(kappa.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn values_are_clamped() {
+        let psi = Grid::from_fn(8, 8, |x, y| ((x * 31 + y * 17) % 7) as f64 - 3.0);
+        let kappa = curvature(&psi);
+        assert!(kappa.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,388 @@
+//! The accelerated backend — this repository's substitute for the paper's
+//! GPU implementation.
+//!
+//! The paper's GPU speedup (Section III-E) comes from three ingredients:
+//! FFT-based convolution, precomputation across the kernel sum, and massive
+//! parallelism. The first two are algorithmic and are reproduced exactly
+//! here; the third is emulated with threads (see `DESIGN.md` for the full
+//! substitution note).
+//!
+//! The algorithmic core exploits the band limit of the optical system.
+//! Every kernel spectrum lives on an `S x S` window, so each coherent field
+//! `e_k = h_k ⊗ M` is a band-limited function that is *exactly* represented
+//! by its samples on a coarse `n_c x n_c` grid with `n_c ≥ 2S` — and the
+//! aerial image `Σ μ_k |e_k|²`, band-limited to `2S − 1`, is too. The
+//! backend therefore:
+//!
+//! * computes all per-kernel fields and the aerial image on the tiny
+//!   coarse grid (K small IFFTs instead of K full-size ones), then
+//!   upsamples the result spectrally with **one** full-size inverse FFT —
+//!   this is exact, not an approximation;
+//! * assembles the gradient's band-limited spectrum from small windowed
+//!   convolutions, again finishing with a single full-size inverse FFT.
+//!
+//! Per pass this needs 2–3 full-size FFTs instead of `2K`, a ~20x
+//! reduction at K = 24 that mirrors the paper's measured 71 % runtime
+//! reduction in structure (Table II). Results match [`FftBackend`] to
+//! rounding, which the test-suite pins.
+//!
+//! [`FftBackend`]: crate::FftBackend
+
+use crate::backend::SimBackend;
+use lsopc_fft::{wrap_index, Fft2d};
+use lsopc_grid::{C64, Grid};
+use lsopc_optics::KernelSet;
+
+/// Band-limit-aware batched simulation backend (the "GPU" path).
+///
+/// `threads` > 1 fans the per-kernel work out over that many OS threads
+/// with `crossbeam::thread::scope`; on a single-core host the algorithmic
+/// savings dominate.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_litho::{AcceleratedBackend, FftBackend, SimBackend};
+/// use lsopc_grid::Grid;
+/// use lsopc_optics::OpticsConfig;
+///
+/// let kernels = OpticsConfig::iccad2013()
+///     .with_field_nm(256.0)
+///     .with_kernel_count(6)
+///     .kernels(0.0);
+/// let mask = Grid::from_fn(64, 64, |x, y| if x > 20 && y > 30 { 1.0 } else { 0.0 });
+/// let fast = AcceleratedBackend::new(1).aerial_image(&kernels, &mask);
+/// let slow = FftBackend::new().aerial_image(&kernels, &mask);
+/// let diff = fast
+///     .as_slice()
+///     .iter()
+///     .zip(slow.as_slice())
+///     .map(|(a, b)| (a - b).abs())
+///     .fold(0.0, f64::max);
+/// assert!(diff < 1e-10);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AcceleratedBackend {
+    threads: usize,
+}
+
+impl AcceleratedBackend {
+    /// Creates the backend with the given thread fan-out (1 = serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        Self { threads }
+    }
+
+    /// Thread fan-out.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Coarse grid size for a kernel support `S`: the smallest power of
+    /// two holding the doubled band.
+    fn coarse_size(support: usize) -> usize {
+        (2 * support).next_power_of_two().max(16)
+    }
+}
+
+impl Default for AcceleratedBackend {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+/// Extracts the centred `size x size` window of a full DFT-layout spectrum
+/// (offset 0 at the window centre).
+fn centered_window(full: &Grid<C64>, size: usize) -> Grid<C64> {
+    let (w, h) = full.dims();
+    let c = (size / 2) as i64;
+    Grid::from_fn(size, size, |i, j| {
+        full[(
+            wrap_index(i as i64 - c, w),
+            wrap_index(j as i64 - c, h),
+        )]
+    })
+}
+
+/// Embeds a centred window into an `w x h` DFT-layout spectrum.
+fn embed_window(window: &Grid<C64>, w: usize, h: usize) -> Grid<C64> {
+    let size = window.width();
+    let c = (size / 2) as i64;
+    let mut full = Grid::new(w, h, C64::ZERO);
+    for (i, j, &v) in window.iter_coords() {
+        full[(
+            wrap_index(i as i64 - c, w),
+            wrap_index(j as i64 - c, h),
+        )] = v;
+    }
+    full
+}
+
+/// Splits `0..count` into `threads` contiguous chunks and folds the
+/// per-chunk partial results produced by `work` with `merge`.
+fn parallel_fold<T: Send>(
+    threads: usize,
+    count: usize,
+    work: impl Fn(std::ops::Range<usize>) -> T + Sync,
+    mut merge: impl FnMut(T, T) -> T,
+) -> Option<T> {
+    let threads = threads.min(count.max(1));
+    if threads <= 1 {
+        return Some(work(0..count));
+    }
+    let chunk = count.div_ceil(threads);
+    let partials: Vec<T> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(count);
+                let work = &work;
+                scope.spawn(move |_| work(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("backend worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+    partials.into_iter().reduce(&mut merge)
+}
+
+impl SimBackend for AcceleratedBackend {
+    fn name(&self) -> &'static str {
+        "accelerated"
+    }
+
+    fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
+        let (w, h) = mask.dims();
+        let s = kernels.support();
+        let nc = Self::coarse_size(s);
+        assert!(
+            w >= s && h >= s,
+            "grid {w}x{h} too small for kernel support {s}"
+        );
+        let fft_full = Fft2d::new(w, h);
+        let fft_coarse = Fft2d::<f64>::new(nc, nc);
+
+        // One full-size forward FFT, then only the band matters.
+        let mhat = fft_full.forward_real(mask);
+        let m_window = centered_window(&mhat, s);
+
+        // Per-kernel coarse fields; e at full-grid sample points equals the
+        // coarse IFFT scaled by nc²/(w·h).
+        let scale = (nc * nc) as f64 / (w * h) as f64;
+        let c = (s / 2) as i64;
+        let accumulate = |range: std::ops::Range<usize>| -> Grid<f64> {
+            let mut partial = Grid::new(nc, nc, 0.0);
+            for k in range {
+                let window = kernels.spectrum(k);
+                let mut ehat = Grid::new(nc, nc, C64::ZERO);
+                for (i, j, &sv) in window.iter_coords() {
+                    if sv == C64::ZERO {
+                        continue;
+                    }
+                    let fx = wrap_index(i as i64 - c, nc);
+                    let fy = wrap_index(j as i64 - c, nc);
+                    ehat[(fx, fy)] = sv * m_window[(i, j)];
+                }
+                fft_coarse.inverse(&mut ehat);
+                let wk = kernels.weight(k) * scale * scale;
+                for (dst, e) in partial.as_mut_slice().iter_mut().zip(ehat.as_slice()) {
+                    *dst += wk * e.norm_sqr();
+                }
+            }
+            partial
+        };
+        let coarse_intensity = parallel_fold(self.threads, kernels.len(), accumulate, |mut a, b| {
+            for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                *x += *y;
+            }
+            a
+        })
+        .expect("at least one kernel");
+
+        // Exact spectral upsampling: I is band-limited to 2S−1 < nc.
+        let mut ihat_c = coarse_intensity.map(|&v| C64::from_real(v));
+        fft_coarse.forward(&mut ihat_c);
+        let window = centered_window(&ihat_c, nc.min(2 * s - 1));
+        let mut full = embed_window(&window, w, h);
+        let up = (w * h) as f64 / (nc * nc) as f64;
+        for v in full.as_mut_slice() {
+            *v = v.scale(up);
+        }
+        fft_full.inverse(&mut full);
+        full.map(|v| v.re)
+    }
+
+    fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
+        assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
+        let (w, h) = mask.dims();
+        let s = kernels.support();
+        assert!(
+            w >= 2 * s - 1 && h >= 2 * s - 1,
+            "grid {w}x{h} too small for doubled band {}",
+            2 * s - 1
+        );
+        let fft_full = Fft2d::new(w, h);
+
+        // Two full-size forward FFTs: the mask and the sensitivity field.
+        let mhat = fft_full.forward_real(mask);
+        let m_window = centered_window(&mhat, s);
+        let zhat = fft_full.forward_real(z);
+        // Ẑ on the doubled band (κ − ν reaches offsets up to 2(S/2)·2).
+        let big = 2 * s - 1;
+        let z_big = centered_window(&zhat, big);
+        let cb = (big / 2) as i64;
+        let c = (s / 2) as i64;
+        let inv_wh = 1.0 / (w * h) as f64;
+
+        // Per kernel: X̂(κ) = (1/WH)·Σ_ν ê_k(ν)·Ẑ(κ−ν) on the S-window,
+        // then acc(κ) += μ_k·conj(Ŝ_k(κ))·X̂(κ).
+        let accumulate = |range: std::ops::Range<usize>| -> Grid<C64> {
+            let mut acc = Grid::new(s, s, C64::ZERO);
+            for k in range {
+                let window = kernels.spectrum(k);
+                // Sparse list of the kernel's non-zero band samples.
+                let mut ehat: Vec<(i64, i64, C64)> = Vec::new();
+                for (i, j, &sv) in window.iter_coords() {
+                    if sv == C64::ZERO {
+                        continue;
+                    }
+                    ehat.push((i as i64 - c, j as i64 - c, sv * m_window[(i, j)]));
+                }
+                let wk = kernels.weight(k);
+                for (i, j, &sk) in window.iter_coords() {
+                    if sk == C64::ZERO {
+                        continue;
+                    }
+                    let kx = i as i64 - c;
+                    let ky = j as i64 - c;
+                    let mut x = C64::ZERO;
+                    for &(nx, ny, ev) in &ehat {
+                        let zx = (kx - nx + cb) as usize;
+                        let zy = (ky - ny + cb) as usize;
+                        x += ev * z_big[(zx, zy)];
+                    }
+                    acc[(i, j)] += sk.conj() * x.scale(wk * inv_wh);
+                }
+            }
+            acc
+        };
+        let acc_window = parallel_fold(self.threads, kernels.len(), accumulate, |mut a, b| {
+            for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                *x += *y;
+            }
+            a
+        })
+        .expect("at least one kernel");
+
+        // One full-size inverse FFT finishes the pass.
+        let mut full = embed_window(&acc_window, w, h);
+        fft_full.inverse(&mut full);
+        full.map(|v| 2.0 * v.re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FftBackend;
+    use lsopc_optics::OpticsConfig;
+
+    fn kernels(field: f64, count: usize) -> KernelSet {
+        OpticsConfig::iccad2013()
+            .with_field_nm(field)
+            .with_kernel_count(count)
+            .kernels(0.0)
+    }
+
+    fn test_mask(n: usize) -> Grid<f64> {
+        Grid::from_fn(n, n, |x, y| {
+            let a = (n / 8..n / 2).contains(&x) && (n / 4..n / 2).contains(&y);
+            let b = (5 * n / 8..7 * n / 8).contains(&x) && (n / 8..7 * n / 8).contains(&y);
+            if a || b {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn max_diff(a: &Grid<f64>, b: &Grid<f64>) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn aerial_matches_fft_backend_exactly() {
+        let ks = kernels(512.0, 8);
+        let mask = test_mask(128);
+        let fast = AcceleratedBackend::new(1).aerial_image(&ks, &mask);
+        let slow = FftBackend::new().aerial_image(&ks, &mask);
+        let d = max_diff(&fast, &slow);
+        assert!(d < 1e-11, "aerial image diff {d}");
+    }
+
+    #[test]
+    fn gradient_matches_fft_backend_exactly() {
+        let ks = kernels(512.0, 8);
+        let mask = test_mask(128);
+        let z = Grid::from_fn(128, 128, |x, y| {
+            0.02 * ((x as f64 * 0.21).sin() + (y as f64 * 0.13).cos())
+        });
+        let fast = AcceleratedBackend::new(1).gradient(&ks, &mask, &z);
+        let slow = FftBackend::new().gradient(&ks, &mask, &z);
+        let d = max_diff(&fast, &slow);
+        assert!(d < 1e-11, "gradient diff {d}");
+    }
+
+    #[test]
+    fn threaded_results_are_identical_to_serial() {
+        let ks = kernels(512.0, 9);
+        let mask = test_mask(64);
+        let serial = AcceleratedBackend::new(1);
+        let threaded = AcceleratedBackend::new(3);
+        let d1 = max_diff(
+            &serial.aerial_image(&ks, &mask),
+            &threaded.aerial_image(&ks, &mask),
+        );
+        let z = Grid::from_fn(64, 64, |x, _| 0.01 * x as f64);
+        let d2 = max_diff(
+            &serial.gradient(&ks, &mask, &z),
+            &threaded.gradient(&ks, &mask, &z),
+        );
+        assert!(d1 < 1e-12 && d2 < 1e-12, "d1={d1}, d2={d2}");
+    }
+
+    #[test]
+    fn clear_field_is_unity() {
+        let ks = kernels(512.0, 8);
+        let mask = Grid::new(128, 128, 1.0);
+        let i = AcceleratedBackend::new(1).aerial_image(&ks, &mask);
+        for (_, _, &v) in i.iter_coords() {
+            assert!((v - 1.0).abs() < 1e-9, "intensity {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_undersized_grid() {
+        let ks = kernels(2048.0, 4); // support 59 > 32
+        let mask = Grid::new(32, 32, 0.0);
+        let _ = AcceleratedBackend::new(1).aerial_image(&ks, &mask);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_panics() {
+        let _ = AcceleratedBackend::new(0);
+    }
+}

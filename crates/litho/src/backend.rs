@@ -1,0 +1,327 @@
+//! Simulation backends: the pluggable convolution engines.
+
+use lsopc_fft::{wrap_index, Fft2d};
+use lsopc_grid::{C64, Complex, Grid};
+use lsopc_optics::KernelSet;
+
+/// A compute backend for the Hopkins imaging sum and its adjoint.
+///
+/// Implementations must produce identical results up to floating-point
+/// rounding; they differ only in speed:
+///
+/// * [`ReferenceBackend`] — direct spatial convolution (tests only);
+/// * [`FftBackend`] — per-kernel FFT convolution (the paper's CPU path);
+/// * [`crate::AcceleratedBackend`] — band-limit-aware batched path (the
+///   paper's GPU path, reproduced on CPU).
+pub trait SimBackend: Send + Sync + std::fmt::Debug {
+    /// Human-readable backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The aerial image `I = Σ_k μ_k |h_k ⊗ M|²` (paper Eq. (1)).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the mask dimensions are not powers of two
+    /// or are too small for the kernel band.
+    fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64>;
+
+    /// The adjoint (gradient) map of the aerial image: given the
+    /// sensitivity field `z = ∂L/∂I`, returns
+    ///
+    /// ```text
+    /// ∂L/∂M = 2 Σ_k μ_k · Re{ h_k† ⊗ (z ⊙ (h_k ⊗ M)) }
+    /// ```
+    ///
+    /// which is the inner structure of paper Eq. (11) (`h†` is the
+    /// conjugate-flipped kernel; its spectrum is `conj(ĥ)`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `mask` and `z` dimensions differ or are
+    /// unsupported.
+    fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64>;
+}
+
+/// Direct spatial-domain convolution, O(N⁴) per kernel.
+///
+/// Only useful to pin the correctness of the fast backends on tiny grids;
+/// never use it in real optimization runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReferenceBackend;
+
+impl ReferenceBackend {
+    /// Creates the reference backend.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SimBackend for ReferenceBackend {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
+        let (w, h) = mask.dims();
+        let mut intensity = Grid::new(w, h, 0.0);
+        for k in 0..kernels.len() {
+            let hk = kernels.spatial_kernel(k, w, h);
+            let field = convolve_direct(&hk, mask);
+            let wk = kernels.weight(k);
+            for (dst, e) in intensity.as_mut_slice().iter_mut().zip(field.as_slice()) {
+                *dst += wk * e.norm_sqr();
+            }
+        }
+        intensity
+    }
+
+    fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
+        assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
+        let (w, h) = mask.dims();
+        let mut grad = Grid::new(w, h, 0.0);
+        for k in 0..kernels.len() {
+            let hk = kernels.spatial_kernel(k, w, h);
+            let e = convolve_direct(&hk, mask);
+            let wk = kernels.weight(k);
+            // G(u) += 2 μ_k Re{ Σ_x conj(h_k(x−u)) z(x) e_k(x) }.
+            for v in 0..h {
+                for u in 0..w {
+                    let mut acc = C64::ZERO;
+                    for y in 0..h {
+                        for x in 0..w {
+                            let hx = (x + w - u) % w;
+                            let hy = (y + h - v) % h;
+                            acc += hk[(hx, hy)].conj() * e[(x, y)].scale(z[(x, y)]);
+                        }
+                    }
+                    grad[(u, v)] += 2.0 * wk * acc.re;
+                }
+            }
+        }
+        grad
+    }
+}
+
+/// Cyclic convolution of a complex kernel with a real mask, direct sum.
+fn convolve_direct(kernel: &Grid<C64>, mask: &Grid<f64>) -> Grid<C64> {
+    let (w, h) = mask.dims();
+    Grid::from_fn(w, h, |x, y| {
+        let mut acc = C64::ZERO;
+        for v in 0..h {
+            for u in 0..w {
+                let m = mask[(u, v)];
+                if m != 0.0 {
+                    let kx = (x + w - u) % w;
+                    let ky = (y + h - v) % h;
+                    acc += kernel[(kx, ky)].scale(m);
+                }
+            }
+        }
+        acc
+    })
+}
+
+/// Per-kernel FFT convolution — the paper's CPU implementation.
+///
+/// Each pass performs one FFT of the mask plus, per kernel, one inverse
+/// FFT (aerial) or one inverse and one forward FFT (gradient); the
+/// band-limited kernel spectra are applied sparsely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FftBackend;
+
+impl FftBackend {
+    /// Creates the FFT backend.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SimBackend for FftBackend {
+    fn name(&self) -> &'static str {
+        "fft-cpu"
+    }
+
+    fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
+        let (w, h) = mask.dims();
+        let fft = Fft2d::new(w, h);
+        let mhat = fft.forward_real(mask);
+        let mut intensity = Grid::new(w, h, 0.0);
+        for k in 0..kernels.len() {
+            let mut field = apply_kernel_window(kernels, k, &mhat);
+            fft.inverse(&mut field);
+            let wk = kernels.weight(k);
+            for (dst, e) in intensity.as_mut_slice().iter_mut().zip(field.as_slice()) {
+                *dst += wk * e.norm_sqr();
+            }
+        }
+        intensity
+    }
+
+    fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
+        assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
+        let (w, h) = mask.dims();
+        let fft = Fft2d::new(w, h);
+        let mhat = fft.forward_real(mask);
+        let mut acc: Grid<C64> = Grid::new(w, h, C64::ZERO);
+        let c = kernels.center() as i64;
+        for k in 0..kernels.len() {
+            // e_k = h_k ⊗ M.
+            let mut field = apply_kernel_window(kernels, k, &mhat);
+            fft.inverse(&mut field);
+            // W = z ⊙ e_k, then Ŵ.
+            for (fv, &zv) in field.as_mut_slice().iter_mut().zip(z.as_slice()) {
+                *fv = fv.scale(zv);
+            }
+            fft.forward(&mut field);
+            // acc += μ_k · conj(Ŝ_k) ⊙ Ŵ (only the band is non-zero).
+            let window = kernels.spectrum(k);
+            let wk = kernels.weight(k);
+            for (i, j, &s) in window.iter_coords() {
+                if s == C64::ZERO {
+                    continue;
+                }
+                let fx = wrap_index(i as i64 - c, w);
+                let fy = wrap_index(j as i64 - c, h);
+                let idx = (fx, fy);
+                acc[idx] += s.conj() * field[idx].scale(wk);
+            }
+        }
+        let mut acc = acc;
+        fft.inverse(&mut acc);
+        acc.map(|v| 2.0 * v.re)
+    }
+}
+
+/// `Ŝ_k ⊙ M̂` with the sparse band-limited window (full grid elsewhere
+/// zero).
+pub(crate) fn apply_kernel_window(
+    kernels: &KernelSet,
+    k: usize,
+    mhat: &Grid<C64>,
+) -> Grid<Complex<f64>> {
+    let (w, h) = mhat.dims();
+    let c = kernels.center() as i64;
+    let window = kernels.spectrum(k);
+    let mut out = Grid::new(w, h, C64::ZERO);
+    for (i, j, &s) in window.iter_coords() {
+        if s == C64::ZERO {
+            continue;
+        }
+        let fx = wrap_index(i as i64 - c, w);
+        let fy = wrap_index(j as i64 - c, h);
+        out[(fx, fy)] = s * mhat[(fx, fy)];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsopc_optics::OpticsConfig;
+
+    fn tiny_kernels() -> KernelSet {
+        OpticsConfig::iccad2013()
+            .with_field_nm(128.0)
+            .with_kernel_count(4)
+            .kernels(0.0)
+    }
+
+    fn test_mask(n: usize) -> Grid<f64> {
+        Grid::from_fn(n, n, |x, y| {
+            if (n / 4..n / 2).contains(&x) && (n / 4..3 * n / 4).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn max_diff(a: &Grid<f64>, b: &Grid<f64>) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn fft_matches_reference_aerial() {
+        let kernels = tiny_kernels();
+        let mask = test_mask(16);
+        let ia = ReferenceBackend::new().aerial_image(&kernels, &mask);
+        let ib = FftBackend::new().aerial_image(&kernels, &mask);
+        assert!(max_diff(&ia, &ib) < 1e-10, "diff {}", max_diff(&ia, &ib));
+    }
+
+    #[test]
+    fn fft_matches_reference_gradient() {
+        let kernels = tiny_kernels();
+        let mask = test_mask(16);
+        // Arbitrary smooth sensitivity field.
+        let z = Grid::from_fn(16, 16, |x, y| ((x as f64 * 0.7).sin() + (y as f64 * 0.3).cos()) * 0.1);
+        let ga = ReferenceBackend::new().gradient(&kernels, &mask, &z);
+        let gb = FftBackend::new().gradient(&kernels, &mask, &z);
+        assert!(max_diff(&ga, &gb) < 1e-10, "diff {}", max_diff(&ga, &gb));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_of_linear_functional() {
+        // L(M) = Σ c(x)·I(x) has dL/dI = c, so backend.gradient(·, ·, c)
+        // must equal the finite difference of L under pixel perturbations.
+        let kernels = tiny_kernels();
+        let n = 16;
+        let mask = test_mask(n);
+        let c = Grid::from_fn(n, n, |x, y| 0.05 + 0.01 * ((x * 3 + y * 5) % 7) as f64);
+        let backend = FftBackend::new();
+        let grad = backend.gradient(&kernels, &mask, &c);
+
+        let functional = |m: &Grid<f64>| -> f64 {
+            let i = backend.aerial_image(&kernels, m);
+            i.as_slice()
+                .iter()
+                .zip(c.as_slice())
+                .map(|(iv, cv)| iv * cv)
+                .sum()
+        };
+        let h = 1e-5;
+        for &(px, py) in &[(4usize, 4usize), (8, 8), (12, 3), (0, 0)] {
+            let mut plus = mask.clone();
+            plus[(px, py)] += h;
+            let mut minus = mask.clone();
+            minus[(px, py)] -= h;
+            let fd = (functional(&plus) - functional(&minus)) / (2.0 * h);
+            let an = grad[(px, py)];
+            assert!(
+                (fd - an).abs() < 1e-6 * (1.0 + fd.abs()),
+                "pixel ({px},{py}): fd={fd}, analytic={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn aerial_of_clear_mask_is_unity() {
+        let kernels = tiny_kernels();
+        let mask = Grid::new(16, 16, 1.0);
+        let i = FftBackend::new().aerial_image(&kernels, &mask);
+        for (_, _, &v) in i.iter_coords() {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn aerial_intensity_is_nonnegative() {
+        let kernels = tiny_kernels();
+        let mask = test_mask(32);
+        let i = FftBackend::new().aerial_image(&kernels, &mask);
+        assert!(i.as_slice().iter().all(|&v| v >= -1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn gradient_shape_mismatch_panics() {
+        let kernels = tiny_kernels();
+        let mask = Grid::new(16, 16, 0.0);
+        let z = Grid::new(32, 32, 0.0);
+        let _ = FftBackend::new().gradient(&kernels, &mask, &z);
+    }
+}

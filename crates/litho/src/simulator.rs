@@ -1,0 +1,409 @@
+//! The forward lithography simulator facade.
+
+use crate::{AcceleratedBackend, FftBackend, ResistModel, SimBackend};
+use lsopc_grid::Grid;
+use lsopc_optics::{KernelSet, OpticsConfig, ProcessCondition, ProcessCorners};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error building a [`LithoSimulator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildSimulatorError {
+    /// The simulation grid must be a power of two for the FFT.
+    GridNotPowerOfTwo {
+        /// Offending grid size.
+        grid_px: usize,
+    },
+    /// The grid cannot hold the optical band (increase the grid or the
+    /// pixel size).
+    GridTooSmall {
+        /// Offending grid size.
+        grid_px: usize,
+        /// Required minimum (doubled kernel band).
+        required: usize,
+    },
+    /// The pixel size must be positive.
+    InvalidPixelSize,
+}
+
+impl fmt::Display for BuildSimulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::GridNotPowerOfTwo { grid_px } => {
+                write!(f, "grid size {grid_px} is not a power of two")
+            }
+            Self::GridTooSmall { grid_px, required } => write!(
+                f,
+                "grid size {grid_px} cannot hold the optical band (need at least {required})"
+            ),
+            Self::InvalidPixelSize => write!(f, "pixel size must be positive"),
+        }
+    }
+}
+
+impl Error for BuildSimulatorError {}
+
+/// Hard-threshold prints at the three process corners.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrintedCorners {
+    /// Print at the nominal condition.
+    pub nominal: Grid<f64>,
+    /// Innermost print (defocused, under-dosed).
+    pub inner: Grid<f64>,
+    /// Outermost print (in focus, over-dosed).
+    pub outer: Grid<f64>,
+}
+
+/// Forward lithography simulator: optics + resist + backend + corners.
+///
+/// Kernel sets are generated lazily per defocus value and cached, so
+/// repeated simulation at the three process corners only pays kernel
+/// generation once per corner.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use lsopc_grid::Grid;
+/// use lsopc_litho::{LithoSimulator, ProcessCondition};
+/// use lsopc_optics::OpticsConfig;
+///
+/// let sim = LithoSimulator::from_optics(
+///     &OpticsConfig::iccad2013().with_kernel_count(4),
+///     64,
+///     4.0,
+/// )?;
+/// assert_eq!(sim.grid_px(), 64);
+/// assert_eq!(sim.field_nm(), 256.0);
+/// let mask = Grid::new(64, 64, 1.0);
+/// let aerial = sim.aerial(&mask, ProcessCondition::NOMINAL);
+/// assert!((aerial[(32, 32)] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub struct LithoSimulator {
+    optics: OpticsConfig,
+    grid_px: usize,
+    pixel_nm: f64,
+    resist: ResistModel,
+    corners: ProcessCorners,
+    backend: Box<dyn SimBackend>,
+    kernel_cache: RwLock<HashMap<i64, Arc<KernelSet>>>,
+}
+
+impl fmt::Debug for LithoSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LithoSimulator")
+            .field("grid_px", &self.grid_px)
+            .field("pixel_nm", &self.pixel_nm)
+            .field("backend", &self.backend.name())
+            .field("resist", &self.resist)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LithoSimulator {
+    /// Builds a simulator over a `grid_px x grid_px` field with square
+    /// pixels of `pixel_nm`. The optics' field period is set to
+    /// `grid_px · pixel_nm`. Uses the [`FftBackend`] by default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSimulatorError`] if the grid is not a power of two,
+    /// the pixel size is not positive, or the grid is too small to hold
+    /// the optical band.
+    pub fn from_optics(
+        optics: &OpticsConfig,
+        grid_px: usize,
+        pixel_nm: f64,
+    ) -> Result<Self, BuildSimulatorError> {
+        if pixel_nm <= 0.0 {
+            return Err(BuildSimulatorError::InvalidPixelSize);
+        }
+        if grid_px == 0 || !grid_px.is_power_of_two() {
+            return Err(BuildSimulatorError::GridNotPowerOfTwo { grid_px });
+        }
+        let optics = optics.clone().with_field_nm(grid_px as f64 * pixel_nm);
+        let required = 2 * optics.support_size() - 1;
+        if grid_px < required {
+            return Err(BuildSimulatorError::GridTooSmall { grid_px, required });
+        }
+        Ok(Self {
+            optics,
+            grid_px,
+            pixel_nm,
+            resist: ResistModel::iccad2013(),
+            corners: ProcessCorners::iccad2013(),
+            backend: Box::new(FftBackend::new()),
+            kernel_cache: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Replaces the compute backend.
+    pub fn with_backend(mut self, backend: Box<dyn SimBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Convenience: use the accelerated ("GPU") backend.
+    pub fn with_accelerated_backend(self, threads: usize) -> Self {
+        self.with_backend(Box::new(AcceleratedBackend::new(threads)))
+    }
+
+    /// Replaces the resist model.
+    pub fn with_resist(mut self, resist: ResistModel) -> Self {
+        self.resist = resist;
+        self
+    }
+
+    /// Replaces the process corners.
+    pub fn with_corners(mut self, corners: ProcessCorners) -> Self {
+        self.corners = corners;
+        self
+    }
+
+    /// Grid size in pixels.
+    pub fn grid_px(&self) -> usize {
+        self.grid_px
+    }
+
+    /// Pixel size in nm.
+    pub fn pixel_nm(&self) -> f64 {
+        self.pixel_nm
+    }
+
+    /// Field period in nm (`grid_px · pixel_nm`).
+    pub fn field_nm(&self) -> f64 {
+        self.grid_px as f64 * self.pixel_nm
+    }
+
+    /// Area of one pixel in nm².
+    pub fn pixel_area_nm2(&self) -> f64 {
+        self.pixel_nm * self.pixel_nm
+    }
+
+    /// The resist model.
+    pub fn resist(&self) -> ResistModel {
+        self.resist
+    }
+
+    /// The process corners used by [`LithoSimulator::print_corners`].
+    pub fn corners(&self) -> ProcessCorners {
+        self.corners
+    }
+
+    /// The optics configuration (with the field set to this simulator's).
+    pub fn optics(&self) -> &OpticsConfig {
+        &self.optics
+    }
+
+    /// Name of the active backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> &dyn SimBackend {
+        self.backend.as_ref()
+    }
+
+    /// The kernel set for a defocus value (cached; keyed at 1/1000 nm
+    /// resolution).
+    pub fn kernels_for(&self, defocus_nm: f64) -> Arc<KernelSet> {
+        let key = (defocus_nm * 1000.0).round() as i64;
+        if let Some(k) = self.kernel_cache.read().get(&key) {
+            return Arc::clone(k);
+        }
+        let generated = Arc::new(self.optics.kernels(defocus_nm));
+        self.kernel_cache
+            .write()
+            .entry(key)
+            .or_insert(generated)
+            .clone()
+    }
+
+    fn check_mask(&self, mask: &Grid<f64>) {
+        assert_eq!(
+            mask.dims(),
+            (self.grid_px, self.grid_px),
+            "mask dimensions must be {0}x{0}",
+            self.grid_px
+        );
+    }
+
+    /// Aerial image at a process condition (dose does **not** scale the
+    /// aerial image; it is applied by the resist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask dimensions do not match the simulator grid.
+    pub fn aerial(&self, mask: &Grid<f64>, condition: ProcessCondition) -> Grid<f64> {
+        self.check_mask(mask);
+        let kernels = self.kernels_for(condition.defocus_nm);
+        self.backend.aerial_image(&kernels, mask)
+    }
+
+    /// Hard-threshold print (paper Eq. (2)) at a process condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask dimensions do not match the simulator grid.
+    pub fn print(&self, mask: &Grid<f64>, condition: ProcessCondition) -> Grid<f64> {
+        let aerial = self.aerial(mask, condition);
+        self.resist.print(&aerial, condition.dose)
+    }
+
+    /// Sigmoid print (paper Eq. (8)) at a process condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask dimensions do not match the simulator grid.
+    pub fn print_soft(&self, mask: &Grid<f64>, condition: ProcessCondition) -> Grid<f64> {
+        let aerial = self.aerial(mask, condition);
+        self.resist.print_soft(&aerial, condition.dose)
+    }
+
+    /// Hard prints at all three process corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask dimensions do not match the simulator grid.
+    pub fn print_corners(&self, mask: &Grid<f64>) -> PrintedCorners {
+        PrintedCorners {
+            nominal: self.print(mask, self.corners.nominal),
+            inner: self.print(mask, self.corners.inner),
+            outer: self.print(mask, self.corners.outer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::from_optics(
+            &OpticsConfig::iccad2013().with_kernel_count(6),
+            64,
+            4.0,
+        )
+        .expect("valid configuration")
+    }
+
+    fn wire_mask() -> Grid<f64> {
+        // A 48nm-wide, 160nm-tall wire centred in the 256nm field.
+        Grid::from_fn(64, 64, |x, y| {
+            if (26..38).contains(&x) && (12..52).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn builder_validation() {
+        let cfg = OpticsConfig::iccad2013();
+        assert!(matches!(
+            LithoSimulator::from_optics(&cfg, 60, 4.0),
+            Err(BuildSimulatorError::GridNotPowerOfTwo { grid_px: 60 })
+        ));
+        assert!(matches!(
+            LithoSimulator::from_optics(&cfg, 64, 0.0),
+            Err(BuildSimulatorError::InvalidPixelSize)
+        ));
+        // 2048nm field on a 16px grid: band larger than the grid.
+        assert!(matches!(
+            LithoSimulator::from_optics(&cfg, 16, 128.0),
+            Err(BuildSimulatorError::GridTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn field_and_pixel_accounting() {
+        let s = sim();
+        assert_eq!(s.field_nm(), 256.0);
+        assert_eq!(s.pixel_area_nm2(), 16.0);
+        assert_eq!(s.backend_name(), "fft-cpu");
+    }
+
+    #[test]
+    fn kernel_cache_returns_same_arc() {
+        let s = sim();
+        let a = s.kernels_for(25.0);
+        let b = s.kernels_for(25.0);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = s.kernels_for(0.0);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn wire_prints_smaller_than_drawn_without_opc() {
+        // The classic OPC motivation: an uncorrected mask under-prints.
+        let s = sim();
+        let mask = wire_mask();
+        let printed = s.print(&mask, ProcessCondition::NOMINAL);
+        assert!(printed.sum() > 0.0, "wire must print at all");
+        assert!(
+            printed.sum() < mask.sum(),
+            "printed area {} should be below drawn area {}",
+            printed.sum(),
+            mask.sum()
+        );
+    }
+
+    #[test]
+    fn dose_ordering_of_prints() {
+        // Higher dose prints more area (outer ⊇ nominal ⊇ inner at equal
+        // focus).
+        let s = sim();
+        let mask = wire_mask();
+        let corners = s.print_corners(&mask);
+        let (inner, nominal, outer) = (
+            corners.inner.sum(),
+            corners.nominal.sum(),
+            corners.outer.sum(),
+        );
+        assert!(outer >= nominal, "outer {outer} < nominal {nominal}");
+        assert!(nominal >= inner, "nominal {nominal} < inner {inner}");
+        assert!(outer > inner, "corners must differ");
+    }
+
+    #[test]
+    fn print_soft_approaches_hard_print() {
+        let s = sim().with_resist(ResistModel::new(0.225, 400.0));
+        let mask = wire_mask();
+        let hard = s.print(&mask, ProcessCondition::NOMINAL);
+        let soft = s.print_soft(&mask, ProcessCondition::NOMINAL);
+        let mean_gap: f64 = hard
+            .as_slice()
+            .iter()
+            .zip(soft.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / hard.len() as f64;
+        assert!(mean_gap < 0.02, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn accelerated_backend_gives_same_print() {
+        let mask = wire_mask();
+        let cpu = sim();
+        let gpu = sim().with_accelerated_backend(2);
+        assert_eq!(gpu.backend_name(), "accelerated");
+        let a = cpu.print(&mask, ProcessCondition::NOMINAL);
+        let b = gpu.print(&mask, ProcessCondition::NOMINAL);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask dimensions")]
+    fn wrong_mask_size_panics() {
+        let s = sim();
+        let mask = Grid::new(32, 32, 0.0);
+        let _ = s.aerial(&mask, ProcessCondition::NOMINAL);
+    }
+}

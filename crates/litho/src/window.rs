@@ -1,0 +1,268 @@
+//! Process-window analysis: CD measurement and focus–exposure matrices.
+//!
+//! The paper evaluates robustness through the PV band at two fixed
+//! corners; production lithography characterizes masks more finely with a
+//! focus–exposure matrix (FEM): the critical dimension (CD) of a feature
+//! measured over a grid of (defocus, dose) conditions, from which the
+//! process window — the set of conditions keeping CD within tolerance —
+//! is read off. This module adds that capability as an extension.
+
+use crate::{LithoSimulator, ProcessCondition};
+use lsopc_grid::Grid;
+use serde::{Deserialize, Serialize};
+
+/// A measurement cut across a feature, in pixels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutLine {
+    /// Cut start (x, y) pixel.
+    pub start: (usize, usize),
+    /// Cut end (inclusive); must share a row or column with `start`.
+    pub end: (usize, usize),
+}
+
+impl CutLine {
+    /// A horizontal cut through `y`, spanning `x0..=x1`.
+    pub fn horizontal(y: usize, x0: usize, x1: usize) -> Self {
+        Self {
+            start: (x0, y),
+            end: (x1, y),
+        }
+    }
+
+    /// A vertical cut through `x`, spanning `y0..=y1`.
+    pub fn vertical(x: usize, y0: usize, y1: usize) -> Self {
+        Self {
+            start: (x, y0),
+            end: (x, y1),
+        }
+    }
+
+    /// The pixels on the cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut is neither horizontal nor vertical.
+    pub fn pixels(&self) -> Vec<(usize, usize)> {
+        let (x0, y0) = self.start;
+        let (x1, y1) = self.end;
+        if y0 == y1 {
+            (x0.min(x1)..=x0.max(x1)).map(|x| (x, y0)).collect()
+        } else if x0 == x1 {
+            (y0.min(y1)..=y0.max(y1)).map(|y| (x0, y)).collect()
+        } else {
+            panic!("cut line must be axis-parallel");
+        }
+    }
+}
+
+/// Measures the critical dimension (printed linewidth) along a cut, in
+/// nanometres: the length of the longest printed run on the cut.
+///
+/// Returns 0 when nothing prints on the cut.
+///
+/// # Panics
+///
+/// Panics if the cut leaves the grid or is not axis-parallel.
+pub fn measure_cd(printed: &Grid<f64>, cut: CutLine, pixel_nm: f64) -> f64 {
+    let mut longest = 0usize;
+    let mut current = 0usize;
+    for (x, y) in cut.pixels() {
+        if printed[(x, y)] >= 0.5 {
+            current += 1;
+            longest = longest.max(current);
+        } else {
+            current = 0;
+        }
+    }
+    longest as f64 * pixel_nm
+}
+
+/// A focus–exposure matrix: CDs over a (defocus, dose) grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FocusExposureMatrix {
+    /// Defocus values (nm), the matrix rows.
+    pub focus_nm: Vec<f64>,
+    /// Dose multipliers, the matrix columns.
+    pub dose: Vec<f64>,
+    /// `cd_nm[i][j]` = CD at `focus_nm[i]`, `dose[j]`.
+    pub cd_nm: Vec<Vec<f64>>,
+}
+
+impl FocusExposureMatrix {
+    /// Simulates the mask across the condition grid and measures the CD
+    /// on the cut at every point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty, or the mask/cut do not fit the
+    /// simulator grid.
+    pub fn measure(
+        sim: &LithoSimulator,
+        mask: &Grid<f64>,
+        cut: CutLine,
+        focus_nm: Vec<f64>,
+        dose: Vec<f64>,
+    ) -> Self {
+        assert!(!focus_nm.is_empty() && !dose.is_empty(), "axes must be non-empty");
+        let mut cd_nm = Vec::with_capacity(focus_nm.len());
+        for &f in &focus_nm {
+            // One aerial image per focus; dose only rescales the resist
+            // threshold, so all doses share the simulation.
+            let aerial = sim.aerial(mask, ProcessCondition::new(f, 1.0));
+            let row = dose
+                .iter()
+                .map(|&d| {
+                    let printed = sim.resist().print(&aerial, d);
+                    measure_cd(&printed, cut, sim.pixel_nm())
+                })
+                .collect();
+            cd_nm.push(row);
+        }
+        Self {
+            focus_nm,
+            dose,
+            cd_nm,
+        }
+    }
+
+    /// Fraction of (focus, dose) points whose CD is within
+    /// `± tolerance · target_cd_nm` of the target — a discrete
+    /// process-window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target_cd_nm > 0` and `0 < tolerance < 1`.
+    pub fn window_fraction(&self, target_cd_nm: f64, tolerance: f64) -> f64 {
+        assert!(target_cd_nm > 0.0, "target CD must be positive");
+        assert!((0.0..1.0).contains(&tolerance) && tolerance > 0.0, "tolerance must be in (0, 1)");
+        let lo = target_cd_nm * (1.0 - tolerance);
+        let hi = target_cd_nm * (1.0 + tolerance);
+        let total = self.cd_nm.len() * self.cd_nm[0].len();
+        let ok = self
+            .cd_nm
+            .iter()
+            .flatten()
+            .filter(|&&cd| cd >= lo && cd <= hi)
+            .count();
+        ok as f64 / total as f64
+    }
+
+    /// Serializes the matrix to CSV (`focus_nm,dose,cd_nm` rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("focus_nm,dose,cd_nm\n");
+        for (i, &f) in self.focus_nm.iter().enumerate() {
+            for (j, &d) in self.dose.iter().enumerate() {
+                out.push_str(&format!("{f},{d},{}\n", self.cd_nm[i][j]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsopc_optics::OpticsConfig;
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::from_optics(
+            &OpticsConfig::iccad2013().with_kernel_count(6),
+            64,
+            4.0,
+        )
+        .expect("valid configuration")
+    }
+
+    fn wire() -> Grid<f64> {
+        // A 72nm-wide vertical wire (18 px at 4 nm/px).
+        Grid::from_fn(64, 64, |x, y| {
+            if (23..41).contains(&x) && (8..56).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn cut_pixels_are_axis_parallel() {
+        assert_eq!(CutLine::horizontal(3, 1, 3).pixels(), vec![(1, 3), (2, 3), (3, 3)]);
+        assert_eq!(CutLine::vertical(2, 5, 6).pixels(), vec![(2, 5), (2, 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-parallel")]
+    fn diagonal_cut_panics() {
+        let _ = CutLine {
+            start: (0, 0),
+            end: (3, 3),
+        }
+        .pixels();
+    }
+
+    #[test]
+    fn cd_of_hard_print_tracks_mask_width() {
+        let printed = wire();
+        let cd = measure_cd(&printed, CutLine::horizontal(32, 0, 63), 4.0);
+        assert_eq!(cd, 72.0);
+        // Empty row → zero CD.
+        let empty = Grid::new(64, 64, 0.0);
+        assert_eq!(measure_cd(&empty, CutLine::horizontal(32, 0, 63), 4.0), 0.0);
+    }
+
+    #[test]
+    fn cd_shrinks_with_lower_dose() {
+        let sim = sim();
+        let mask = wire();
+        let fem = FocusExposureMatrix::measure(
+            &sim,
+            &mask,
+            CutLine::horizontal(32, 0, 63),
+            vec![0.0],
+            vec![0.9, 1.0, 1.1],
+        );
+        let row = &fem.cd_nm[0];
+        assert!(row[0] <= row[1] && row[1] <= row[2], "CD not monotone in dose: {row:?}");
+        assert!(row[2] > 0.0);
+    }
+
+    #[test]
+    fn cd_degrades_with_defocus() {
+        let sim = sim();
+        let mask = wire();
+        let fem = FocusExposureMatrix::measure(
+            &sim,
+            &mask,
+            CutLine::horizontal(32, 0, 63),
+            vec![0.0, 80.0],
+            vec![1.0],
+        );
+        // Strong defocus shrinks (or at most keeps) the printed CD for a
+        // bright-field wire.
+        assert!(fem.cd_nm[1][0] <= fem.cd_nm[0][0] + 4.0);
+    }
+
+    #[test]
+    fn window_fraction_counts_in_tolerance_points() {
+        let fem = FocusExposureMatrix {
+            focus_nm: vec![0.0, 25.0],
+            dose: vec![0.98, 1.02],
+            cd_nm: vec![vec![70.0, 74.0], vec![50.0, 71.0]],
+        };
+        // Target 72nm ± 10% → [64.8, 79.2]: three of four qualify.
+        assert!((fem.window_fraction(72.0, 0.1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let fem = FocusExposureMatrix {
+            focus_nm: vec![0.0],
+            dose: vec![1.0, 1.1],
+            cd_nm: vec![vec![70.0, 75.0]],
+        };
+        let csv = fem.to_csv();
+        assert!(csv.starts_with("focus_nm,dose,cd_nm\n"));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("0,1.1,75"));
+    }
+}

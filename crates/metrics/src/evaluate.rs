@@ -1,0 +1,114 @@
+//! One-call mask evaluation (the contest flow).
+
+use crate::{ContestScore, EpeChecker, EpeReport, PvBand, ShapeViolations};
+use lsopc_geometry::Layout;
+use lsopc_grid::Grid;
+use lsopc_litho::LithoSimulator;
+
+/// Everything the contest measures about one optimized mask.
+#[derive(Clone, Debug)]
+pub struct MaskEvaluation {
+    /// EPE report at the nominal print.
+    pub epe: EpeReport,
+    /// PV band area in nm².
+    pub pvb_area_nm2: f64,
+    /// PV band map (for figures).
+    pub pvb_map: Grid<f64>,
+    /// Shape violations of the nominal print.
+    pub shapes: ShapeViolations,
+    /// The nominal hard print (kept for inspection).
+    pub printed_nominal: Grid<f64>,
+}
+
+impl MaskEvaluation {
+    /// Combines the metrics with a measured runtime into a contest score.
+    pub fn score(&self, runtime_s: f64) -> ContestScore {
+        ContestScore {
+            runtime_s,
+            pvb_nm2: self.pvb_area_nm2,
+            epe_violations: self.epe.violations,
+            shape_violations: self.shapes.total(),
+        }
+    }
+}
+
+/// Simulates `mask` at the three process corners and measures #EPE, PVB
+/// and shape violations against the target.
+///
+/// `target_layout` is the geometric target (for probe placement);
+/// `target_grid` its rasterization on the simulator grid.
+///
+/// # Panics
+///
+/// Panics if the mask or target grid dimensions do not match the
+/// simulator.
+pub fn evaluate_mask(
+    sim: &LithoSimulator,
+    mask: &Grid<f64>,
+    target_layout: &Layout,
+    target_grid: &Grid<f64>,
+) -> MaskEvaluation {
+    let corners = sim.print_corners(mask);
+    let pixel_nm = sim.pixel_nm();
+    let epe = EpeChecker::iccad2013().check(target_layout, &corners.nominal, pixel_nm);
+    let pvb = PvBand::measure(&corners.inner, &corners.outer, pixel_nm);
+    let shapes = ShapeViolations::count(&corners.nominal, target_grid);
+    MaskEvaluation {
+        epe,
+        pvb_area_nm2: pvb.area_nm2,
+        pvb_map: pvb.map,
+        shapes,
+        printed_nominal: corners.nominal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsopc_geometry::{rasterize, Rect};
+    use lsopc_optics::OpticsConfig;
+
+    fn setup() -> (LithoSimulator, Layout, Grid<f64>) {
+        let sim = LithoSimulator::from_optics(
+            &OpticsConfig::iccad2013().with_kernel_count(6),
+            64,
+            4.0,
+        )
+        .expect("valid configuration");
+        let mut layout = Layout::new();
+        // A comfortable 96nm x 160nm block in the 256nm field.
+        layout.push(Rect::new(80, 48, 176, 208).into());
+        let target = rasterize(&layout, 64, 64, 4.0);
+        (sim, layout, target)
+    }
+
+    #[test]
+    fn uncorrected_mask_has_nonzero_pvb() {
+        let (sim, layout, target) = setup();
+        let eval = evaluate_mask(&sim, &target, &layout, &target);
+        assert!(eval.pvb_area_nm2 > 0.0);
+        assert_eq!(
+            eval.pvb_map.sum() * sim.pixel_area_nm2(),
+            eval.pvb_area_nm2
+        );
+        assert!(eval.epe.total_probes > 0);
+    }
+
+    #[test]
+    fn score_combines_runtime() {
+        let (sim, layout, target) = setup();
+        let eval = evaluate_mask(&sim, &target, &layout, &target);
+        let s = eval.score(12.0);
+        assert_eq!(s.runtime_s, 12.0);
+        assert!(s.value() >= 12.0);
+    }
+
+    #[test]
+    fn dark_mask_loses_the_feature() {
+        let (sim, layout, target) = setup();
+        let dark = Grid::new(64, 64, 0.0);
+        let eval = evaluate_mask(&sim, &dark, &layout, &target);
+        assert_eq!(eval.shapes.missing, 1);
+        assert_eq!(eval.epe.violations, eval.epe.total_probes);
+    }
+}

@@ -1,0 +1,58 @@
+//! ICCAD 2013 contest metrics: edge placement error, process-variation
+//! band, shape violations and the combined score (paper Eq. (18)).
+//!
+//! The paper evaluates masks with four numbers (Section IV):
+//!
+//! * **#EPE** — count of probe sites whose printed contour is displaced by
+//!   at least 15 nm from the target edge ([`EpeChecker`]);
+//! * **PVB** — the area between the outermost and innermost printed
+//!   contours over the process window ([`PvBand`]);
+//! * **ShapeViol** — extra / missing / bridged printed features
+//!   ([`ShapeViolations`]);
+//! * **Score** `= RT + 4·PVB + 5000·#EPE + 10000·ShapeViol`
+//!   ([`ContestScore`]).
+//!
+//! [`evaluate_mask`] bundles the full pipeline: simulate the three process
+//! corners, measure everything, return a [`MaskEvaluation`].
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use lsopc_geometry::{rasterize, Layout, Rect};
+//! use lsopc_litho::LithoSimulator;
+//! use lsopc_metrics::evaluate_mask;
+//! use lsopc_optics::OpticsConfig;
+//!
+//! let mut layout = Layout::new();
+//! layout.push(Rect::new(96, 64, 160, 192).into());
+//! let sim = LithoSimulator::from_optics(
+//!     &OpticsConfig::iccad2013().with_kernel_count(4),
+//!     64,
+//!     4.0,
+//! )?;
+//! let target = rasterize(&layout, 64, 64, 4.0);
+//! // Evaluate the uncorrected mask (the target itself).
+//! let eval = evaluate_mask(&sim, &target, &layout, &target);
+//! assert!(eval.pvb_area_nm2 > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod complexity;
+mod epe;
+mod evaluate;
+mod pvband;
+mod report;
+mod score;
+mod shapes;
+
+pub use complexity::{MaskComplexity, MrcReport};
+pub use epe::{EpeChecker, EpeMeasurement, EpeReport};
+pub use evaluate::{evaluate_mask, MaskEvaluation};
+pub use pvband::PvBand;
+pub use report::{render_report, EpeStatistics};
+pub use score::ContestScore;
+pub use shapes::ShapeViolations;

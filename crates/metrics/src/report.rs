@@ -1,0 +1,196 @@
+//! Human-readable mask quality reports.
+//!
+//! Bundles every measurement the workspace can make about one optimized
+//! mask — contest metrics, manufacturability, probe statistics — into a
+//! plain-text report for logs and the CLI.
+
+use crate::{EpeReport, MaskComplexity, MaskEvaluation, MrcReport};
+use std::fmt::Write as _;
+
+/// Summary statistics of the per-probe EPE displacements.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct EpeStatistics {
+    /// Probes with a measurable contour crossing.
+    pub measured: usize,
+    /// Probes with no contour inside the search range.
+    pub lost: usize,
+    /// Mean |displacement| over measured probes, nm.
+    pub mean_abs_nm: f64,
+    /// Largest |displacement|, nm.
+    pub max_abs_nm: f64,
+    /// Root-mean-square displacement, nm.
+    pub rms_nm: f64,
+}
+
+impl EpeStatistics {
+    /// Computes displacement statistics from an EPE report.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lsopc_metrics::{EpeReport, EpeStatistics};
+    /// let stats = EpeStatistics::from_report(&EpeReport {
+    ///     violations: 0,
+    ///     total_probes: 0,
+    ///     measurements: Vec::new(),
+    /// });
+    /// assert_eq!(stats.measured, 0);
+    /// ```
+    pub fn from_report(report: &EpeReport) -> Self {
+        let mut stats = Self::default();
+        let mut sum_abs = 0.0;
+        let mut sum_sq = 0.0;
+        for m in &report.measurements {
+            match m.displacement_nm {
+                Some(d) => {
+                    stats.measured += 1;
+                    sum_abs += d.abs();
+                    sum_sq += d * d;
+                    stats.max_abs_nm = stats.max_abs_nm.max(d.abs());
+                }
+                None => stats.lost += 1,
+            }
+        }
+        if stats.measured > 0 {
+            stats.mean_abs_nm = sum_abs / stats.measured as f64;
+            stats.rms_nm = (sum_sq / stats.measured as f64).sqrt();
+        }
+        stats
+    }
+}
+
+/// Renders a complete plain-text quality report for one mask.
+///
+/// `mrc` is optional because rule values are flow-specific; pass the
+/// check result when you have one.
+pub fn render_report(
+    title: &str,
+    eval: &MaskEvaluation,
+    complexity: &MaskComplexity,
+    mrc: Option<&MrcReport>,
+    runtime_s: f64,
+) -> String {
+    let stats = EpeStatistics::from_report(&eval.epe);
+    let score = eval.score(runtime_s);
+    let mut out = String::new();
+    let _ = writeln!(out, "=== mask quality report: {title} ===");
+    let _ = writeln!(
+        out,
+        "score        {:.0}  (runtime {:.1}s + 4*PVB + 5000*#EPE + 10000*shapes)",
+        score.value(),
+        runtime_s
+    );
+    let _ = writeln!(
+        out,
+        "epe          {} violations / {} probes (mean |d| {:.1} nm, rms {:.1} nm, max {:.1} nm, lost {})",
+        eval.epe.violations,
+        eval.epe.total_probes,
+        stats.mean_abs_nm,
+        stats.rms_nm,
+        stats.max_abs_nm,
+        stats.lost
+    );
+    let _ = writeln!(out, "pv band      {:.0} nm²", eval.pvb_area_nm2);
+    let _ = writeln!(
+        out,
+        "shapes       {} total (extra {}, missing {}, bridges {})",
+        eval.shapes.total(),
+        eval.shapes.extra,
+        eval.shapes.missing,
+        eval.shapes.bridges
+    );
+    let _ = writeln!(
+        out,
+        "complexity   {} fragments, perimeter {} px, smallest {} px, jaggedness {:.2}",
+        complexity.fragments,
+        complexity.perimeter_px,
+        complexity.smallest_fragment_px,
+        complexity.jaggedness
+    );
+    if let Some(mrc) = mrc {
+        let _ = writeln!(
+            out,
+            "mrc          {} width + {} spacing violations",
+            mrc.width_violations, mrc.spacing_violations
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate_mask, EpeMeasurement};
+    use lsopc_geometry::{probe_sites, rasterize, Layout, Rect};
+    use lsopc_litho::LithoSimulator;
+    use lsopc_optics::OpticsConfig;
+
+    #[test]
+    fn statistics_from_synthetic_measurements() {
+        let mut layout = Layout::new();
+        layout.push(Rect::new(0, 0, 100, 100).into());
+        let sites = probe_sites(&layout, 40.0);
+        let measurements: Vec<EpeMeasurement> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, &site)| EpeMeasurement {
+                site,
+                displacement_nm: if i == 0 { None } else { Some(3.0) },
+                violation: i == 0,
+            })
+            .collect();
+        let report = EpeReport {
+            violations: 1,
+            total_probes: measurements.len(),
+            measurements,
+        };
+        let stats = EpeStatistics::from_report(&report);
+        assert_eq!(stats.lost, 1);
+        assert_eq!(stats.measured, report.total_probes - 1);
+        assert!((stats.mean_abs_nm - 3.0).abs() < 1e-12);
+        assert!((stats.rms_nm - 3.0).abs() < 1e-12);
+        assert_eq!(stats.max_abs_nm, 3.0);
+    }
+
+    #[test]
+    fn report_contains_every_section() {
+        let sim = LithoSimulator::from_optics(
+            &OpticsConfig::iccad2013().with_kernel_count(4),
+            64,
+            4.0,
+        )
+        .expect("valid configuration");
+        let mut layout = Layout::new();
+        layout.push(Rect::new(80, 48, 176, 208).into());
+        let target = rasterize(&layout, 64, 64, 4.0);
+        let eval = evaluate_mask(&sim, &target, &layout, &target);
+        let complexity = MaskComplexity::measure(&target);
+        let mrc = MrcReport::check(&target, 4, 4);
+        let text = render_report("unit-test", &eval, &complexity, Some(&mrc), 1.5);
+        for needle in ["score", "epe", "pv band", "shapes", "complexity", "mrc", "unit-test"] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn report_without_mrc_omits_the_line() {
+        let report = render_report(
+            "bare",
+            &MaskEvaluation {
+                epe: EpeReport {
+                    violations: 0,
+                    total_probes: 0,
+                    measurements: Vec::new(),
+                },
+                pvb_area_nm2: 0.0,
+                pvb_map: lsopc_grid::Grid::new(1, 1, 0.0),
+                shapes: crate::ShapeViolations::default(),
+                printed_nominal: lsopc_grid::Grid::new(1, 1, 0.0),
+            },
+            &MaskComplexity::default(),
+            None,
+            0.0,
+        );
+        assert!(!report.contains("mrc"));
+    }
+}

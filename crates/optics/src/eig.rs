@@ -1,0 +1,402 @@
+//! Dense Hermitian eigensolvers, written from scratch for the SOCS
+//! (sum-of-coherent-systems) decomposition of TCC matrices.
+//!
+//! Two algorithms are provided:
+//!
+//! * [`jacobi_hermitian`] — the classical cyclic Jacobi method with complex
+//!   rotations. Robust and accurate; O(n³) per sweep, best for `n ≲ 500`.
+//! * [`top_eigenpairs`] — orthogonal (subspace) iteration with a final
+//!   Rayleigh–Ritz projection, returning only the `m` largest eigenpairs.
+//!   This is the production path for big TCC matrices where only the top
+//!   24 kernels are needed.
+
+use crate::CMatrix;
+use lsopc_grid::C64;
+
+/// Result of a Hermitian eigendecomposition: `values[i]` is the eigenvalue
+/// of the column eigenvector `vectors[i]`, sorted by descending eigenvalue.
+#[derive(Clone, Debug)]
+pub struct EigenPairs {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one `Vec<C64>` per eigenvalue.
+    pub vectors: Vec<Vec<C64>>,
+}
+
+/// Full eigendecomposition of a Hermitian matrix by the cyclic Jacobi
+/// method with complex plane rotations.
+///
+/// The matrix is consumed (it is diagonalized in place).
+///
+/// # Panics
+///
+/// Panics if the matrix is not Hermitian to within `1e-8` (relative to its
+/// largest entry).
+///
+/// # Example
+///
+/// ```
+/// use lsopc_optics::{eig::jacobi_hermitian, CMatrix};
+/// use lsopc_grid::C64;
+///
+/// let mut a = CMatrix::zeros(2);
+/// a[(0, 0)] = C64::from_real(2.0);
+/// a[(1, 1)] = C64::from_real(2.0);
+/// a[(0, 1)] = C64::new(0.0, 1.0);
+/// a[(1, 0)] = C64::new(0.0, -1.0);
+/// let eig = jacobi_hermitian(a);
+/// assert!((eig.values[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn jacobi_hermitian(mut a: CMatrix) -> EigenPairs {
+    let n = a.dim();
+    let scale = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .map(|(i, j)| a[(i, j)].norm())
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    assert!(
+        a.hermitian_error() / scale < 1e-8,
+        "matrix is not Hermitian (relative error {})",
+        a.hermitian_error() / scale
+    );
+
+    // Eigenvector accumulator V (A = V Λ V†).
+    let mut v = CMatrix::zeros(n);
+    for i in 0..n {
+        v[(i, i)] = C64::ONE;
+    }
+
+    let tol = 1e-14 * scale;
+    const MAX_SWEEPS: usize = 60;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                off = off.max(a[(p, q)].norm());
+            }
+        }
+        if off < tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                rotate(&mut a, &mut v, p, q, tol);
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)].re, i)).collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite eigenvalues"));
+    let values = pairs.iter().map(|&(val, _)| val).collect();
+    let vectors = pairs
+        .iter()
+        .map(|&(_, col)| (0..n).map(|row| v[(row, col)]).collect())
+        .collect();
+    EigenPairs { values, vectors }
+}
+
+/// One complex Jacobi rotation annihilating `a[(p, q)]`.
+fn rotate(a: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize, tol: f64) {
+    let apq = a[(p, q)];
+    let m = apq.norm();
+    if m < tol {
+        return;
+    }
+    let app = a[(p, p)].re;
+    let aqq = a[(q, q)].re;
+    let u = apq.scale(1.0 / m); // unit phase of a_pq
+    let theta = 0.5 * (2.0 * m).atan2(aqq - app);
+    let (c, s) = (theta.cos(), theta.sin());
+    let n = a.dim();
+    // Column update: A ← A·R.
+    for k in 0..n {
+        let akp = a[(k, p)];
+        let akq = a[(k, q)];
+        a[(k, p)] = akp.scale(c) - u.conj() * akq.scale(s);
+        a[(k, q)] = u * akp.scale(s) + akq.scale(c);
+    }
+    // Row update: A ← R†·A.
+    for k in 0..n {
+        let apk = a[(p, k)];
+        let aqk = a[(q, k)];
+        a[(p, k)] = apk.scale(c) - u * aqk.scale(s);
+        a[(q, k)] = u.conj() * apk.scale(s) + aqk.scale(c);
+    }
+    // Accumulate eigenvectors: V ← V·R.
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = vkp.scale(c) - u.conj() * vkq.scale(s);
+        v[(k, q)] = u * vkp.scale(s) + vkq.scale(c);
+    }
+    // Clean rounding residue on the annihilated pair.
+    a[(p, q)] = C64::ZERO;
+    a[(q, p)] = C64::ZERO;
+}
+
+/// The `m` largest eigenpairs of a Hermitian positive-semidefinite matrix
+/// by orthogonal (subspace) iteration with a Rayleigh–Ritz finish.
+///
+/// `iterations` controls subspace refinement (30–60 suffices for TCC
+/// spectra, which decay fast). The starting subspace is deterministic.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > a.dim()`.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_optics::{eig::top_eigenpairs, CMatrix};
+/// use lsopc_grid::C64;
+///
+/// let mut a = CMatrix::zeros(3);
+/// for (i, lam) in [5.0, 2.0, 1.0].iter().enumerate() {
+///     a[(i, i)] = C64::from_real(*lam);
+/// }
+/// let eig = top_eigenpairs(&a, 2, 50);
+/// assert!((eig.values[0] - 5.0).abs() < 1e-8);
+/// assert!((eig.values[1] - 2.0).abs() < 1e-8);
+/// ```
+pub fn top_eigenpairs(a: &CMatrix, m: usize, iterations: usize) -> EigenPairs {
+    let n = a.dim();
+    assert!(m > 0 && m <= n, "requested {m} eigenpairs of a {n}x{n} matrix");
+    // Work with a slightly larger subspace for convergence headroom.
+    let mm = (m + 8).min(n);
+
+    // Deterministic pseudo-random start (xorshift), orthonormalized.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rand_unit = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut q: Vec<Vec<C64>> = (0..mm)
+        .map(|_| (0..n).map(|_| C64::new(rand_unit(), rand_unit())).collect())
+        .collect();
+    orthonormalize(&mut q);
+
+    for _ in 0..iterations {
+        let mut z: Vec<Vec<C64>> = q.iter().map(|col| a.mul_vec(col)).collect();
+        orthonormalize(&mut z);
+        q = z;
+    }
+
+    // Rayleigh–Ritz: diagonalize B = Q† A Q (mm x mm) with Jacobi.
+    let aq: Vec<Vec<C64>> = q.iter().map(|col| a.mul_vec(col)).collect();
+    let mut b = CMatrix::zeros(mm);
+    for i in 0..mm {
+        for j in 0..mm {
+            b[(i, j)] = dot_conj(&q[i], &aq[j]);
+        }
+    }
+    // Symmetrize rounding noise before the Hermitian assert.
+    for i in 0..mm {
+        for j in i + 1..mm {
+            let avg = (b[(i, j)] + b[(j, i)].conj()).scale(0.5);
+            b[(i, j)] = avg;
+            b[(j, i)] = avg.conj();
+        }
+        b[(i, i)] = C64::from_real(b[(i, i)].re);
+    }
+    let small = jacobi_hermitian(b);
+
+    // Rotate the subspace into Ritz vectors and keep the top m.
+    let mut values = Vec::with_capacity(m);
+    let mut vectors = Vec::with_capacity(m);
+    for r in 0..m {
+        values.push(small.values[r]);
+        let coeffs = &small.vectors[r];
+        let mut vec = vec![C64::ZERO; n];
+        for (c_idx, &c) in coeffs.iter().enumerate() {
+            for (row, out) in vec.iter_mut().enumerate() {
+                *out += q[c_idx][row] * c;
+            }
+        }
+        vectors.push(vec);
+    }
+    EigenPairs { values, vectors }
+}
+
+/// `Σ conj(a_i)·b_i`.
+fn dot_conj(a: &[C64], b: &[C64]) -> C64 {
+    a.iter().zip(b).map(|(&x, &y)| x.conj() * y).sum()
+}
+
+/// Modified Gram–Schmidt orthonormalization of column vectors, with
+/// reorthogonalization ("twice is enough") and refill of numerically
+/// collapsed columns so the output is orthonormal even when the input is
+/// rank-deficient.
+fn orthonormalize(cols: &mut [Vec<C64>]) {
+    let m = cols.len();
+    let n = cols.first().map_or(0, Vec::len);
+    let mut refill_state = 0xD1B5_4A32_D192_ED03u64;
+    for i in 0..m {
+        let mut attempts = 0;
+        loop {
+            // Two projection passes handle the loss of orthogonality that a
+            // single MGS pass suffers when the residual is tiny.
+            for _pass in 0..2 {
+                for j in 0..i {
+                    let proj = {
+                        let (a, b) = (&cols[j], &cols[i]);
+                        dot_conj(a, b)
+                    };
+                    let prev = cols[j].clone();
+                    for (x, p) in cols[i].iter_mut().zip(prev.iter()) {
+                        *x -= *p * proj;
+                    }
+                }
+            }
+            let norm = cols[i].iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+            if norm > 1e-10 || attempts >= 4 {
+                if norm > 1e-300 {
+                    let inv = 1.0 / norm;
+                    for x in cols[i].iter_mut() {
+                        *x = x.scale(inv);
+                    }
+                }
+                break;
+            }
+            // The column collapsed (it was linearly dependent on earlier
+            // ones); restart it from deterministic pseudo-random data.
+            attempts += 1;
+            for x in cols[i].iter_mut().take(n) {
+                refill_state ^= refill_state << 13;
+                refill_state ^= refill_state >> 7;
+                refill_state ^= refill_state << 17;
+                let re = (refill_state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                refill_state ^= refill_state << 13;
+                refill_state ^= refill_state >> 7;
+                refill_state ^= refill_state << 17;
+                let im = (refill_state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                *x = C64::new(re, im);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a Hermitian matrix V Λ V† with a deterministic random unitary.
+    fn random_hermitian(n: usize, eigenvalues: &[f64]) -> CMatrix {
+        assert_eq!(eigenvalues.len(), n);
+        // Deterministic random matrix → orthonormal columns via MGS.
+        let mut state = 42u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut cols: Vec<Vec<C64>> = (0..n)
+            .map(|_| (0..n).map(|_| C64::new(rnd(), rnd())).collect())
+            .collect();
+        orthonormalize(&mut cols);
+        let mut a = CMatrix::zeros(n);
+        for (k, &lam) in eigenvalues.iter().enumerate() {
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] += cols[k][i] * cols[k][j].conj() * lam;
+                }
+            }
+        }
+        a
+    }
+
+    fn check_residual(a: &CMatrix, eig: &EigenPairs, tol: f64) {
+        for (lam, vec) in eig.values.iter().zip(&eig.vectors) {
+            let av = a.mul_vec(vec);
+            let err: f64 = av
+                .iter()
+                .zip(vec)
+                .map(|(x, y)| (*x - y.scale(*lam)).norm())
+                .fold(0.0, f64::max);
+            assert!(err < tol, "residual {err} for eigenvalue {lam}");
+        }
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix_is_trivial() {
+        let mut a = CMatrix::zeros(3);
+        a[(0, 0)] = C64::from_real(1.0);
+        a[(1, 1)] = C64::from_real(3.0);
+        a[(2, 2)] = C64::from_real(2.0);
+        let eig = jacobi_hermitian(a);
+        assert_eq!(eig.values.len(), 3);
+        assert!((eig.values[0] - 3.0).abs() < 1e-12);
+        assert!((eig.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_recovers_spectrum_of_random_hermitian() {
+        let spectrum = [7.0, 4.5, 2.0, 1.0, 0.25, 0.0];
+        let a = random_hermitian(6, &spectrum);
+        let eig = jacobi_hermitian(a.clone());
+        for (got, want) in eig.values.iter().zip(&spectrum) {
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+        check_residual(&a, &eig, 1e-8);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let a = random_hermitian(5, &[5.0, 3.0, 2.0, 1.0, 0.5]);
+        let eig = jacobi_hermitian(a);
+        for i in 0..5 {
+            for j in 0..5 {
+                let d = dot_conj(&eig.vectors[i], &eig.vectors[j]);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((d.norm() - expected).abs() < 1e-9, "({i},{j}) -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_trace_is_preserved() {
+        let spectrum = [3.0, 2.0, 1.0, 0.5];
+        let a = random_hermitian(4, &spectrum);
+        let trace: f64 = (0..4).map(|i| a[(i, i)].re).sum();
+        let eig = jacobi_hermitian(a);
+        let sum: f64 = eig.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not Hermitian")]
+    fn jacobi_rejects_non_hermitian() {
+        let mut a = CMatrix::zeros(2);
+        a[(0, 1)] = C64::ONE;
+        let _ = jacobi_hermitian(a);
+    }
+
+    #[test]
+    fn subspace_iteration_matches_jacobi() {
+        let spectrum = [9.0, 6.0, 3.0, 1.5, 0.7, 0.3, 0.1, 0.0];
+        let a = random_hermitian(8, &spectrum);
+        let top = top_eigenpairs(&a, 3, 80);
+        for (got, want) in top.values.iter().zip(&spectrum[..3]) {
+            assert!((got - want).abs() < 1e-7, "got {got}, want {want}");
+        }
+        check_residual(&a, &top, 1e-6);
+    }
+
+    #[test]
+    fn subspace_iteration_handles_degenerate_eigenvalues() {
+        let spectrum = [5.0, 5.0, 2.0, 1.0, 0.5, 0.1];
+        let a = random_hermitian(6, &spectrum);
+        let top = top_eigenpairs(&a, 2, 100);
+        assert!((top.values[0] - 5.0).abs() < 1e-7);
+        assert!((top.values[1] - 5.0).abs() < 1e-7);
+        check_residual(&a, &top, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "eigenpairs")]
+    fn subspace_rejects_oversized_request() {
+        let a = CMatrix::zeros(3);
+        let _ = top_eigenpairs(&a, 4, 10);
+    }
+}

@@ -1,0 +1,227 @@
+//! Kernel-set persistence.
+//!
+//! TCC/SOCS kernel generation can take seconds to minutes at full scale;
+//! the contest itself shipped kernels as data files. This module writes
+//! and reads [`KernelSet`]s in a simple self-describing text format so
+//! generated kernels can be cached and shared:
+//!
+//! ```text
+//! lsopc-kernels v1
+//! support 11 count 2 period_nm 256 defocus_nm 0
+//! weight 0.7
+//! <re> <im>  ... S·S complex samples, row-major ...
+//! weight 0.3
+//! ...
+//! ```
+
+use crate::KernelSet;
+use lsopc_grid::{C64, Grid};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Error reading a kernel file.
+#[derive(Debug)]
+pub enum ReadKernelsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid kernel dump.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReadKernelsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "failed to read kernel file: {e}"),
+            Self::Parse { line, message } => {
+                write!(f, "kernel file parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ReadKernelsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Parse { .. } => None,
+        }
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> ReadKernelsError {
+    ReadKernelsError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a kernel set to the text format.
+pub fn kernels_to_string(set: &KernelSet) -> String {
+    let s = set.support();
+    let mut out = String::with_capacity(set.len() * s * s * 24);
+    out.push_str("lsopc-kernels v1\n");
+    out.push_str(&format!(
+        "support {} count {} period_nm {} defocus_nm {}\n",
+        s,
+        set.len(),
+        set.period_nm(),
+        set.defocus_nm()
+    ));
+    for k in 0..set.len() {
+        out.push_str(&format!("weight {:.17e}\n", set.weight(k)));
+        for (_, _, v) in set.spectrum(k).iter_coords() {
+            out.push_str(&format!("{:.17e} {:.17e}\n", v.re, v.im));
+        }
+    }
+    out
+}
+
+/// Parses a kernel set from the text format.
+///
+/// # Errors
+///
+/// Returns [`ReadKernelsError::Parse`] on malformed content.
+pub fn kernels_from_str(text: &str) -> Result<KernelSet, ReadKernelsError> {
+    let mut lines = text.lines().enumerate();
+    let (_, magic) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))?;
+    if magic.trim() != "lsopc-kernels v1" {
+        return Err(parse_err(1, format!("bad magic `{magic}`")));
+    }
+    let (ln, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "missing header"))?;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.len() != 8 || tokens[0] != "support" || tokens[2] != "count" {
+        return Err(parse_err(ln + 1, "malformed header"));
+    }
+    let support: usize = tokens[1]
+        .parse()
+        .map_err(|_| parse_err(ln + 1, "bad support"))?;
+    let count: usize = tokens[3]
+        .parse()
+        .map_err(|_| parse_err(ln + 1, "bad count"))?;
+    let period_nm: f64 = tokens[5]
+        .parse()
+        .map_err(|_| parse_err(ln + 1, "bad period"))?;
+    let defocus_nm: f64 = tokens[7]
+        .parse()
+        .map_err(|_| parse_err(ln + 1, "bad defocus"))?;
+
+    let mut spectra = Vec::with_capacity(count);
+    let mut weights = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (ln, wline) = lines
+            .next()
+            .ok_or_else(|| parse_err(0, "unexpected end of file"))?;
+        let weight: f64 = wline
+            .strip_prefix("weight ")
+            .and_then(|w| w.trim().parse().ok())
+            .ok_or_else(|| parse_err(ln + 1, "expected `weight <w>`"))?;
+        let mut data = Vec::with_capacity(support * support);
+        for _ in 0..support * support {
+            let (ln, vline) = lines
+                .next()
+                .ok_or_else(|| parse_err(0, "unexpected end of file"))?;
+            let mut parts = vline.split_whitespace();
+            let re: f64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(ln + 1, "bad complex sample"))?;
+            let im: f64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(ln + 1, "bad complex sample"))?;
+            data.push(C64::new(re, im));
+        }
+        spectra.push(Grid::from_vec(support, support, data));
+        weights.push(weight);
+    }
+    Ok(KernelSet::new(spectra, weights, period_nm, defocus_nm))
+}
+
+/// Writes a kernel set to a file.
+///
+/// # Errors
+///
+/// Returns [`ReadKernelsError::Io`] when the file cannot be written.
+pub fn write_kernels(set: &KernelSet, path: impl AsRef<Path>) -> Result<(), ReadKernelsError> {
+    std::fs::write(path, kernels_to_string(set)).map_err(ReadKernelsError::Io)
+}
+
+/// Reads a kernel set from a file.
+///
+/// # Errors
+///
+/// Returns [`ReadKernelsError`] on I/O or parse failure.
+pub fn read_kernels(path: impl AsRef<Path>) -> Result<KernelSet, ReadKernelsError> {
+    let text = std::fs::read_to_string(path).map_err(ReadKernelsError::Io)?;
+    kernels_from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpticsConfig;
+
+    fn small_set() -> KernelSet {
+        OpticsConfig::iccad2013()
+            .with_field_nm(128.0)
+            .with_kernel_count(3)
+            .kernels(12.5)
+    }
+
+    #[test]
+    fn string_roundtrip_is_exact() {
+        let set = small_set();
+        let text = kernels_to_string(&set);
+        let parsed = kernels_from_str(&text).expect("roundtrip parses");
+        assert_eq!(parsed.len(), set.len());
+        assert_eq!(parsed.support(), set.support());
+        assert_eq!(parsed.period_nm(), set.period_nm());
+        assert_eq!(parsed.defocus_nm(), set.defocus_nm());
+        for k in 0..set.len() {
+            assert_eq!(parsed.weight(k), set.weight(k));
+            assert_eq!(parsed.spectrum(k), set.spectrum(k));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let set = small_set();
+        let path = std::env::temp_dir().join(format!("lsopc_kernels_{}.txt", std::process::id()));
+        write_kernels(&set, &path).expect("write");
+        let back = read_kernels(&path).expect("read");
+        assert_eq!(back.spectrum(0), set.spectrum(0));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = kernels_from_str("not-kernels\n").expect_err("bad magic");
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let set = small_set();
+        let text = kernels_to_string(&set);
+        let truncated: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
+        let err = kernels_from_str(&truncated).expect_err("truncated");
+        assert!(matches!(err, ReadKernelsError::Parse { .. }));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_kernels("/nonexistent/lsopc/kernels.txt").expect_err("missing");
+        assert!(matches!(err, ReadKernelsError::Io(_)));
+        assert!(err.source().is_some());
+    }
+}

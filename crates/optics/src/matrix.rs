@@ -1,0 +1,131 @@
+//! A minimal dense complex matrix for the TCC eigendecomposition.
+
+use lsopc_grid::C64;
+use std::ops::{Index, IndexMut};
+
+/// A dense square complex matrix with row-major storage.
+///
+/// Only the operations needed for building and eigendecomposing TCC
+/// matrices are provided; this is not a general linear-algebra library.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_optics::CMatrix;
+/// use lsopc_grid::C64;
+///
+/// let mut m = CMatrix::zeros(2);
+/// m[(0, 1)] = C64::new(0.0, 1.0);
+/// let v = vec![C64::ONE, C64::ONE];
+/// let mv = m.mul_vec(&v);
+/// assert_eq!(mv[0], C64::new(0.0, 1.0));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates an `n` x `n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be non-zero");
+        Self {
+            n,
+            data: vec![C64::ZERO; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix–vector product `A·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()`.
+    pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.n, "vector length must match dimension");
+        let mut out = vec![C64::ZERO; self.n];
+        for (i, out_i) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            let mut acc = C64::ZERO;
+            for (a, &x) in row.iter().zip(v) {
+                acc += *a * x;
+            }
+            *out_i = acc;
+        }
+        out
+    }
+
+    /// Largest deviation from Hermitian symmetry, `max |A[i,j] − conj(A[j,i])|`.
+    pub fn hermitian_error(&self) -> f64 {
+        let mut err: f64 = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                err = err.max((self[(i, j)] - self[(j, i)].conj()).norm());
+            }
+        }
+        err
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    /// Indexed by `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is out of bounds.
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.n && j < self.n);
+        &self.data[i * self.n + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.n && j < self.n);
+        &mut self.data[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_vec_identity() {
+        let mut m = CMatrix::zeros(3);
+        for i in 0..3 {
+            m[(i, i)] = C64::ONE;
+        }
+        let v = vec![C64::new(1.0, 2.0), C64::new(-1.0, 0.0), C64::new(0.0, 3.0)];
+        assert_eq!(m.mul_vec(&v), v);
+    }
+
+    #[test]
+    fn hermitian_error_detects_asymmetry() {
+        let mut m = CMatrix::zeros(2);
+        m[(0, 1)] = C64::new(1.0, 1.0);
+        m[(1, 0)] = C64::new(1.0, -1.0); // = conj → Hermitian
+        assert!(m.hermitian_error() < 1e-15);
+        m[(1, 0)] = C64::new(1.0, 1.0); // not conj
+        assert!(m.hermitian_error() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mul_vec_wrong_len_panics() {
+        let m = CMatrix::zeros(2);
+        let _ = m.mul_vec(&[C64::ZERO]);
+    }
+}

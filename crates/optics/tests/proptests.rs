@@ -1,0 +1,90 @@
+//! Property-based invariants of the optics crate.
+
+use lsopc_grid::{C64, Grid};
+use lsopc_optics::{kernels_from_str, kernels_to_string, KernelSet, SourceModel};
+use proptest::prelude::*;
+
+fn arbitrary_kernel_set() -> impl Strategy<Value = KernelSet> {
+    let support = 5usize;
+    (
+        prop::collection::vec(
+            prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0), support * support),
+            1..4,
+        ),
+        prop::collection::vec(0.01f64..5.0, 1..4),
+    )
+        .prop_filter_map("weights/spectra length mismatch", move |(specs, weights)| {
+            let count = specs.len().min(weights.len());
+            if count == 0 {
+                return None;
+            }
+            let spectra: Vec<Grid<C64>> = specs[..count]
+                .iter()
+                .map(|vals| {
+                    Grid::from_vec(
+                        support,
+                        support,
+                        vals.iter().map(|&(re, im)| C64::new(re, im)).collect(),
+                    )
+                })
+                .collect();
+            Some(KernelSet::new(
+                spectra,
+                weights[..count].to_vec(),
+                256.0,
+                7.5,
+            ))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Kernel files round-trip bit-exactly.
+    #[test]
+    fn kernel_io_roundtrip(set in arbitrary_kernel_set()) {
+        let text = kernels_to_string(&set);
+        let parsed = kernels_from_str(&text).expect("own output parses");
+        prop_assert_eq!(parsed.len(), set.len());
+        for k in 0..set.len() {
+            prop_assert_eq!(parsed.weight(k), set.weight(k));
+            prop_assert_eq!(parsed.spectrum(k), set.spectrum(k));
+        }
+        prop_assert_eq!(parsed.period_nm(), set.period_nm());
+        prop_assert_eq!(parsed.defocus_nm(), set.defocus_nm());
+    }
+
+    /// Source sampling always returns the requested count with unit total
+    /// weight, inside the stated radial extent.
+    #[test]
+    fn source_sampling_invariants(
+        count in 1usize..64,
+        sigma_in in 0.1f64..0.7,
+        extra in 0.05f64..0.5,
+    ) {
+        let source = SourceModel::Annular {
+            sigma_in,
+            sigma_out: sigma_in + extra,
+        };
+        let pts = source.sample(count);
+        prop_assert_eq!(pts.len(), count);
+        let total: f64 = pts.iter().map(|p| p.weight).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for p in &pts {
+            let r = (p.sx * p.sx + p.sy * p.sy).sqrt();
+            prop_assert!(r <= source.sigma_max() + 1e-9);
+        }
+    }
+
+    /// Kernel truncation preserves unit clear-field intensity and never
+    /// increases the kernel count.
+    #[test]
+    fn truncation_preserves_normalization(set in arbitrary_kernel_set(), rank in 1usize..4) {
+        // Ensure a usable clear-field intensity first.
+        prop_assume!(set.clear_field_intensity() > 1e-6);
+        let normalized = set.normalized();
+        let truncated = normalized.truncated(rank);
+        prop_assert!(truncated.len() <= rank.max(1));
+        prop_assert!((truncated.clear_field_intensity() - 1.0).abs() < 1e-9);
+    }
+}

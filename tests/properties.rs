@@ -1,0 +1,108 @@
+//! Property-based invariants across crates (proptest).
+
+use lsopc::prelude::*;
+use lsopc_fft::Fft2d;
+use lsopc_geometry::{parse_glp, write_glp};
+use lsopc_grid::C64;
+use lsopc_levelset::{mask_from_levelset, signed_distance};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FFT inverse ∘ forward is the identity on random complex grids.
+    #[test]
+    fn fft2d_roundtrip(values in prop::collection::vec(-10.0f64..10.0, 32 * 32 * 2)) {
+        let grid = Grid::from_fn(32, 32, |x, y| {
+            let i = (y * 32 + x) * 2;
+            C64::new(values[i], values[i + 1])
+        });
+        let fft = Fft2d::new(32, 32);
+        let mut round = grid.clone();
+        fft.forward(&mut round);
+        fft.inverse(&mut round);
+        let err = grid
+            .as_slice()
+            .iter()
+            .zip(round.as_slice())
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0, f64::max);
+        prop_assert!(err < 1e-9);
+    }
+
+    /// Parseval: the FFT preserves energy up to the 1/N factor.
+    #[test]
+    fn fft2d_parseval(values in prop::collection::vec(-5.0f64..5.0, 16 * 16)) {
+        let grid = Grid::from_fn(16, 16, |x, y| C64::new(values[y * 16 + x], 0.0));
+        let time: f64 = grid.as_slice().iter().map(|v| v.norm_sqr()).sum();
+        let mut f = grid;
+        Fft2d::new(16, 16).forward(&mut f);
+        let freq: f64 = f.as_slice().iter().map(|v| v.norm_sqr()).sum::<f64>() / 256.0;
+        prop_assert!((time - freq).abs() < 1e-8 * (1.0 + time));
+    }
+
+    /// Signed distance: threshold recovers the exact input mask, and the
+    /// magnitude is at least half a pixel everywhere.
+    #[test]
+    fn sdf_threshold_roundtrip(bits in prop::collection::vec(any::<bool>(), 24 * 24)) {
+        let mask = Grid::from_fn(24, 24, |x, y| if bits[y * 24 + x] { 1.0 } else { 0.0 });
+        let psi = signed_distance(&mask);
+        prop_assert_eq!(mask_from_levelset(&psi), mask);
+        prop_assert!(psi.as_slice().iter().all(|&v| v.abs() >= 0.5 - 1e-9));
+    }
+
+    /// Rasterizing disjoint rectangles at 1 nm/px reproduces the exact
+    /// total area, for arbitrary rectangle grids.
+    #[test]
+    fn raster_area_is_exact(
+        xs in prop::collection::vec(0i64..56, 1..6),
+        ws in prop::collection::vec(1i64..8, 1..6),
+    ) {
+        // Build disjoint rects on a 64-nm-wide strip: rect k occupies
+        // columns [8k + x_k, 8k + x_k + w_k) with x_k + w_k <= 8.
+        let mut layout = Layout::new();
+        for (k, (&x, &w)) in xs.iter().zip(&ws).enumerate() {
+            let x0 = 8 * k as i64 + (x % 8).min(8 - w.min(8));
+            let w = w.min(8 - (x0 - 8 * k as i64));
+            if w > 0 {
+                layout.push(Rect::new(x0, 4, x0 + w, 24).into());
+            }
+        }
+        let grid = rasterize(&layout, 64, 32, 1.0);
+        prop_assert_eq!(grid.sum() as i64, layout.total_area());
+    }
+
+    /// `.glp` writing/parsing round-trips arbitrary rectangle layouts.
+    #[test]
+    fn glp_roundtrip(
+        coords in prop::collection::vec((0i64..1000, 0i64..1000, 1i64..200, 1i64..200), 1..10)
+    ) {
+        let mut layout = Layout::new();
+        layout.name = Some("prop".to_string());
+        for &(x, y, w, h) in &coords {
+            layout.push(Rect::from_origin_size(x, y, w, h).into());
+        }
+        let reparsed = parse_glp(&write_glp(&layout)).expect("roundtrip parses");
+        prop_assert_eq!(layout, reparsed);
+    }
+
+    /// The aerial image is non-negative and bounded by a small multiple
+    /// of the clear-field intensity for any binary mask.
+    #[test]
+    fn aerial_image_bounds(bits in prop::collection::vec(any::<bool>(), 16 * 16)) {
+        let sim = LithoSimulator::from_optics(
+            &OpticsConfig::iccad2013().with_kernel_count(4),
+            64,
+            4.0,
+        ).expect("valid configuration");
+        // Upsample the 16x16 random pattern to the 64x64 grid (4x blocks).
+        let mask = Grid::from_fn(64, 64, |x, y| {
+            if bits[(y / 4) * 16 + (x / 4)] { 1.0 } else { 0.0 }
+        });
+        let aerial = sim.aerial(&mask, ProcessCondition::NOMINAL);
+        for (_, _, &v) in aerial.iter_coords() {
+            prop_assert!(v >= -1e-9, "negative intensity {}", v);
+            prop_assert!(v <= 2.5, "unphysical intensity {}", v);
+        }
+    }
+}
