@@ -49,6 +49,10 @@ pub struct BaselineResult {
     pub cost_history: Vec<f64>,
 }
 
+// Referenced only from the `#[serde(default = "empty_grid")]` attribute
+// above; the vendored serde_derive stub does not expand attribute
+// arguments, so rustc sees no call site.
+#[allow(dead_code)]
 fn empty_grid() -> Grid<f64> {
     Grid::new(1, 1, 0.0)
 }
@@ -145,9 +149,8 @@ impl PixelEngine {
             }
 
             // dL/dθ = dL/dM ⊙ s_m·M·(1−M).
-            let grad_theta = grad_mask.zip_map(&mask, |&g, &m| {
-                g * self.latent_steepness * m * (1.0 - m)
-            });
+            let grad_theta =
+                grad_mask.zip_map(&mask, |&g, &m| g * self.latent_steepness * m * (1.0 - m));
             let peak = max_abs(&grad_theta);
             if peak <= 1e-14 {
                 break;
@@ -184,12 +187,8 @@ mod tests {
     use lsopc_optics::OpticsConfig;
 
     fn sim() -> LithoSimulator {
-        LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            64,
-            4.0,
-        )
-        .expect("valid configuration")
+        LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 64, 4.0)
+            .expect("valid configuration")
     }
 
     fn target() -> Grid<f64> {

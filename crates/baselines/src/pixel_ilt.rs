@@ -151,12 +151,9 @@ mod tests {
     use lsopc_optics::OpticsConfig;
 
     fn setup() -> (LithoSimulator, Grid<f64>) {
-        let sim = LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            64,
-            4.0,
-        )
-        .expect("valid configuration");
+        let sim =
+            LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 64, 4.0)
+                .expect("valid configuration");
         let target = Grid::from_fn(64, 64, |x, y| {
             if (26..38).contains(&x) && (12..52).contains(&y) {
                 1.0

@@ -119,12 +119,9 @@ mod tests {
     use lsopc_optics::OpticsConfig;
 
     fn setup() -> (LithoSimulator, Grid<f64>) {
-        let sim = LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            64,
-            4.0,
-        )
-        .expect("valid configuration");
+        let sim =
+            LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 64, 4.0)
+                .expect("valid configuration");
         let target = Grid::from_fn(64, 64, |x, y| {
             if (26..38).contains(&x) && (12..52).contains(&y) {
                 1.0
@@ -158,12 +155,8 @@ mod tests {
             .with_iterations(8)
             .optimize(&sim, &target)
             .expect("runs");
-        let best = |r: &BaselineResult| {
-            r.cost_history
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min)
-        };
+        let best =
+            |r: &BaselineResult| r.cost_history.iter().cloned().fold(f64::INFINITY, f64::min);
         // Momentum should do at least comparably well in the same budget.
         assert!(best(&momentum) <= best(&plain) * 1.25);
     }

@@ -105,9 +105,7 @@ impl MaskOptimizer for RuleOpc {
             None
         };
         let mask = Grid::from_fn(n, n, |x, y| {
-            let serifed = corner_dist
-                .as_ref()
-                .is_some_and(|d| d[(x, y)] <= serif_px);
+            let serifed = corner_dist.as_ref().is_some_and(|d| d[(x, y)] <= serif_px);
             if psi[(x, y)] <= bias_px || serifed {
                 1.0
             } else {
@@ -152,12 +150,9 @@ mod tests {
     use lsopc_optics::OpticsConfig;
 
     fn setup() -> (LithoSimulator, Grid<f64>) {
-        let sim = LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            64,
-            4.0,
-        )
-        .expect("valid configuration");
+        let sim =
+            LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 64, 4.0)
+                .expect("valid configuration");
         let target = Grid::from_fn(64, 64, |x, y| {
             if (26..38).contains(&x) && (12..52).contains(&y) {
                 1.0
@@ -171,7 +166,9 @@ mod tests {
     #[test]
     fn bias_grows_the_mask() {
         let (sim, target) = setup();
-        let result = RuleOpc::new(8.0, 0.0).optimize(&sim, &target).expect("runs");
+        let result = RuleOpc::new(8.0, 0.0)
+            .optimize(&sim, &target)
+            .expect("runs");
         assert!(result.mask.sum() > target.sum());
         // The mask contains the target.
         for (m, t) in result.mask.as_slice().iter().zip(target.as_slice()) {
@@ -182,15 +179,21 @@ mod tests {
     #[test]
     fn zero_rules_reproduce_the_target() {
         let (sim, target) = setup();
-        let result = RuleOpc::new(0.0, 0.0).optimize(&sim, &target).expect("runs");
+        let result = RuleOpc::new(0.0, 0.0)
+            .optimize(&sim, &target)
+            .expect("runs");
         assert_eq!(result.mask, target);
     }
 
     #[test]
     fn serifs_add_material_at_corners_only() {
         let (sim, target) = setup();
-        let plain = RuleOpc::new(4.0, 0.0).optimize(&sim, &target).expect("runs");
-        let serifed = RuleOpc::new(4.0, 12.0).optimize(&sim, &target).expect("runs");
+        let plain = RuleOpc::new(4.0, 0.0)
+            .optimize(&sim, &target)
+            .expect("runs");
+        let serifed = RuleOpc::new(4.0, 12.0)
+            .optimize(&sim, &target)
+            .expect("runs");
         assert!(serifed.mask.sum() > plain.mask.sum());
         // Far from corners (edge midpoint) the two agree.
         assert_eq!(plain.mask[(25, 32)], serifed.mask[(25, 32)]);
@@ -199,7 +202,9 @@ mod tests {
     #[test]
     fn biased_mask_prints_closer_to_target() {
         let (sim, target) = setup();
-        let result = RuleOpc::new(8.0, 12.0).optimize(&sim, &target).expect("runs");
+        let result = RuleOpc::new(8.0, 12.0)
+            .optimize(&sim, &target)
+            .expect("runs");
         let printed_raw = sim.print(&target, lsopc_litho::ProcessCondition::NOMINAL);
         let printed_opc = sim.print(&result.mask, lsopc_litho::ProcessCondition::NOMINAL);
         let err = |p: &Grid<f64>| -> f64 {

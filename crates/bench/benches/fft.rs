@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsopc_fft::{Fft2d, FftPlan};
-use lsopc_grid::{C64, Grid};
+use lsopc_grid::{Grid, C64};
 
 fn bench_fft_1d(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft_1d");

@@ -1,0 +1,114 @@
+//! Cached vs cold simulation hot path (the tentpole measurement).
+//!
+//! `cold_*` replays the pre-cache implementation faithfully: a fresh
+//! `Fft2d` plan per call, dense per-kernel spectrum embeddings and full
+//! dense transforms. `cached_*` is the production [`FftBackend`], which
+//! pulls the shared plan from `lsopc_fft::plan`, applies the sparse
+//! cached spectra from the per-`(KernelSet, grid)` cache and runs
+//! band-limited transforms that skip provably-zero spectrum columns.
+//! Target on the 1024² / K = 24 configuration: ≥ 1.5× per pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsopc_fft::{wrap_index, Fft2d};
+use lsopc_grid::{Grid, C64};
+use lsopc_litho::{FftBackend, SimBackend};
+use lsopc_optics::{KernelSet, OpticsConfig};
+
+const N: usize = 1024;
+const K: usize = 24;
+
+fn kernels() -> KernelSet {
+    OpticsConfig::iccad2013()
+        .with_field_nm(N as f64) // 1 nm/px
+        .with_kernel_count(K)
+        .kernels(0.0)
+}
+
+fn mask() -> Grid<f64> {
+    Grid::from_fn(N, N, |x, y| {
+        let a = (N / 8..N / 2).contains(&x) && (N / 4..N / 2).contains(&y);
+        let b = (5 * N / 8..7 * N / 8).contains(&x) && (N / 8..7 * N / 8).contains(&y);
+        if a || b {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn sensitivity() -> Grid<f64> {
+    Grid::from_fn(N, N, |x, y| {
+        0.02 * ((x as f64 * 0.21).sin() + (y as f64 * 0.13).cos())
+    })
+}
+
+/// The seed's aerial pass: fresh plan, dense embeddings, dense FFTs.
+fn cold_aerial(kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
+    let (w, h) = mask.dims();
+    let fft = Fft2d::<f64>::new(w, h);
+    let mhat = fft.forward_real(mask);
+    let mut intensity = Grid::new(w, h, 0.0);
+    for k in 0..kernels.len() {
+        let mut field = kernels.embed_full(k, w, h).zip_map(&mhat, |&s, &m| s * m);
+        fft.inverse(&mut field);
+        let wk = kernels.weight(k);
+        for (dst, e) in intensity.as_mut_slice().iter_mut().zip(field.as_slice()) {
+            *dst += wk * e.norm_sqr();
+        }
+    }
+    intensity
+}
+
+/// The seed's gradient pass: fresh plan, dense embeddings, dense FFTs.
+fn cold_gradient(kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
+    let (w, h) = mask.dims();
+    let fft = Fft2d::<f64>::new(w, h);
+    let mhat = fft.forward_real(mask);
+    let mut acc: Grid<C64> = Grid::new(w, h, C64::ZERO);
+    let c = kernels.center() as i64;
+    for k in 0..kernels.len() {
+        let mut field = kernels.embed_full(k, w, h).zip_map(&mhat, |&s, &m| s * m);
+        fft.inverse(&mut field);
+        for (fv, &zv) in field.as_mut_slice().iter_mut().zip(z.as_slice()) {
+            *fv = fv.scale(zv);
+        }
+        fft.forward(&mut field);
+        let window = kernels.spectrum(k);
+        let wk = kernels.weight(k);
+        for (i, j, &s) in window.iter_coords() {
+            if s == C64::ZERO {
+                continue;
+            }
+            let idx = (wrap_index(i as i64 - c, w), wrap_index(j as i64 - c, h));
+            acc[idx] += s.conj() * field[idx].scale(wk);
+        }
+    }
+    fft.inverse(&mut acc);
+    acc.map(|v| 2.0 * v.re)
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let ks = kernels();
+    let m = mask();
+    let z = sensitivity();
+    let backend = FftBackend::new();
+    // Warm the plan and spectrum caches so `cached_*` measures the
+    // steady state the optimizer loop sees.
+    let warm = backend.aerial_image(&ks, &m);
+    assert!(warm.sum() > 0.0);
+
+    let mut group = c.benchmark_group("sim_pass_1024x1024_k24");
+    group.sample_size(2);
+    group.bench_function("cold_aerial", |b| b.iter(|| cold_aerial(&ks, &m)));
+    group.bench_function("cached_aerial", |b| {
+        b.iter(|| backend.aerial_image(&ks, &m))
+    });
+    group.bench_function("cold_gradient", |b| b.iter(|| cold_gradient(&ks, &m, &z)));
+    group.bench_function("cached_gradient", |b| {
+        b.iter(|| backend.gradient(&ks, &m, &z))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_cache);
+criterion_main!(benches);

@@ -211,8 +211,16 @@ fn main() {
             "mask complexity: level-set {} fragments / jaggedness {:.2};              pixel-ilt {} fragments / jaggedness {:.2}              (paper §I: level-set suppresses irregularity)",
             c_ls.fragments, c_ls.jaggedness, c_px.fragments, c_px.jaggedness
         );
-        let _ = writeln!(csv, "complexity,levelset,{:.3},{},0,0", c_ls.jaggedness, c_ls.fragments);
-        let _ = writeln!(csv, "complexity,pixel_ilt,{:.3},{},0,0", c_px.jaggedness, c_px.fragments);
+        let _ = writeln!(
+            csv,
+            "complexity,levelset,{:.3},{},0,0",
+            c_ls.jaggedness, c_ls.fragments
+        );
+        let _ = writeln!(
+            csv,
+            "complexity,pixel_ilt,{:.3},{},0,0",
+            c_px.jaggedness, c_px.fragments
+        );
     }
 
     std::fs::write("results/ablation.csv", csv).ok();

@@ -109,7 +109,10 @@ fn main() {
         .optimize(&sim, &target)
         .expect("suite targets are well-formed");
     for i in 0..cg.history.len().max(plain.history.len()) {
-        let a = cg.history.get(i).map_or(String::new(), |r| format!("{:.4}", r.cost_total));
+        let a = cg
+            .history
+            .get(i)
+            .map_or(String::new(), |r| format!("{:.4}", r.cost_total));
         let b = plain
             .history
             .get(i)

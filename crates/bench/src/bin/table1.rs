@@ -26,7 +26,10 @@ fn main() {
         if cfg.case_filter.is_empty() {
             "all".to_string()
         } else {
-            format!("{:?}", cfg.case_filter.iter().map(|i| i + 1).collect::<Vec<_>>())
+            format!(
+                "{:?}",
+                cfg.case_filter.iter().map(|i| i + 1).collect::<Vec<_>>()
+            )
         }
     );
 

@@ -51,7 +51,11 @@ fn main() {
             "score: levelset vs {:<13} ratio {:.3} ({})",
             m.label(),
             ours / score(m),
-            if ours <= score(m) { "ours wins" } else { "ours loses" }
+            if ours <= score(m) {
+                "ours wins"
+            } else {
+                "ours loses"
+            }
         );
     }
     let (cpu, gpu, exact) = (
@@ -76,7 +80,10 @@ fn main() {
     );
     println!(
         "paper reference averages: scores {:?}, runtimes {:?}",
-        paper::TABLE1.iter().map(|r| r.avg_score).collect::<Vec<_>>(),
+        paper::TABLE1
+            .iter()
+            .map(|r| r.avg_score)
+            .collect::<Vec<_>>(),
         paper::TABLE2_AVG
     );
 

@@ -132,8 +132,7 @@ mod tests {
     #[test]
     fn table1_averages_match_rows() {
         for row in &TABLE1 {
-            let avg: f64 =
-                row.cases.iter().map(|&(_, _, s)| s as f64).sum::<f64>() / 10.0;
+            let avg: f64 = row.cases.iter().map(|&(_, _, s)| s as f64).sum::<f64>() / 10.0;
             // The printed averages round to the nearest integer.
             assert!(
                 (avg - row.avg_score).abs() <= 1.0,

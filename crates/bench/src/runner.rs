@@ -169,7 +169,12 @@ pub struct CaseOutcome {
 ///
 /// Panics if the optimization fails (malformed target), which cannot
 /// happen for the built-in suite.
-pub fn run_case(method: Method, cfg: &ExperimentConfig, case: &CaseSpec, layout: &Layout) -> CaseOutcome {
+pub fn run_case(
+    method: Method,
+    cfg: &ExperimentConfig,
+    case: &CaseSpec,
+    layout: &Layout,
+) -> CaseOutcome {
     let sim = cfg.simulator(method);
     let target = rasterize(layout, cfg.grid_px, cfg.grid_px, cfg.pixel_nm());
     let (mask, runtime_s) = optimize(method, cfg, &sim, &target);
@@ -328,7 +333,16 @@ mod tests {
     #[test]
     fn args_parse_round_trip() {
         let args: Vec<String> = [
-            "--grid", "256", "--kernels", "8", "--iters", "5", "--threads", "2", "--cases", "1,4",
+            "--grid",
+            "256",
+            "--kernels",
+            "8",
+            "--iters",
+            "5",
+            "--threads",
+            "2",
+            "--cases",
+            "1,4",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -33,7 +33,7 @@ impl CaseSpec {
                 index: i,
                 name: format!("B{}", i + 1),
                 target_area_nm2: area,
-                seed: 0x1CCAD_2013 + i as u64,
+                seed: 0x1CCAD2013 + i as u64,
             })
             .collect()
     }

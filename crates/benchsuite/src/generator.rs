@@ -102,16 +102,10 @@ pub fn generate_layout(case: &CaseSpec) -> Layout {
         "adjuster lengths out of range: {len1}, {len2} (d = {d})"
     );
     layout.push(Shape::Rect(Rect::from_origin_size(
-        adj1.x0,
-        adj1.y0,
-        len1,
-        61,
+        adj1.x0, adj1.y0, len1, 61,
     )));
     layout.push(Shape::Rect(Rect::from_origin_size(
-        adj2.x0,
-        adj2.y0,
-        len2,
-        60,
+        adj2.x0, adj2.y0, len2, 60,
     )));
     debug_assert_eq!(layout.total_area(), target);
     layout
@@ -128,13 +122,17 @@ fn random_shape(rng: &mut StdRng, remaining: i64) -> Option<Shape> {
         let shape = match rng.gen_range(0..10) {
             // Vertical wire.
             0..=2 => {
-                let w = *[56i64, 64, 72, 80].get(rng.gen_range(0..4)).expect("static");
+                let w = *[56i64, 64, 72, 80]
+                    .get(rng.gen_range(0..4))
+                    .expect("static");
                 let h = rng.gen_range(160..=720);
                 Shape::Rect(Rect::from_origin_size(0, 0, w, h))
             }
             // Horizontal wire.
             3..=5 => {
-                let h = *[56i64, 64, 72, 80].get(rng.gen_range(0..4)).expect("static");
+                let h = *[56i64, 64, 72, 80]
+                    .get(rng.gen_range(0..4))
+                    .expect("static");
                 let w = rng.gen_range(160..=720);
                 Shape::Rect(Rect::from_origin_size(0, 0, w, h))
             }

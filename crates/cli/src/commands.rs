@@ -29,7 +29,10 @@ The field is 2048nm; --grid sets the pixels per side (power of two).";
 
 type CliResult = Result<(), Box<dyn Error>>;
 
-fn build_sim(flags: &Flags, default_grid: usize) -> Result<(LithoSimulator, usize, f64), Box<dyn Error>> {
+fn build_sim(
+    flags: &Flags,
+    default_grid: usize,
+) -> Result<(LithoSimulator, usize, f64), Box<dyn Error>> {
     let grid: usize = flags.num("grid", default_grid)?;
     let kernels: usize = flags.num("kernels", 24)?;
     let pixel_nm = 2048.0 / grid as f64;
@@ -39,8 +42,7 @@ fn build_sim(flags: &Flags, default_grid: usize) -> Result<(LithoSimulator, usiz
 }
 
 fn load_layout(path: &str) -> Result<Layout, Box<dyn Error>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(parse_glp(&text)?)
 }
 
@@ -139,7 +141,10 @@ pub fn report(args: &[String]) -> CliResult {
         (min_space_nm / pixel_nm).round().max(1.0) as usize,
     );
     let title = mask_layout.name.as_deref().unwrap_or("mask").to_string();
-    print!("{}", render_report(&title, &eval, &complexity, Some(&mrc), 0.0));
+    print!(
+        "{}",
+        render_report(&title, &eval, &complexity, Some(&mrc), 0.0)
+    );
     Ok(())
 }
 

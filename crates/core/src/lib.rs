@@ -58,4 +58,4 @@ mod tiles;
 pub use config::{Evolution, LevelSetIlt, LevelSetIltBuilder};
 pub use history::IterationRecord;
 pub use optimizer::{IltResult, OptimizeError};
-pub use tiles::{TiledIlt, TiledError};
+pub use tiles::{TiledError, TiledIlt};

@@ -160,8 +160,7 @@ impl LevelSetIlt {
                 Evolution::HeavyBall { beta: momentum } => {
                     if let Some(v_prev) = prev_velocity.as_ref() {
                         beta = momentum;
-                        for (v, &pv) in velocity.as_mut_slice().iter_mut().zip(v_prev.as_slice())
-                        {
+                        for (v, &pv) in velocity.as_mut_slice().iter_mut().zip(v_prev.as_slice()) {
                             *v += momentum * pv;
                         }
                     }
@@ -272,12 +271,8 @@ mod tests {
     use lsopc_optics::OpticsConfig;
 
     fn sim() -> LithoSimulator {
-        LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            64,
-            4.0,
-        )
-        .expect("valid configuration")
+        LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 64, 4.0)
+            .expect("valid configuration")
     }
 
     fn wire_target() -> Grid<f64> {
@@ -318,11 +313,7 @@ mod tests {
             .build()
             .optimize(&sim, &wire_target())
             .expect("optimization runs");
-        assert!(result
-            .mask
-            .as_slice()
-            .iter()
-            .all(|&v| v == 0.0 || v == 1.0));
+        assert!(result.mask.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
         assert!(result.mask.sum() > 0.0);
     }
 
@@ -440,12 +431,8 @@ mod evolution_tests {
     use lsopc_optics::OpticsConfig;
 
     fn sim() -> LithoSimulator {
-        LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            64,
-            4.0,
-        )
-        .expect("valid configuration")
+        LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 64, 4.0)
+            .expect("valid configuration")
     }
 
     fn target() -> Grid<f64> {
@@ -507,12 +494,9 @@ mod line_search_tests {
 
     #[test]
     fn line_search_never_does_worse_than_plain() {
-        let sim = LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            64,
-            4.0,
-        )
-        .expect("valid configuration");
+        let sim =
+            LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 64, 4.0)
+                .expect("valid configuration");
         let target = Grid::from_fn(64, 64, |x, y| {
             if (26..38).contains(&x) && (12..52).contains(&y) {
                 1.0

@@ -146,12 +146,9 @@ mod tests {
 
     #[test]
     fn srafs_do_not_print() {
-        let sim = LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(8),
-            128,
-            4.0,
-        )
-        .expect("valid configuration");
+        let sim =
+            LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(8), 128, 4.0)
+                .expect("valid configuration");
         let target = isolated_wire(128);
         let seeded = seed_srafs(&target, rule());
         let printed = sim.print(&seeded, ProcessCondition::NOMINAL);
@@ -165,12 +162,9 @@ mod tests {
     fn srafs_brighten_the_feature_edge() {
         // The scattering bars add constructive light at the main feature
         // edge — the whole point of SRAFs.
-        let sim = LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(8),
-            128,
-            4.0,
-        )
-        .expect("valid configuration");
+        let sim =
+            LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(8), 128, 4.0)
+                .expect("valid configuration");
         let target = isolated_wire(128);
         let seeded = seed_srafs(&target, rule());
         let plain = sim.aerial(&target, ProcessCondition::NOMINAL);

@@ -133,8 +133,7 @@ impl TiledIlt {
             )));
         }
         let tile = self.tile_px();
-        let sim = LithoSimulator::from_optics(optics, tile, pixel_nm)?
-            .with_accelerated_backend(1);
+        let sim = LithoSimulator::from_optics(optics, tile, pixel_nm)?.with_accelerated_backend(1);
         let mut out = Grid::new(w, h, 0.0);
         for ty in (0..h).step_by(self.core_px) {
             for tx in (0..w).step_by(self.core_px) {
@@ -155,8 +154,7 @@ impl TiledIlt {
                 // Paste the core region.
                 for y in 0..self.core_px {
                     for x in 0..self.core_px {
-                        out[(tx + x, ty + y)] =
-                            result.mask[(x + self.halo_px, y + self.halo_px)];
+                        out[(tx + x, ty + y)] = result.mask[(x + self.halo_px, y + self.halo_px)];
                     }
                 }
             }
@@ -189,11 +187,7 @@ mod tests {
 
     #[test]
     fn tiled_mask_covers_both_features() {
-        let tiled = TiledIlt::new(
-            LevelSetIlt::builder().max_iterations(6).build(),
-            128,
-            64,
-        );
+        let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(6).build(), 128, 64);
         let target = two_tile_target();
         let mask = tiled.optimize(&optics(), &target, 4.0).expect("tiles run");
         assert_eq!(mask.dims(), (256, 256));
@@ -236,11 +230,7 @@ mod tests {
 
     #[test]
     fn empty_tiles_are_skipped_cheaply() {
-        let tiled = TiledIlt::new(
-            LevelSetIlt::builder().max_iterations(4).build(),
-            128,
-            64,
-        );
+        let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(4).build(), 128, 64);
         let target = Grid::from_fn(512, 512, |x, y| {
             if (40..60).contains(&x) && (30..90).contains(&y) {
                 1.0
@@ -261,7 +251,9 @@ mod tests {
     fn rejects_misaligned_target() {
         let tiled = TiledIlt::new(LevelSetIlt::default(), 128, 64);
         let target = Grid::new(200, 200, 1.0);
-        let err = tiled.optimize(&optics(), &target, 4.0).expect_err("misaligned");
+        let err = tiled
+            .optimize(&optics(), &target, 4.0)
+            .expect_err("misaligned");
         assert!(matches!(err, TiledError::BadConfiguration(_)));
         assert!(err.to_string().contains("multiple"));
     }

@@ -1,0 +1,165 @@
+//! Process-wide cache of 2-D FFT plans.
+//!
+//! Building an [`Fft2d`] computes twiddle-factor and bit-reversal tables;
+//! doing that on every simulation call wastes work and, worse, hides the
+//! plan's identity from callers that could otherwise share it. This
+//! module gives the workspace one canonical plan per `(width, height)`:
+//!
+//! * [`PlanCache`] — an injectable cache instance, for tests and for
+//!   callers that want isolated plan lifetimes;
+//! * [`PlanCache::global`] — the process-global instance every hot path
+//!   (backends, convolution helpers, optics kernel construction) goes
+//!   through;
+//! * [`plan`] — shorthand for `PlanCache::global().plan(w, h)`.
+//!
+//! Plans are returned as `Arc<Fft2d<f64>>`: repeated lookups of the same
+//! size return clones of the *same* allocation, so callers may compare
+//! with `Arc::ptr_eq` and hold plans across iterations for free.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lsopc_grid::Scalar;
+use parking_lot::RwLock;
+
+use crate::Fft2d;
+
+/// Plans stored by the cache, keyed by `(width, height)`.
+type PlanMap = HashMap<(usize, usize), Arc<Fft2d<f64>>>;
+
+/// A thread-safe cache of [`Fft2d`] plans keyed by `(width, height)`.
+///
+/// Reads take a shared lock, so concurrent simulation threads hitting
+/// already-built plans never serialize; only the first construction of a
+/// given size takes the write lock.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: RwLock<PlanMap>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The process-global cache shared by all simulation hot paths.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: std::sync::LazyLock<PlanCache> = std::sync::LazyLock::new(PlanCache::new);
+        &GLOBAL
+    }
+
+    /// Returns the shared plan for `width` x `height` grids, building it
+    /// on first use. All callers asking for the same size get the same
+    /// `Arc` allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or not a power of two (same
+    /// contract as [`Fft2d::new`]).
+    pub fn plan(&self, width: usize, height: usize) -> Arc<Fft2d<f64>> {
+        if let Some(plan) = self.plans.read().get(&(width, height)) {
+            return Arc::clone(plan);
+        }
+        let mut plans = self.plans.write();
+        // Re-check under the write lock: another thread may have built
+        // the plan between our read and write acquisitions, and every
+        // caller must observe the same Arc.
+        Arc::clone(
+            plans
+                .entry((width, height))
+                .or_insert_with(|| Arc::new(Fft2d::new(width, height))),
+        )
+    }
+
+    /// Number of distinct plan sizes currently cached.
+    pub fn len(&self) -> usize {
+        self.plans.read().len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.plans.read().is_empty()
+    }
+
+    /// Drops all cached plans. Outstanding `Arc`s stay valid; subsequent
+    /// lookups rebuild.
+    pub fn clear(&self) {
+        self.plans.write().clear();
+    }
+}
+
+/// Shared plan for `width` x `height` grids from the process-global
+/// cache. See [`PlanCache::plan`].
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or not a power of two.
+pub fn plan(width: usize, height: usize) -> Arc<Fft2d<f64>> {
+    PlanCache::global().plan(width, height)
+}
+
+/// Scalar-generic access to the global cache: `f64` requests hit the
+/// shared cache, other scalar types build a fresh plan (the workspace's
+/// hot paths are all `f64`; `f32` support exists for completeness).
+pub(crate) fn plan_for<T: Scalar>(width: usize, height: usize) -> Arc<Fft2d<T>> {
+    let any: Arc<dyn std::any::Any + Send + Sync> = plan(width, height);
+    match any.downcast::<Fft2d<T>>() {
+        Ok(plan) => plan,
+        Err(_) => Arc::new(Fft2d::new(width, height)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_size_returns_same_arc() {
+        let cache = PlanCache::new();
+        let a = cache.plan(16, 8);
+        let b = cache.plan(16, 8);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        let c = cache.plan(8, 16);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_plan_transforms_like_a_fresh_one() {
+        use lsopc_grid::{Grid, C64};
+        let cache = PlanCache::new();
+        let plan = cache.plan(8, 8);
+        let fresh = Fft2d::<f64>::new(8, 8);
+        let g = Grid::from_fn(8, 8, |x, y| C64::new(x as f64, y as f64));
+        let mut a = g.clone();
+        let mut b = g;
+        plan.forward(&mut a);
+        fresh.forward(&mut b);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn clear_keeps_outstanding_arcs_usable() {
+        use lsopc_grid::{Grid, C64};
+        let cache = PlanCache::new();
+        let plan = cache.plan(4, 4);
+        cache.clear();
+        assert!(cache.is_empty());
+        let mut g = Grid::new(4, 4, C64::ONE);
+        plan.forward(&mut g);
+        let rebuilt = cache.plan(4, 4);
+        assert!(!Arc::ptr_eq(&plan, &rebuilt));
+    }
+
+    #[test]
+    fn generic_helper_reuses_f64_plans() {
+        // The global cache is shared; use a size no other test asks for.
+        let a = plan_for::<f64>(64, 2);
+        let b = plan(64, 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = plan_for::<f32>(64, 2);
+        assert_eq!((c.width(), c.height()), (64, 2));
+    }
+}

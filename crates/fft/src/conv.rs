@@ -1,6 +1,5 @@
 //! FFT-based cyclic convolution helpers.
 
-use crate::Fft2d;
 use lsopc_grid::{Complex, Grid, Scalar};
 
 /// Element-wise product of two same-shape complex grids (spectral
@@ -9,7 +8,10 @@ use lsopc_grid::{Complex, Grid, Scalar};
 /// # Panics
 ///
 /// Panics if the grids have different dimensions.
-pub fn spectrum_multiply<T: Scalar>(a: &Grid<Complex<T>>, b: &Grid<Complex<T>>) -> Grid<Complex<T>> {
+pub fn spectrum_multiply<T: Scalar>(
+    a: &Grid<Complex<T>>,
+    b: &Grid<Complex<T>>,
+) -> Grid<Complex<T>> {
     a.zip_map(b, |&x, &y| x * y)
 }
 
@@ -65,7 +67,7 @@ pub fn spectrum_accumulate<T: Scalar>(
 pub fn convolve_cyclic<T: Scalar>(a: &Grid<Complex<T>>, b: &Grid<Complex<T>>) -> Grid<Complex<T>> {
     assert_eq!(a.dims(), b.dims(), "grid dimensions must match");
     let (w, h) = a.dims();
-    let fft = Fft2d::new(w, h);
+    let fft = crate::cache::plan_for::<T>(w, h);
     let mut fa = a.clone();
     let mut fb = b.clone();
     fft.forward(&mut fa);

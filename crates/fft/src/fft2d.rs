@@ -83,7 +83,22 @@ impl<T: Scalar> Fft2d<T> {
             self.width,
             self.height
         );
-        // Row pass.
+        // The separable transform runs rows-then-columns forward and
+        // columns-then-rows inverse. The order is load-bearing: the
+        // band-limited paths ([`Self::inverse_band`], [`Self::forward_band`])
+        // skip zero columns, and skipping is exactly equivalent to the
+        // dense transform only when the dense column pass sees the
+        // original (still banded) spectrum, not an intermediate.
+        if inverse {
+            self.column_pass(g, true);
+            self.row_pass(g, true);
+        } else {
+            self.row_pass(g, false);
+            self.column_pass(g, false);
+        }
+    }
+
+    fn row_pass(&self, g: &mut Grid<Complex<T>>, inverse: bool) {
         for y in 0..self.height {
             if inverse {
                 self.row_plan.inverse(g.row_mut(y));
@@ -91,7 +106,10 @@ impl<T: Scalar> Fft2d<T> {
                 self.row_plan.forward(g.row_mut(y));
             }
         }
-        // Column pass via transpose so each 1-D FFT is contiguous.
+    }
+
+    /// Column pass via transpose so each 1-D FFT is contiguous.
+    fn column_pass(&self, g: &mut Grid<Complex<T>>, inverse: bool) {
         let mut t = transpose(g);
         for x in 0..self.width {
             if inverse {
@@ -101,6 +119,77 @@ impl<T: Scalar> Fft2d<T> {
             }
         }
         transpose_into(&t, g);
+    }
+
+    /// In-place inverse transform of a spectrum that is nonzero only on
+    /// the columns listed in `cols` (deduplicated, each `< width`).
+    ///
+    /// Produces the same result as [`Self::inverse`]: the inverse runs
+    /// columns first, a zero column's inverse FFT is identically zero, so
+    /// skipping the columns outside `cols` changes nothing. Cost drops
+    /// from `W` column FFTs to `|cols|`, and the transpose pair is
+    /// replaced by gather/scatter of just those columns — for
+    /// band-limited kernel spectra this roughly halves the transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid dimensions differ from the planned size or any
+    /// column index is out of range.
+    pub fn inverse_band(&self, g: &mut Grid<Complex<T>>, cols: &[usize]) {
+        assert_eq!(
+            g.dims(),
+            (self.width, self.height),
+            "grid dimensions must match plan ({}x{})",
+            self.width,
+            self.height
+        );
+        let mut scratch = vec![Complex::ZERO; self.height];
+        for &x in cols {
+            assert!(x < self.width, "band column {x} out of range");
+            for (y, s) in scratch.iter_mut().enumerate() {
+                *s = g[(x, y)];
+            }
+            self.col_plan.inverse(&mut scratch);
+            for (y, s) in scratch.iter().enumerate() {
+                g[(x, y)] = *s;
+            }
+        }
+        self.row_pass(g, true);
+    }
+
+    /// In-place forward transform evaluated only on the spectrum columns
+    /// listed in `cols` (deduplicated, each `< width`).
+    ///
+    /// On the listed columns the result is identical to [`Self::forward`];
+    /// entries in all other columns are **unspecified** (they hold the
+    /// row-pass intermediate). Callers that only read a band of the
+    /// spectrum — e.g. the sparse kernel-window accumulation in the
+    /// gradient — skip `W - |cols|` column FFTs this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid dimensions differ from the planned size or any
+    /// column index is out of range.
+    pub fn forward_band(&self, g: &mut Grid<Complex<T>>, cols: &[usize]) {
+        assert_eq!(
+            g.dims(),
+            (self.width, self.height),
+            "grid dimensions must match plan ({}x{})",
+            self.width,
+            self.height
+        );
+        self.row_pass(g, false);
+        let mut scratch = vec![Complex::ZERO; self.height];
+        for &x in cols {
+            assert!(x < self.width, "band column {x} out of range");
+            for (y, s) in scratch.iter_mut().enumerate() {
+                *s = g[(x, y)];
+            }
+            self.col_plan.forward(&mut scratch);
+            for (y, s) in scratch.iter().enumerate() {
+                g[(x, y)] = *s;
+            }
+        }
     }
 
     /// Computes the forward transform of a real grid, returning a fresh
@@ -221,5 +310,76 @@ mod tests {
         let fft = Fft2d::<f64>::new(8, 8);
         let mut g = Grid::new(4, 4, C64::ZERO);
         fft.forward(&mut g);
+    }
+
+    #[test]
+    fn inverse_band_is_exact_on_banded_spectra() {
+        let (w, h) = (32, 16);
+        let fft = Fft2d::<f64>::new(w, h);
+        // Spectrum nonzero only on a wrapped set of columns.
+        let cols = [0usize, 1, 2, 30, 31, 7];
+        let dense = {
+            let noise = rand_grid(w, h, 11);
+            Grid::from_fn(w, h, |x, y| {
+                if cols.contains(&x) {
+                    noise[(x, y)]
+                } else {
+                    C64::ZERO
+                }
+            })
+        };
+        let mut full = dense.clone();
+        fft.inverse(&mut full);
+        let mut banded = dense;
+        fft.inverse_band(&mut banded, &cols);
+        // Exactly equal, not merely close: the band path runs the same
+        // arithmetic on the same values and skips only zero columns.
+        for (a, b) in full.as_slice().iter().zip(banded.as_slice()) {
+            assert_eq!(a.re, b.re);
+            assert_eq!(a.im, b.im);
+        }
+    }
+
+    #[test]
+    fn forward_band_matches_dense_on_listed_columns() {
+        let (w, h) = (16, 32);
+        let fft = Fft2d::<f64>::new(w, h);
+        let g = rand_grid(w, h, 23);
+        let cols = [0usize, 3, 8, 15];
+        let mut dense = g.clone();
+        fft.forward(&mut dense);
+        let mut banded = g;
+        fft.forward_band(&mut banded, &cols);
+        for &x in &cols {
+            for y in 0..h {
+                assert_eq!(dense[(x, y)].re, banded[(x, y)].re);
+                assert_eq!(dense[(x, y)].im, banded[(x, y)].im);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_roundtrip_recovers_band_limited_signal() {
+        // forward_band ∘ inverse_band on a band-limited spectrum is the
+        // identity on the band.
+        let (w, h) = (16, 16);
+        let fft = Fft2d::<f64>::new(w, h);
+        let cols = [0usize, 1, 14, 15];
+        let noise = rand_grid(w, h, 5);
+        let spectrum = Grid::from_fn(w, h, |x, y| {
+            if cols.contains(&x) {
+                noise[(x, y)]
+            } else {
+                C64::ZERO
+            }
+        });
+        let mut field = spectrum.clone();
+        fft.inverse_band(&mut field, &cols);
+        fft.forward_band(&mut field, &cols);
+        for &x in &cols {
+            for y in 0..h {
+                assert!((field[(x, y)] - spectrum[(x, y)]).norm() < 1e-12);
+            }
+        }
     }
 }

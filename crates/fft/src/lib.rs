@@ -7,7 +7,11 @@
 //!
 //! * [`FftPlan`] — an iterative radix-2 decimation-in-time 1-D transform
 //!   with precomputed twiddle factors and bit-reversal tables;
-//! * [`Fft2d`] — row-column 2-D transforms over [`lsopc_grid::Grid`];
+//! * [`Fft2d`] — row-column 2-D transforms over [`lsopc_grid::Grid`],
+//!   including band-limited variants ([`Fft2d::inverse_band`],
+//!   [`Fft2d::forward_band`]) that skip zero spectrum columns;
+//! * [`PlanCache`]/[`plan`] — a process-wide cache handing out shared
+//!   `Arc<Fft2d>` plans so hot paths never rebuild twiddle tables;
 //! * [`naive_dft`]/[`naive_dft2d`] — O(n²) reference transforms used by the
 //!   test-suite to pin correctness;
 //! * convolution helpers and `fftshift` utilities.
@@ -37,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod conv;
 mod fft2d;
 mod plan;
@@ -44,6 +49,7 @@ mod reference;
 mod resample;
 mod shift;
 
+pub use cache::{plan, PlanCache};
 pub use conv::{convolve_cyclic, spectrum_accumulate, spectrum_multiply};
 pub use fft2d::Fft2d;
 pub use plan::FftPlan;

@@ -38,10 +38,19 @@ impl<T: Scalar> FftPlan<T> {
     ///
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n > 0 && n.is_power_of_two(), "fft length {n} must be a power of two");
+        assert!(
+            n > 0 && n.is_power_of_two(),
+            "fft length {n} must be a power of two"
+        );
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
-            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect();
         let twiddles = (0..n / 2)
             .map(|k| {
@@ -154,7 +163,10 @@ mod tests {
     }
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).norm()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).norm())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub fn naive_dft<T: Scalar>(x: &[Complex<T>], inverse: bool) -> Vec<Complex<T>> 
     for k in 0..n {
         let mut acc = Complex::ZERO;
         for (j, &v) in x.iter().enumerate() {
-            let theta = T::from_f64(sign * 2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64);
+            let theta =
+                T::from_f64(sign * 2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64);
             acc += v * Complex::cis(theta);
         }
         if inverse {

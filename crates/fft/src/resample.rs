@@ -6,8 +6,8 @@
 //! internally. [`upsample_spectral`] exposes it as a utility (e.g. for
 //! writing 1 nm/px figures from an 8 nm/px simulation).
 
-use crate::{wrap_index, Fft2d};
-use lsopc_grid::{C64, Grid};
+use crate::wrap_index;
+use lsopc_grid::{Grid, C64};
 
 /// Upsamples a real periodic field by an integer factor via spectral
 /// zero-padding.
@@ -46,8 +46,8 @@ pub fn upsample_spectral(g: &Grid<f64>, factor: usize) -> Grid<f64> {
     }
     let (w, h) = g.dims();
     let (big_w, big_h) = (w * factor, h * factor);
-    let fft_small = Fft2d::new(w, h);
-    let fft_big = Fft2d::new(big_w, big_h);
+    let fft_small = crate::plan(w, h);
+    let fft_big = crate::plan(big_w, big_h);
     let spectrum = fft_small.forward_real(g);
 
     let mut big = Grid::new(big_w, big_h, C64::ZERO);

@@ -28,8 +28,8 @@ pub fn wrap_index(k: i64, n: usize) -> usize {
 pub fn fftshift<T: Copy>(g: &Grid<T>) -> Grid<T> {
     let (w, h) = g.dims();
     Grid::from_fn(w, h, |x, y| {
-        let sx = (x + (w + 1) / 2) % w;
-        let sy = (y + (h + 1) / 2) % h;
+        let sx = (x + w.div_ceil(2)) % w;
+        let sy = (y + h.div_ceil(2)) % h;
         g[(sx, sy)]
     })
 }
@@ -38,8 +38,8 @@ pub fn fftshift<T: Copy>(g: &Grid<T>) -> Grid<T> {
 pub fn ifftshift<T: Copy>(g: &Grid<T>) -> Grid<T> {
     let (w, h) = g.dims();
     Grid::from_fn(w, h, |x, y| {
-        let sx = (x + w - (w + 1) / 2 + w) % w;
-        let sy = (y + h - (h + 1) / 2 + h) % h;
+        let sx = (x + w - w.div_ceil(2) + w) % w;
+        let sy = (y + h - h.div_ceil(2) + h) % h;
         // Equivalent to indexing with x - floor((w+1)/2) wrapped.
         g[(sx % w, sy % h)]
     })

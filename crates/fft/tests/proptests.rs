@@ -1,7 +1,7 @@
 //! Property-based invariants of the FFT substrate.
 
 use lsopc_fft::{convolve_cyclic, naive_dft, Fft2d, FftPlan};
-use lsopc_grid::{C64, Grid};
+use lsopc_grid::{Grid, C64};
 use proptest::prelude::*;
 
 fn signal(len: usize) -> impl Strategy<Value = Vec<C64>> {

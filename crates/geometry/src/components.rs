@@ -61,7 +61,10 @@ pub fn label_components(grid: &Grid<f64>, threshold: f64) -> (Grid<u32>, Vec<Com
             while let Some((x, y)) = stack.pop() {
                 area += 1;
                 bbox = bbox.union_bbox(&Rect::new(x as i64, y as i64, x as i64 + 1, y as i64 + 1));
-                let visit = |nx: usize, ny: usize, labels: &mut Grid<u32>, stack: &mut Vec<(usize, usize)>| {
+                let visit = |nx: usize,
+                             ny: usize,
+                             labels: &mut Grid<u32>,
+                             stack: &mut Vec<(usize, usize)>| {
                     if grid[(nx, ny)] >= threshold && labels[(nx, ny)] == 0 {
                         labels[(nx, ny)] = label;
                         stack.push((nx, ny));

@@ -19,10 +19,7 @@ pub struct Contour {
 impl Contour {
     /// Total polyline length in pixels.
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 }
 
@@ -220,7 +217,10 @@ mod tests {
         assert!(cs[0].closed);
         // Circumference of a radius-6 circle is about 37.7 pixels.
         let len = cs[0].length();
-        assert!((len - 2.0 * std::f64::consts::PI * 6.0).abs() < 2.0, "len={len}");
+        assert!(
+            (len - 2.0 * std::f64::consts::PI * 6.0).abs() < 2.0,
+            "len={len}"
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl ParseGdsError {
 
 impl fmt::Display for ParseGdsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "gds parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "gds parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -185,7 +189,7 @@ pub fn parse_gds(bytes: &[u8]) -> Result<Layout, ParseGdsError> {
                 if !in_boundary {
                     return Err(ParseGdsError::new(pos, "XY outside BOUNDARY"));
                 }
-                if payload.len() % 8 != 0 {
+                if !payload.len().is_multiple_of(8) {
                     return Err(ParseGdsError::new(pos, "XY payload not 8-byte aligned"));
                 }
                 let mut pts = Vec::with_capacity(payload.len() / 8);
@@ -205,8 +209,8 @@ pub fn parse_gds(bytes: &[u8]) -> Result<Layout, ParseGdsError> {
                     if pts.len() >= 2 && pts.first() == pts.last() {
                         pts.pop();
                     }
-                    let poly = Polygon::new(pts)
-                        .map_err(|e| ParseGdsError::new(pos, e.to_string()))?;
+                    let poly =
+                        Polygon::new(pts).map_err(|e| ParseGdsError::new(pos, e.to_string()))?;
                     layout.push(Shape::Polygon(poly));
                     in_boundary = false;
                 }
@@ -241,7 +245,9 @@ mod tests {
 
     #[test]
     fn gds_real_roundtrip() {
-        for v in [0.0, 1.0, -1.0, 0.001, 1e-9, 2048.0, 193.5, -0.06125, 6.02e23, 1.6e-19] {
+        for v in [
+            0.0, 1.0, -1.0, 0.001, 1e-9, 2048.0, 193.5, -0.06125, 6.02e23, 1.6e-19,
+        ] {
             let round = from_gds_real(to_gds_real(v));
             let err = if v == 0.0 {
                 round.abs()

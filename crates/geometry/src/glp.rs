@@ -219,7 +219,9 @@ mod tests {
     #[test]
     fn rejects_diagonal_polygon() {
         let err = parse_glp("PGON 0 0 5 5 10 0 0 0 ;").expect_err("bad");
-        assert!(err.to_string().contains("axis-parallel") || err.to_string().contains("zero length"));
+        assert!(
+            err.to_string().contains("axis-parallel") || err.to_string().contains("zero length")
+        );
     }
 
     #[test]

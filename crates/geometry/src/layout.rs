@@ -191,7 +191,10 @@ mod tests {
     #[test]
     fn extend_appends() {
         let mut l = Layout::new();
-        l.extend([Shape::from(Rect::new(0, 0, 1, 1)), Shape::from(Rect::new(2, 2, 3, 3))]);
+        l.extend([
+            Shape::from(Rect::new(0, 0, 1, 1)),
+            Shape::from(Rect::new(2, 2, 3, 3)),
+        ]);
         assert_eq!(l.len(), 2);
     }
 }

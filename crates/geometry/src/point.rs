@@ -12,7 +12,9 @@ use std::fmt;
 /// let p = Point::new(10, -4) + Point::new(2, 4);
 /// assert_eq!(p, Point::new(12, 0));
 /// ```
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate (nm).
     pub x: i64,

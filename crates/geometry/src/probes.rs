@@ -65,7 +65,11 @@ pub fn probe_sites(layout: &Layout, spacing_nm: f64) -> Vec<ProbeSite> {
                 continue;
             }
             let dir = FPoint::new((bx - ax) / len, (by - ay) / len);
-            let axis = if a.y == b.y { Axis::Horizontal } else { Axis::Vertical };
+            let axis = if a.y == b.y {
+                Axis::Horizontal
+            } else {
+                Axis::Vertical
+            };
             // Decide outward normal by probing just off the edge midpoint.
             let mid = FPoint::new((ax + bx) / 2.0, (ay + by) / 2.0);
             let n = FPoint::new(-dir.y, dir.x);
@@ -158,7 +162,8 @@ mod tests {
     fn probes_avoid_corners() {
         let layout = rect_layout(Rect::new(0, 0, 120, 120));
         for p in probe_sites(&layout, 40.0) {
-            let on_corner = (p.pos.x == 0.0 || p.pos.x == 120.0) && (p.pos.y == 0.0 || p.pos.y == 120.0);
+            let on_corner =
+                (p.pos.x == 0.0 || p.pos.x == 120.0) && (p.pos.y == 0.0 || p.pos.y == 120.0);
             assert!(!on_corner);
         }
     }

@@ -109,10 +109,7 @@ pub fn mask_to_polygons(mask: &Grid<f64>, pixel_nm: f64) -> Vec<Polygon> {
     let mut starts: Vec<(i64, i64)> = outgoing.keys().copied().collect();
     starts.sort_unstable();
     for start in starts {
-        loop {
-            let Some(first_dir) = outgoing.get_mut(&start).and_then(Vec::pop) else {
-                break;
-            };
+        while let Some(first_dir) = outgoing.get_mut(&start).and_then(Vec::pop) {
             let mut vertices: Vec<Point> = vec![Point::new(start.0, start.1)];
             let mut pos = start;
             let mut dir = first_dir;

@@ -4,7 +4,6 @@ use lsopc_geometry::{
     label_components, mask_to_polygons, parse_glp, polygons_to_layout, probe_sites, rasterize,
     write_glp, Layout, Polygon, Rect,
 };
-use lsopc_grid::Grid;
 use proptest::prelude::*;
 
 /// Disjoint rectangles on an 8-px-pitch grid inside a 64x64 field.

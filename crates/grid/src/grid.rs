@@ -230,7 +230,10 @@ impl<T: Copy> Grid<T> {
     ///
     /// Panics if the window does not fit inside the grid.
     pub fn window(&self, x0: usize, y0: usize, w: usize, h: usize) -> Grid<T> {
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "window out of bounds");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "window out of bounds"
+        );
         Grid::from_fn(w, h, |x, y| self[(x0 + x, y0 + y)])
     }
 }
@@ -246,7 +249,7 @@ impl Grid<f64> {
     pub fn downsample(&self, factor: usize) -> Grid<f64> {
         assert!(factor > 0, "factor must be positive");
         assert!(
-            self.width % factor == 0 && self.height % factor == 0,
+            self.width.is_multiple_of(factor) && self.height.is_multiple_of(factor),
             "dimensions {}x{} not divisible by {}",
             self.width,
             self.height,
@@ -296,7 +299,10 @@ impl<T> Index<(usize, usize)> for Grid<T> {
     /// Panics if `x >= width` or `y >= height`.
     #[inline]
     fn index(&self, (x, y): (usize, usize)) -> &T {
-        debug_assert!(x < self.width && y < self.height, "index ({x},{y}) out of bounds");
+        debug_assert!(
+            x < self.width && y < self.height,
+            "index ({x},{y}) out of bounds"
+        );
         &self.data[y * self.width + x]
     }
 }
@@ -304,7 +310,10 @@ impl<T> Index<(usize, usize)> for Grid<T> {
 impl<T> IndexMut<(usize, usize)> for Grid<T> {
     #[inline]
     fn index_mut(&mut self, (x, y): (usize, usize)) -> &mut T {
-        debug_assert!(x < self.width && y < self.height, "index ({x},{y}) out of bounds");
+        debug_assert!(
+            x < self.width && y < self.height,
+            "index ({x},{y}) out of bounds"
+        );
         &mut self.data[y * self.width + x]
     }
 }

@@ -52,9 +52,10 @@ fn io_err(path: &Path, source: std::io::Error) -> GridIoError {
 /// ```
 pub fn write_pgm(g: &Grid<f64>, path: impl AsRef<Path>) -> Result<(), GridIoError> {
     let path = path.as_ref();
-    let (lo, hi) = g.as_slice().iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (lo, hi) = g
+        .as_slice()
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     let span = hi - lo;
     let mut buf = Vec::with_capacity(32 + g.len());
     write!(&mut buf, "P5\n{} {}\n255\n", g.width(), g.height()).expect("in-memory write");

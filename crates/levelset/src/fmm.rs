@@ -108,11 +108,7 @@ pub fn fast_marching_redistance(psi: &Grid<f64>) -> Grid<f64> {
             if d_init < FAR {
                 dist[(x, y)] = d_init;
                 frozen[(x, y)] = true;
-                heap.push(Trial {
-                    dist: d_init,
-                    x,
-                    y,
-                });
+                heap.push(Trial { dist: d_init, x, y });
             }
         }
     }
@@ -128,10 +124,11 @@ pub fn fast_marching_redistance(psi: &Grid<f64>) -> Grid<f64> {
         if d > dist[(x, y)] {
             continue; // stale entry
         }
-        let relax = |nx: usize, ny: usize,
-                         dist: &mut Grid<f64>,
-                         frozen: &mut Grid<bool>,
-                         heap: &mut BinaryHeap<Trial>| {
+        let relax = |nx: usize,
+                     ny: usize,
+                     dist: &mut Grid<f64>,
+                     frozen: &mut Grid<bool>,
+                     heap: &mut BinaryHeap<Trial>| {
             if frozen[(nx, ny)] {
                 return;
             }

@@ -49,8 +49,8 @@ mod narrowband;
 mod sdf;
 
 pub use curvature::curvature;
-pub use fmm::fast_marching_redistance;
-pub use narrowband::NarrowBand;
 pub use evolve::{cfl_time_step, evolve, reinitialize};
+pub use fmm::fast_marching_redistance;
 pub use gradient::{godunov_gradient, gradient_magnitude};
+pub use narrowband::NarrowBand;
 pub use sdf::{mask_from_levelset, signed_distance};

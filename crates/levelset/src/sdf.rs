@@ -11,7 +11,7 @@ const INF: f64 = 1e20;
 /// the result `d[i] = min_j (i-j)² + f[j]` is written into `out`.
 fn dt1d(f: &[f64], out: &mut [f64], v: &mut [usize], z: &mut [f64]) {
     let n = f.len();
-    debug_assert!(out.len() == n && v.len() >= n && z.len() >= n + 1);
+    debug_assert!(out.len() == n && v.len() >= n && z.len() > n);
     let mut k = 0usize;
     v[0] = 0;
     z[0] = -INF;
@@ -58,8 +58,8 @@ fn edt_sq(feature: impl Fn(usize, usize) -> bool, w: usize, h: usize) -> Grid<f6
     // Column pass first: distance along y to the nearest feature cell.
     let mut stage = Grid::new(w, h, INF);
     for x in 0..w {
-        for y in 0..h {
-            buf_in[y] = if feature(x, y) { 0.0 } else { INF };
+        for (y, cell) in buf_in[..h].iter_mut().enumerate() {
+            *cell = if feature(x, y) { 0.0 } else { INF };
         }
         dt1d(&buf_in[..h], &mut buf_out[..h], &mut v, &mut z);
         for y in 0..h {
@@ -144,7 +144,11 @@ mod tests {
         let mask = square_mask(32, 8, 24);
         let psi = signed_distance(&mask);
         // Centre of a 16-px square: 8 px to the edge, minus half-pixel.
-        assert!((psi[(16, 16)] + 7.5).abs() < 1e-9, "centre {}", psi[(16, 16)]);
+        assert!(
+            (psi[(16, 16)] + 7.5).abs() < 1e-9,
+            "centre {}",
+            psi[(16, 16)]
+        );
         // Just outside the left edge.
         assert!((psi[(7, 16)] - 0.5).abs() < 1e-9);
         // 4 px out along x.
@@ -175,7 +179,7 @@ mod tests {
         assert!(psi.as_slice().iter().all(|&v| v > 0.0 && v <= 16.0));
         let all_in = Grid::new(8, 8, 1.0);
         let psi = signed_distance(&all_in);
-        assert!(psi.as_slice().iter().all(|&v| v < 0.0 && v >= -16.0));
+        assert!(psi.as_slice().iter().all(|&v| (-16.0..0.0).contains(&v)));
     }
 
     #[test]

@@ -8,9 +8,8 @@ use lsopc_levelset::{
 use proptest::prelude::*;
 
 fn random_mask() -> impl Strategy<Value = Grid<f64>> {
-    prop::collection::vec(any::<bool>(), 16 * 16).prop_map(|bits| {
-        Grid::from_fn(16, 16, |x, y| if bits[y * 16 + x] { 1.0 } else { 0.0 })
-    })
+    prop::collection::vec(any::<bool>(), 16 * 16)
+        .prop_map(|bits| Grid::from_fn(16, 16, |x, y| if bits[y * 16 + x] { 1.0 } else { 0.0 }))
 }
 
 proptest! {

@@ -29,8 +29,8 @@
 //! [`FftBackend`]: crate::FftBackend
 
 use crate::backend::SimBackend;
-use lsopc_fft::{wrap_index, Fft2d};
-use lsopc_grid::{C64, Grid};
+use lsopc_fft::wrap_index;
+use lsopc_grid::{Grid, C64};
 use lsopc_optics::KernelSet;
 
 /// Band-limit-aware batched simulation backend (the "GPU" path).
@@ -83,9 +83,17 @@ impl AcceleratedBackend {
     }
 
     /// Coarse grid size for a kernel support `S`: the smallest power of
-    /// two holding the doubled band.
-    fn coarse_size(support: usize) -> usize {
-        (2 * support).next_power_of_two().max(16)
+    /// two holding the doubled band, clamped to the full grid size.
+    ///
+    /// The clamp handles the degenerate small-grid case: when the full
+    /// grid cannot hold the doubled band (`full < 2S − 1`), the "coarse"
+    /// grid is the full grid and the band computation degenerates to the
+    /// exact full-size one — the same aliasing [`FftBackend`] produces —
+    /// instead of panicking while embedding an oversized window.
+    ///
+    /// [`FftBackend`]: crate::FftBackend
+    fn coarse_size(support: usize, full: usize) -> usize {
+        (2 * support).next_power_of_two().max(16).min(full)
     }
 }
 
@@ -101,10 +109,7 @@ fn centered_window(full: &Grid<C64>, size: usize) -> Grid<C64> {
     let (w, h) = full.dims();
     let c = (size / 2) as i64;
     Grid::from_fn(size, size, |i, j| {
-        full[(
-            wrap_index(i as i64 - c, w),
-            wrap_index(j as i64 - c, h),
-        )]
+        full[(wrap_index(i as i64 - c, w), wrap_index(j as i64 - c, h))]
     })
 }
 
@@ -114,10 +119,7 @@ fn embed_window(window: &Grid<C64>, w: usize, h: usize) -> Grid<C64> {
     let c = (size / 2) as i64;
     let mut full = Grid::new(w, h, C64::ZERO);
     for (i, j, &v) in window.iter_coords() {
-        full[(
-            wrap_index(i as i64 - c, w),
-            wrap_index(j as i64 - c, h),
-        )] = v;
+        full[(wrap_index(i as i64 - c, w), wrap_index(j as i64 - c, h))] = v;
     }
     full
 }
@@ -161,13 +163,13 @@ impl SimBackend for AcceleratedBackend {
     fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
         let (w, h) = mask.dims();
         let s = kernels.support();
-        let nc = Self::coarse_size(s);
         assert!(
             w >= s && h >= s,
             "grid {w}x{h} too small for kernel support {s}"
         );
-        let fft_full = Fft2d::new(w, h);
-        let fft_coarse = Fft2d::<f64>::new(nc, nc);
+        let nc = Self::coarse_size(s, w.min(h));
+        let fft_full = lsopc_fft::plan(w, h);
+        let fft_coarse = lsopc_fft::plan(nc, nc);
 
         // One full-size forward FFT, then only the band matters.
         let mhat = fft_full.forward_real(mask);
@@ -198,13 +200,14 @@ impl SimBackend for AcceleratedBackend {
             }
             partial
         };
-        let coarse_intensity = parallel_fold(self.threads, kernels.len(), accumulate, |mut a, b| {
-            for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-                *x += *y;
-            }
-            a
-        })
-        .expect("at least one kernel");
+        let coarse_intensity =
+            parallel_fold(self.threads, kernels.len(), accumulate, |mut a, b| {
+                for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                    *x += *y;
+                }
+                a
+            })
+            .expect("at least one kernel");
 
         // Exact spectral upsampling: I is band-limited to 2S−1 < nc.
         let mut ihat_c = coarse_intensity.map(|&v| C64::from_real(v));
@@ -228,7 +231,7 @@ impl SimBackend for AcceleratedBackend {
             "grid {w}x{h} too small for doubled band {}",
             2 * s - 1
         );
-        let fft_full = Fft2d::new(w, h);
+        let fft_full = lsopc_fft::plan(w, h);
 
         // Two full-size forward FFTs: the mask and the sensitivity field.
         let mhat = fft_full.forward_real(mask);
@@ -370,6 +373,26 @@ mod tests {
         for (_, _, &v) in i.iter_coords() {
             assert!((v - 1.0).abs() < 1e-9, "intensity {v}");
         }
+    }
+
+    #[test]
+    fn small_grid_aerial_matches_fft_backend() {
+        // 16×16 grid with the full 24-kernel set: the doubled band
+        // (2S − 1) exceeds the grid, so `coarse_size` clamps to the full
+        // grid and the backend degenerates to the exact full-size path
+        // (including the same aliasing as FftBackend) instead of
+        // panicking while embedding an oversized window.
+        let ks = kernels(256.0, 24);
+        let s = ks.support();
+        assert!(
+            s <= 16 && 2 * s - 1 > 16,
+            "premise: the clamp must engage (S = {s})"
+        );
+        let mask = test_mask(16);
+        let fast = AcceleratedBackend::new(2).aerial_image(&ks, &mask);
+        let slow = FftBackend::new().aerial_image(&ks, &mask);
+        let d = max_diff(&fast, &slow);
+        assert!(d < 1e-11, "aerial image diff {d}");
     }
 
     #[test]

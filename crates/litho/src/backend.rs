@@ -1,7 +1,7 @@
 //! Simulation backends: the pluggable convolution engines.
 
-use lsopc_fft::{wrap_index, Fft2d};
-use lsopc_grid::{C64, Complex, Grid};
+use crate::spectra::{EmbeddedSpectra, SpectrumCache};
+use lsopc_grid::{Grid, C64};
 use lsopc_optics::KernelSet;
 
 /// A compute backend for the Hopkins imaging sum and its adjoint.
@@ -124,8 +124,15 @@ fn convolve_direct(kernel: &Grid<C64>, mask: &Grid<f64>) -> Grid<C64> {
 /// Per-kernel FFT convolution — the paper's CPU implementation.
 ///
 /// Each pass performs one FFT of the mask plus, per kernel, one inverse
-/// FFT (aerial) or one inverse and one forward FFT (gradient); the
-/// band-limited kernel spectra are applied sparsely.
+/// FFT (aerial) or one inverse and one forward FFT (gradient). All plans
+/// come from the process-wide [`lsopc_fft::plan`] cache and the embedded
+/// kernel spectra from the per-`(KernelSet, grid size)`
+/// [`SpectrumCache`], so repeated calls (the optimizer loop) never
+/// rebuild twiddle tables or re-embed spectra. The per-kernel transforms
+/// use the band-limited variants ([`lsopc_fft::Fft2d::inverse_band`] /
+/// [`lsopc_fft::Fft2d::forward_band`]), which skip the spectrum columns
+/// the band provably leaves zero — bit-identical to the dense transforms
+/// on these inputs, just cheaper.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct FftBackend;
 
@@ -143,12 +150,16 @@ impl SimBackend for FftBackend {
 
     fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
         let (w, h) = mask.dims();
-        let fft = Fft2d::new(w, h);
+        let fft = lsopc_fft::plan(w, h);
+        let spectra = SpectrumCache::global().embedded(kernels, w, h);
         let mhat = fft.forward_real(mask);
         let mut intensity = Grid::new(w, h, 0.0);
+        // One scratch field reused across kernels; apply_window_into
+        // re-zeroes it each pass.
+        let mut field = Grid::new(w, h, C64::ZERO);
         for k in 0..kernels.len() {
-            let mut field = apply_kernel_window(kernels, k, &mhat);
-            fft.inverse(&mut field);
+            spectra.apply_window_into(k, &mhat, &mut field);
+            fft.inverse_band(&mut field, spectra.cols(k));
             let wk = kernels.weight(k);
             for (dst, e) in intensity.as_mut_slice().iter_mut().zip(field.as_slice()) {
                 *dst += wk * e.norm_sqr();
@@ -160,57 +171,39 @@ impl SimBackend for FftBackend {
     fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
-        let fft = Fft2d::new(w, h);
+        let fft = lsopc_fft::plan(w, h);
+        let spectra = SpectrumCache::global().embedded(kernels, w, h);
         let mhat = fft.forward_real(mask);
         let mut acc: Grid<C64> = Grid::new(w, h, C64::ZERO);
-        let c = kernels.center() as i64;
+        let mut field = Grid::new(w, h, C64::ZERO);
         for k in 0..kernels.len() {
             // e_k = h_k ⊗ M.
-            let mut field = apply_kernel_window(kernels, k, &mhat);
-            fft.inverse(&mut field);
-            // W = z ⊙ e_k, then Ŵ.
+            spectra.apply_window_into(k, &mhat, &mut field);
+            fft.inverse_band(&mut field, spectra.cols(k));
+            // W = z ⊙ e_k, then Ŵ (needed only on the band columns).
             for (fv, &zv) in field.as_mut_slice().iter_mut().zip(z.as_slice()) {
                 *fv = fv.scale(zv);
             }
-            fft.forward(&mut field);
+            fft.forward_band(&mut field, spectra.cols(k));
             // acc += μ_k · conj(Ŝ_k) ⊙ Ŵ (only the band is non-zero).
-            let window = kernels.spectrum(k);
-            let wk = kernels.weight(k);
-            for (i, j, &s) in window.iter_coords() {
-                if s == C64::ZERO {
-                    continue;
-                }
-                let fx = wrap_index(i as i64 - c, w);
-                let fy = wrap_index(j as i64 - c, h);
-                let idx = (fx, fy);
-                acc[idx] += s.conj() * field[idx].scale(wk);
-            }
+            spectra.accumulate_adjoint(k, &field, kernels.weight(k), &mut acc);
         }
-        let mut acc = acc;
-        fft.inverse(&mut acc);
+        fft.inverse_band(&mut acc, spectra.all_cols());
         acc.map(|v| 2.0 * v.re)
     }
 }
 
 /// `Ŝ_k ⊙ M̂` with the sparse band-limited window (full grid elsewhere
-/// zero).
-pub(crate) fn apply_kernel_window(
-    kernels: &KernelSet,
-    k: usize,
-    mhat: &Grid<C64>,
-) -> Grid<Complex<f64>> {
+/// zero), as a freshly allocated dense grid.
+///
+/// Builds the embedding uncached — for one-shot kernel sets (e.g. the
+/// fused kernel of [`crate::fused_aerial_image`]) whose ids would only
+/// churn the [`SpectrumCache`]. Hot paths use the cache directly.
+pub(crate) fn apply_kernel_window(kernels: &KernelSet, k: usize, mhat: &Grid<C64>) -> Grid<C64> {
     let (w, h) = mhat.dims();
-    let c = kernels.center() as i64;
-    let window = kernels.spectrum(k);
+    let spectra = EmbeddedSpectra::new(kernels, w, h);
     let mut out = Grid::new(w, h, C64::ZERO);
-    for (i, j, &s) in window.iter_coords() {
-        if s == C64::ZERO {
-            continue;
-        }
-        let fx = wrap_index(i as i64 - c, w);
-        let fy = wrap_index(j as i64 - c, h);
-        out[(fx, fy)] = s * mhat[(fx, fy)];
-    }
+    spectra.apply_window_into(k, mhat, &mut out);
     out
 }
 
@@ -258,7 +251,9 @@ mod tests {
         let kernels = tiny_kernels();
         let mask = test_mask(16);
         // Arbitrary smooth sensitivity field.
-        let z = Grid::from_fn(16, 16, |x, y| ((x as f64 * 0.7).sin() + (y as f64 * 0.3).cos()) * 0.1);
+        let z = Grid::from_fn(16, 16, |x, y| {
+            ((x as f64 * 0.7).sin() + (y as f64 * 0.3).cos()) * 0.1
+        });
         let ga = ReferenceBackend::new().gradient(&kernels, &mask, &z);
         let gb = FftBackend::new().gradient(&kernels, &mask, &z);
         assert!(max_diff(&ga, &gb) < 1e-10, "diff {}", max_diff(&ga, &gb));

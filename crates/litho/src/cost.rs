@@ -66,7 +66,11 @@ pub fn cost_and_gradient(
     w_pvb: f64,
 ) -> (CostReport, Grid<f64>) {
     assert!(w_pvb >= 0.0, "w_pvb must be non-negative");
-    assert_eq!(mask.dims(), target.dims(), "mask and target dimensions must match");
+    assert_eq!(
+        mask.dims(),
+        target.dims(),
+        "mask and target dimensions must match"
+    );
     let corners = sim.corners();
     let weighted: [(ProcessCondition, f64, bool); 3] = [
         (corners.nominal, 1.0, true),
@@ -109,7 +113,11 @@ pub fn cost_only(
     w_pvb: f64,
 ) -> CostReport {
     assert!(w_pvb >= 0.0, "w_pvb must be non-negative");
-    assert_eq!(mask.dims(), target.dims(), "mask and target dimensions must match");
+    assert_eq!(
+        mask.dims(),
+        target.dims(),
+        "mask and target dimensions must match"
+    );
     let corners = sim.corners();
     let resist = sim.resist();
     let mut report = CostReport {
@@ -161,7 +169,11 @@ pub fn corner_cost_and_gradient(
     weight: f64,
 ) -> (f64, Grid<f64>) {
     assert!(weight > 0.0, "weight must be positive");
-    assert_eq!(mask.dims(), target.dims(), "mask and target dimensions must match");
+    assert_eq!(
+        mask.dims(),
+        target.dims(),
+        "mask and target dimensions must match"
+    );
     let resist = sim.resist();
     let kernels = sim.kernels_for(condition.defocus_nm);
     let aerial = sim.backend().aerial_image(&kernels, mask);
@@ -187,12 +199,8 @@ mod tests {
     use lsopc_optics::OpticsConfig;
 
     fn sim() -> LithoSimulator {
-        LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            32,
-            8.0,
-        )
-        .expect("valid configuration")
+        LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 32, 8.0)
+            .expect("valid configuration")
     }
 
     fn target() -> Grid<f64> {
@@ -285,12 +293,9 @@ mod cost_only_tests {
 
     #[test]
     fn cost_only_matches_cost_and_gradient() {
-        let sim = LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            32,
-            8.0,
-        )
-        .expect("valid configuration");
+        let sim =
+            LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 32, 8.0)
+                .expect("valid configuration");
         let target = Grid::from_fn(32, 32, |x, y| {
             if (12..20).contains(&x) && (8..24).contains(&y) {
                 1.0

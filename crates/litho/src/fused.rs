@@ -11,8 +11,7 @@
 //! paths always use the exact SOCS sum — see `DESIGN.md` §7 for the
 //! deviation note.
 
-use lsopc_fft::Fft2d;
-use lsopc_grid::{C64, Grid};
+use lsopc_grid::{Grid, C64};
 use lsopc_optics::KernelSet;
 
 /// Builds the single fused kernel `H = Σ_k μ_k·h_k` of paper Eq. (17),
@@ -63,7 +62,7 @@ pub fn fused_kernel(kernels: &KernelSet) -> KernelSet {
 pub fn fused_aerial_image(kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
     let fused = fused_kernel(kernels);
     let (w, h) = mask.dims();
-    let fft = Fft2d::new(w, h);
+    let fft = lsopc_fft::plan(w, h);
     let mhat = fft.forward_real(mask);
     let mut field = crate::backend::apply_kernel_window(&fused, 0, &mhat);
     fft.inverse(&mut field);

@@ -131,6 +131,10 @@ impl LithoSimulator {
         if grid_px < required {
             return Err(BuildSimulatorError::GridTooSmall { grid_px, required });
         }
+        // Pre-warm the process-wide FFT plan cache for this grid size so
+        // the first simulation call pays no planning; the backends fetch
+        // the same shared plan on every pass.
+        let _ = lsopc_fft::plan(grid_px, grid_px);
         Ok(Self {
             optics,
             grid_px,
@@ -285,12 +289,8 @@ mod tests {
     use super::*;
 
     fn sim() -> LithoSimulator {
-        LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(6),
-            64,
-            4.0,
-        )
-        .expect("valid configuration")
+        LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(6), 64, 4.0)
+            .expect("valid configuration")
     }
 
     fn wire_mask() -> Grid<f64> {

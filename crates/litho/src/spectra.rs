@@ -1,0 +1,312 @@
+//! Cached sparse embedded kernel spectra.
+//!
+//! Every FFT-based backend needs each kernel's centred `S x S` spectrum
+//! window embedded into full `w x h` DFT layout. Doing that per call
+//! allocates a dense full-size grid per kernel and re-derives the same
+//! wrap/centre arithmetic in several places. This module computes the
+//! embedding once per `(KernelSet, grid size)` and stores it sparsely:
+//!
+//! * [`EmbeddedSpectra`] — per kernel, the non-zero band samples as
+//!   `(linear index, value)` pairs plus the sorted list of full-grid
+//!   columns the band touches (the input to [`Fft2d::inverse_band`] /
+//!   [`Fft2d::forward_band`]);
+//! * [`SpectrumCache`] — a process-global map keyed by
+//!   `(KernelSet::id(), w, h)`. Kernel spectra are immutable after
+//!   construction (see [`KernelSet::id`]), so the id is a sound key.
+//!
+//! All band-window application and adjoint accumulation in this crate
+//! goes through [`EmbeddedSpectra::apply_window_into`] and
+//! [`EmbeddedSpectra::accumulate_adjoint`], so the wrap/centre logic
+//! exists in exactly one place: [`EmbeddedSpectra::new`].
+//!
+//! [`Fft2d::inverse_band`]: lsopc_fft::Fft2d::inverse_band
+//! [`Fft2d::forward_band`]: lsopc_fft::Fft2d::forward_band
+//! [`KernelSet::id`]: lsopc_optics::KernelSet::id
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use lsopc_fft::wrap_index;
+use lsopc_grid::{Grid, C64};
+use lsopc_optics::KernelSet;
+use parking_lot::RwLock;
+
+/// One kernel's band window in full DFT layout, stored sparsely.
+#[derive(Debug)]
+struct SparseKernel {
+    /// `(y * width + x, value)` for every non-zero window sample.
+    entries: Vec<(usize, C64)>,
+    /// Sorted, deduplicated full-grid columns holding those samples.
+    cols: Vec<usize>,
+}
+
+/// The spectra of one [`KernelSet`] embedded on one grid size.
+#[derive(Debug)]
+pub(crate) struct EmbeddedSpectra {
+    width: usize,
+    height: usize,
+    kernels: Vec<SparseKernel>,
+    /// Union of all kernels' columns (for band transforms of accumulated
+    /// spectra such as the gradient's).
+    all_cols: Vec<usize>,
+}
+
+impl EmbeddedSpectra {
+    /// Embeds every kernel of `kernels` into `width x height` DFT layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is too small to hold the band
+    /// (`min(width, height) < kernels.support()`).
+    pub(crate) fn new(kernels: &KernelSet, width: usize, height: usize) -> Self {
+        let s = kernels.support();
+        assert!(
+            width >= s && height >= s,
+            "grid {width}x{height} too small for kernel support {s}"
+        );
+        let c = kernels.center() as i64;
+        let mut all_cols = BTreeSet::new();
+        let sparse: Vec<SparseKernel> = (0..kernels.len())
+            .map(|k| {
+                let window = kernels.spectrum(k);
+                let mut entries = Vec::new();
+                let mut cols = BTreeSet::new();
+                for (i, j, &v) in window.iter_coords() {
+                    if v == C64::ZERO {
+                        continue;
+                    }
+                    let fx = wrap_index(i as i64 - c, width);
+                    let fy = wrap_index(j as i64 - c, height);
+                    entries.push((fy * width + fx, v));
+                    cols.insert(fx);
+                }
+                all_cols.extend(cols.iter().copied());
+                SparseKernel {
+                    entries,
+                    cols: cols.into_iter().collect(),
+                }
+            })
+            .collect();
+        Self {
+            width,
+            height,
+            kernels: sparse,
+            all_cols: all_cols.into_iter().collect(),
+        }
+    }
+
+    /// Grid size these spectra are embedded on.
+    pub(crate) fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Full-grid columns touched by kernel `k`'s band.
+    pub(crate) fn cols(&self, k: usize) -> &[usize] {
+        &self.kernels[k].cols
+    }
+
+    /// Full-grid columns touched by any kernel's band.
+    pub(crate) fn all_cols(&self) -> &[usize] {
+        &self.all_cols
+    }
+
+    /// Writes `out := Ŝ_k ⊙ mhat`: the band samples get the product, the
+    /// rest of `out` is zeroed (so `out` may be a reused scratch grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhat` or `out` does not match the embedded grid size.
+    pub(crate) fn apply_window_into(&self, k: usize, mhat: &Grid<C64>, out: &mut Grid<C64>) {
+        assert_eq!(mhat.dims(), self.dims(), "spectrum dimensions must match");
+        assert_eq!(out.dims(), self.dims(), "output dimensions must match");
+        out.as_mut_slice().fill(C64::ZERO);
+        let m = mhat.as_slice();
+        let o = out.as_mut_slice();
+        for &(idx, s) in &self.kernels[k].entries {
+            o[idx] = s * m[idx];
+        }
+    }
+
+    /// Accumulates the adjoint contribution of kernel `k`:
+    /// `acc[κ] += conj(Ŝ_k[κ]) · weight · field[κ]` over the band samples.
+    /// `field` is only read at band samples, so it may come out of
+    /// [`Fft2d::forward_band`] (whose off-band columns are unspecified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` or `acc` does not match the embedded grid size.
+    ///
+    /// [`Fft2d::forward_band`]: lsopc_fft::Fft2d::forward_band
+    pub(crate) fn accumulate_adjoint(
+        &self,
+        k: usize,
+        field: &Grid<C64>,
+        weight: f64,
+        acc: &mut Grid<C64>,
+    ) {
+        assert_eq!(field.dims(), self.dims(), "field dimensions must match");
+        assert_eq!(acc.dims(), self.dims(), "accumulator dimensions must match");
+        let f = field.as_slice();
+        let a = acc.as_mut_slice();
+        for &(idx, s) in &self.kernels[k].entries {
+            a[idx] += s.conj() * f[idx].scale(weight);
+        }
+    }
+}
+
+/// Largest number of `(kernel set, grid size)` combinations kept before
+/// the cache is wiped. Kernel-set ids are never reused, so long-running
+/// processes that keep generating sets (e.g. per-defocus sweeps in tests)
+/// would otherwise grow the map without bound. Rebuilding an entry is
+/// cheap — O(K·S²) integer arithmetic, no transforms.
+const SPECTRUM_CACHE_CAPACITY: usize = 64;
+
+/// Process-global cache of [`EmbeddedSpectra`] keyed by
+/// `(KernelSet::id(), width, height)`.
+///
+/// [`KernelSet::id`]: lsopc_optics::KernelSet::id
+#[derive(Debug, Default)]
+pub(crate) struct SpectrumCache {
+    map: RwLock<HashMap<(u64, usize, usize), Arc<EmbeddedSpectra>>>,
+}
+
+impl SpectrumCache {
+    /// The process-global instance shared by the simulation backends.
+    pub(crate) fn global() -> &'static SpectrumCache {
+        static GLOBAL: std::sync::LazyLock<SpectrumCache> =
+            std::sync::LazyLock::new(SpectrumCache::default);
+        &GLOBAL
+    }
+
+    /// Returns the embedded spectra of `kernels` on a `width x height`
+    /// grid, building them on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is too small for the kernel band.
+    pub(crate) fn embedded(
+        &self,
+        kernels: &KernelSet,
+        width: usize,
+        height: usize,
+    ) -> Arc<EmbeddedSpectra> {
+        let key = (kernels.id(), width, height);
+        if let Some(spectra) = self.map.read().get(&key) {
+            return Arc::clone(spectra);
+        }
+        let mut map = self.map.write();
+        if !map.contains_key(&key) && map.len() >= SPECTRUM_CACHE_CAPACITY {
+            map.clear();
+        }
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(EmbeddedSpectra::new(kernels, width, height))),
+        )
+    }
+
+    /// Number of cached `(kernel set, grid size)` combinations.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsopc_optics::OpticsConfig;
+
+    fn kernels() -> KernelSet {
+        OpticsConfig::iccad2013()
+            .with_field_nm(256.0)
+            .with_kernel_count(4)
+            .kernels(0.0)
+    }
+
+    #[test]
+    fn sparse_application_matches_dense_embedding() {
+        let ks = kernels();
+        let (w, h) = (32, 32);
+        let spectra = EmbeddedSpectra::new(&ks, w, h);
+        let mhat = Grid::from_fn(w, h, |x, y| C64::new(x as f64 + 0.5, y as f64 - 3.0));
+        let mut sparse = Grid::new(w, h, C64::new(7.0, 7.0)); // scratch garbage
+        for k in 0..ks.len() {
+            spectra.apply_window_into(k, &mhat, &mut sparse);
+            let dense = ks.embed_full(k, w, h).zip_map(&mhat, |&s, &m| s * m);
+            assert_eq!(sparse.as_slice(), dense.as_slice());
+        }
+    }
+
+    #[test]
+    fn cols_cover_every_nonzero_column() {
+        let ks = kernels();
+        let spectra = EmbeddedSpectra::new(&ks, 64, 64);
+        for k in 0..ks.len() {
+            let dense = ks.embed_full(k, 64, 64);
+            for x in 0..64 {
+                let nonzero = (0..64).any(|y| dense[(x, y)] != C64::ZERO);
+                let listed = spectra.cols(k).contains(&x);
+                assert!(!nonzero || listed, "kernel {k}: column {x} missing");
+                assert!(spectra.all_cols().contains(&x) || !listed);
+            }
+            // Sorted and deduplicated.
+            assert!(spectra.cols(k).windows(2).all(|p| p[0] < p[1]));
+        }
+        assert!(spectra.all_cols().windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn adjoint_accumulation_matches_dense_formula() {
+        let ks = kernels();
+        let (w, h) = (32, 32);
+        let spectra = EmbeddedSpectra::new(&ks, w, h);
+        let field = Grid::from_fn(w, h, |x, y| C64::new(y as f64, x as f64 * 0.25));
+        let mut acc = Grid::new(w, h, C64::ZERO);
+        spectra.accumulate_adjoint(1, &field, 0.75, &mut acc);
+        let dense = ks.embed_full(1, w, h);
+        for (i, j, &s) in dense.iter_coords() {
+            let expected = s.conj() * field[(i, j)].scale(0.75);
+            assert_eq!(acc[(i, j)], expected);
+        }
+    }
+
+    #[test]
+    fn cache_returns_same_arc_per_set_and_size() {
+        let ks = kernels();
+        let cache = SpectrumCache::default();
+        let a = cache.embedded(&ks, 32, 32);
+        let b = cache.embedded(&ks, 32, 32);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.embedded(&ks, 64, 64);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        // A clone shares spectra, hence the cache entry.
+        let d = cache.embedded(&ks.clone(), 32, 32);
+        assert!(Arc::ptr_eq(&a, &d));
+        // A truncated set has fresh spectra, hence a fresh entry.
+        let e = cache.embedded(&ks.truncated(2), 32, 32);
+        assert!(!Arc::ptr_eq(&a, &e));
+    }
+
+    #[test]
+    fn cache_eviction_keeps_outstanding_arcs_usable() {
+        let cache = SpectrumCache::default();
+        let first = kernels();
+        let held = cache.embedded(&first, 32, 32);
+        for _ in 0..SPECTRUM_CACHE_CAPACITY {
+            cache.embedded(&kernels(), 32, 32);
+        }
+        assert!(cache.len() <= SPECTRUM_CACHE_CAPACITY);
+        // The wiped entry is rebuilt as a distinct allocation; the held
+        // Arc keeps working.
+        let rebuilt = cache.embedded(&first, 32, 32);
+        assert!(!Arc::ptr_eq(&held, &rebuilt));
+        assert_eq!(held.cols(0), rebuilt.cols(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_undersized_grid() {
+        let _ = EmbeddedSpectra::new(&kernels(), 4, 4);
+    }
+}

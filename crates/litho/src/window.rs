@@ -103,7 +103,10 @@ impl FocusExposureMatrix {
         focus_nm: Vec<f64>,
         dose: Vec<f64>,
     ) -> Self {
-        assert!(!focus_nm.is_empty() && !dose.is_empty(), "axes must be non-empty");
+        assert!(
+            !focus_nm.is_empty() && !dose.is_empty(),
+            "axes must be non-empty"
+        );
         let mut cd_nm = Vec::with_capacity(focus_nm.len());
         for &f in &focus_nm {
             // One aerial image per focus; dose only rescales the resist
@@ -134,7 +137,10 @@ impl FocusExposureMatrix {
     /// Panics unless `target_cd_nm > 0` and `0 < tolerance < 1`.
     pub fn window_fraction(&self, target_cd_nm: f64, tolerance: f64) -> f64 {
         assert!(target_cd_nm > 0.0, "target CD must be positive");
-        assert!((0.0..1.0).contains(&tolerance) && tolerance > 0.0, "tolerance must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&tolerance) && tolerance > 0.0,
+            "tolerance must be in (0, 1)"
+        );
         let lo = target_cd_nm * (1.0 - tolerance);
         let hi = target_cd_nm * (1.0 + tolerance);
         let total = self.cd_nm.len() * self.cd_nm[0].len();
@@ -165,12 +171,8 @@ mod tests {
     use lsopc_optics::OpticsConfig;
 
     fn sim() -> LithoSimulator {
-        LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(6),
-            64,
-            4.0,
-        )
-        .expect("valid configuration")
+        LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(6), 64, 4.0)
+            .expect("valid configuration")
     }
 
     fn wire() -> Grid<f64> {
@@ -186,7 +188,10 @@ mod tests {
 
     #[test]
     fn cut_pixels_are_axis_parallel() {
-        assert_eq!(CutLine::horizontal(3, 1, 3).pixels(), vec![(1, 3), (2, 3), (3, 3)]);
+        assert_eq!(
+            CutLine::horizontal(3, 1, 3).pixels(),
+            vec![(1, 3), (2, 3), (3, 3)]
+        );
         assert_eq!(CutLine::vertical(2, 5, 6).pixels(), vec![(2, 5), (2, 6)]);
     }
 
@@ -222,7 +227,10 @@ mod tests {
             vec![0.9, 1.0, 1.1],
         );
         let row = &fem.cd_nm[0];
-        assert!(row[0] <= row[1] && row[1] <= row[2], "CD not monotone in dose: {row:?}");
+        assert!(
+            row[0] <= row[1] && row[1] <= row[2],
+            "CD not monotone in dose: {row:?}"
+        );
         assert!(row[2] > 0.0);
     }
 

@@ -231,8 +231,7 @@ mod tests {
 
     #[test]
     fn small_bias_is_tolerated() {
-        let report =
-            EpeChecker::iccad2013().check(&wire_layout(), &printed_with_bias(10), 1.0);
+        let report = EpeChecker::iccad2013().check(&wire_layout(), &printed_with_bias(10), 1.0);
         assert_eq!(report.violations, 0);
         // Every displacement reads close to +10 nm (outward).
         for m in &report.measurements {
@@ -243,16 +242,14 @@ mod tests {
 
     #[test]
     fn large_bias_violates_everywhere() {
-        let report =
-            EpeChecker::iccad2013().check(&wire_layout(), &printed_with_bias(20), 1.0);
+        let report = EpeChecker::iccad2013().check(&wire_layout(), &printed_with_bias(20), 1.0);
         assert_eq!(report.violations, report.total_probes);
         assert!(report.violations > 0);
     }
 
     #[test]
     fn shrunken_print_gives_negative_displacement() {
-        let report =
-            EpeChecker::iccad2013().check(&wire_layout(), &printed_with_bias(-10), 1.0);
+        let report = EpeChecker::iccad2013().check(&wire_layout(), &printed_with_bias(-10), 1.0);
         assert_eq!(report.violations, 0);
         for m in &report.measurements {
             let d = m.displacement_nm.expect("contour present");

@@ -69,12 +69,9 @@ mod tests {
     use lsopc_optics::OpticsConfig;
 
     fn setup() -> (LithoSimulator, Layout, Grid<f64>) {
-        let sim = LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(6),
-            64,
-            4.0,
-        )
-        .expect("valid configuration");
+        let sim =
+            LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(6), 64, 4.0)
+                .expect("valid configuration");
         let mut layout = Layout::new();
         // A comfortable 96nm x 160nm block in the 256nm field.
         layout.push(Rect::new(80, 48, 176, 208).into());
@@ -87,10 +84,7 @@ mod tests {
         let (sim, layout, target) = setup();
         let eval = evaluate_mask(&sim, &target, &layout, &target);
         assert!(eval.pvb_area_nm2 > 0.0);
-        assert_eq!(
-            eval.pvb_map.sum() * sim.pixel_area_nm2(),
-            eval.pvb_area_nm2
-        );
+        assert_eq!(eval.pvb_map.sum() * sim.pixel_area_nm2(), eval.pvb_area_nm2);
         assert!(eval.epe.total_probes > 0);
     }
 

@@ -154,12 +154,9 @@ mod tests {
 
     #[test]
     fn report_contains_every_section() {
-        let sim = LithoSimulator::from_optics(
-            &OpticsConfig::iccad2013().with_kernel_count(4),
-            64,
-            4.0,
-        )
-        .expect("valid configuration");
+        let sim =
+            LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 64, 4.0)
+                .expect("valid configuration");
         let mut layout = Layout::new();
         layout.push(Rect::new(80, 48, 176, 208).into());
         let target = rasterize(&layout, 64, 64, 4.0);
@@ -167,7 +164,15 @@ mod tests {
         let complexity = MaskComplexity::measure(&target);
         let mrc = MrcReport::check(&target, 4, 4);
         let text = render_report("unit-test", &eval, &complexity, Some(&mrc), 1.5);
-        for needle in ["score", "epe", "pv band", "shapes", "complexity", "mrc", "unit-test"] {
+        for needle in [
+            "score",
+            "epe",
+            "pv band",
+            "shapes",
+            "complexity",
+            "mrc",
+            "unit-test",
+        ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
     }

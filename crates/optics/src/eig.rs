@@ -161,7 +161,10 @@ fn rotate(a: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize, tol: f64) {
 /// ```
 pub fn top_eigenpairs(a: &CMatrix, m: usize, iterations: usize) -> EigenPairs {
     let n = a.dim();
-    assert!(m > 0 && m <= n, "requested {m} eigenpairs of a {n}x{n} matrix");
+    assert!(
+        m > 0 && m <= n,
+        "requested {m} eigenpairs of a {n}x{n} matrix"
+    );
     // Work with a slightly larger subspace for convergence headroom.
     let mm = (m + 8).min(n);
 

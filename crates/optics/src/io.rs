@@ -15,7 +15,7 @@
 //! ```
 
 use crate::KernelSet;
-use lsopc_grid::{C64, Grid};
+use lsopc_grid::{Grid, C64};
 use std::error::Error;
 use std::fmt;
 use std::path::Path;
@@ -89,15 +89,11 @@ pub fn kernels_to_string(set: &KernelSet) -> String {
 /// Returns [`ReadKernelsError::Parse`] on malformed content.
 pub fn kernels_from_str(text: &str) -> Result<KernelSet, ReadKernelsError> {
     let mut lines = text.lines().enumerate();
-    let (_, magic) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))?;
+    let (_, magic) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
     if magic.trim() != "lsopc-kernels v1" {
         return Err(parse_err(1, format!("bad magic `{magic}`")));
     }
-    let (ln, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(2, "missing header"))?;
+    let (ln, header) = lines.next().ok_or_else(|| parse_err(2, "missing header"))?;
     let tokens: Vec<&str> = header.split_whitespace().collect();
     if tokens.len() != 8 || tokens[0] != "support" || tokens[2] != "count" {
         return Err(parse_err(ln + 1, "malformed header"));

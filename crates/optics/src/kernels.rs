@@ -1,7 +1,12 @@
 //! Band-limited optical kernel sets (the `h_k`, `μ_k` of paper Eq. (1)).
 
-use lsopc_fft::{wrap_index, Fft2d};
-use lsopc_grid::{C64, Grid};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lsopc_fft::wrap_index;
+use lsopc_grid::{Grid, C64};
+
+/// Source of unique [`KernelSet`] identities (see [`KernelSet::id`]).
+static NEXT_KERNEL_SET_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A set of optical kernels stored as centred frequency-domain spectra.
 ///
@@ -15,6 +20,7 @@ use lsopc_grid::{C64, Grid};
 /// `((i − S/2)/L, (j − S/2)/L)` cycles/nm, with `L` the field period.
 #[derive(Clone, Debug)]
 pub struct KernelSet {
+    id: u64,
     support: usize,
     period_nm: f64,
     defocus_nm: f64,
@@ -44,7 +50,10 @@ impl KernelSet {
         );
         assert!(period_nm > 0.0, "period must be positive");
         let support = spectra[0].width();
-        assert!(support % 2 == 1, "kernel support must be odd, got {support}");
+        assert!(
+            support % 2 == 1,
+            "kernel support must be odd, got {support}"
+        );
         for s in &spectra {
             assert_eq!(s.dims(), (support, support), "all spectra must be S x S");
         }
@@ -53,12 +62,25 @@ impl KernelSet {
             "kernel weights must be non-negative"
         );
         Self {
+            id: NEXT_KERNEL_SET_ID.fetch_add(1, Ordering::Relaxed),
             support,
             period_nm,
             defocus_nm,
             spectra,
             weights,
         }
+    }
+
+    /// Identity of this set's *spectra*, unique per construction.
+    ///
+    /// Spectra are immutable after [`KernelSet::new`] (only weights can be
+    /// rescaled), so the id is a sound cache key for anything derived from
+    /// the spectra alone — e.g. the embedded-spectrum caches in the
+    /// simulation backends. Clones share the id (same spectra); every
+    /// constructor call, including [`KernelSet::truncated`], gets a fresh
+    /// one.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Number of kernels `K`.
@@ -148,7 +170,7 @@ impl KernelSet {
     /// `w`/`h` is not a power of two.
     pub fn spatial_kernel(&self, k: usize, w: usize, h: usize) -> Grid<C64> {
         let mut full = self.embed_full(k, w, h);
-        Fft2d::new(w, h).inverse(&mut full);
+        lsopc_fft::plan(w, h).inverse(&mut full);
         full
     }
 

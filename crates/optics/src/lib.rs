@@ -48,8 +48,8 @@ mod tcc;
 mod zernike;
 
 pub use condition::{ProcessCondition, ProcessCorners};
-pub use io::{kernels_from_str, kernels_to_string, read_kernels, write_kernels, ReadKernelsError};
 pub use config::OpticsConfig;
+pub use io::{kernels_from_str, kernels_to_string, read_kernels, write_kernels, ReadKernelsError};
 pub use kernels::KernelSet;
 pub use matrix::CMatrix;
 pub use pupil::Pupil;

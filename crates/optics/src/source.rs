@@ -180,7 +180,10 @@ mod tests {
         };
         for p in src.sample(24) {
             let r = (p.sx * p.sx + p.sy * p.sy).sqrt();
-            assert!(r >= 0.6 - 1e-9 && r <= 0.9 + 1e-9, "point at radius {r}");
+            assert!(
+                (0.6 - 1e-9..=0.9 + 1e-9).contains(&r),
+                "point at radius {r}"
+            );
         }
     }
 

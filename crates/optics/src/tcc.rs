@@ -14,7 +14,7 @@
 
 use crate::eig::top_eigenpairs;
 use crate::{CMatrix, KernelSet, OpticsConfig, Pupil};
-use lsopc_grid::{C64, Grid};
+use lsopc_grid::{Grid, C64};
 
 /// Generates kernels by Abbe source-point discretization.
 ///
@@ -24,7 +24,8 @@ use lsopc_grid::{C64, Grid};
 pub fn abbe_kernels(cfg: &OpticsConfig, defocus_nm: f64) -> KernelSet {
     let support = cfg.support_size();
     let c = (support / 2) as i64;
-    let pupil = Pupil::with_aberrations(cfg.wavelength_nm(), cfg.na(), defocus_nm, cfg.aberrations());
+    let pupil =
+        Pupil::with_aberrations(cfg.wavelength_nm(), cfg.na(), defocus_nm, cfg.aberrations());
     let fc = pupil.cutoff();
     let df = 1.0 / cfg.field_nm();
     let points = cfg.source().sample(cfg.kernel_count());
@@ -59,7 +60,8 @@ pub fn abbe_kernels(cfg: &OpticsConfig, defocus_nm: f64) -> KernelSet {
 pub fn tcc_kernels(cfg: &OpticsConfig, defocus_nm: f64) -> KernelSet {
     let support = cfg.support_size();
     let c = (support / 2) as i64;
-    let pupil = Pupil::with_aberrations(cfg.wavelength_nm(), cfg.na(), defocus_nm, cfg.aberrations());
+    let pupil =
+        Pupil::with_aberrations(cfg.wavelength_nm(), cfg.na(), defocus_nm, cfg.aberrations());
     let fc = pupil.cutoff();
     let df = 1.0 / cfg.field_nm();
     let f_limit = (1.0 + cfg.source().sigma_max()) * fc + df;
@@ -124,7 +126,6 @@ pub fn tcc_kernels(cfg: &OpticsConfig, defocus_nm: f64) -> KernelSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsopc_fft::Fft2d;
 
     fn small_cfg() -> OpticsConfig {
         OpticsConfig::iccad2013()
@@ -136,7 +137,7 @@ mod tests {
     /// Aerial image of a mask under a kernel set, computed directly.
     fn aerial(set: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
         let (w, h) = mask.dims();
-        let fft = Fft2d::new(w, h);
+        let fft = lsopc_fft::plan(w, h);
         let mhat = fft.forward_real(mask);
         let mut intensity = Grid::new(w, h, 0.0);
         for k in 0..set.len() {

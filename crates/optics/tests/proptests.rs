@@ -1,6 +1,6 @@
 //! Property-based invariants of the optics crate.
 
-use lsopc_grid::{C64, Grid};
+use lsopc_grid::{Grid, C64};
 use lsopc_optics::{kernels_from_str, kernels_to_string, KernelSet, SourceModel};
 use proptest::prelude::*;
 
@@ -13,28 +13,31 @@ fn arbitrary_kernel_set() -> impl Strategy<Value = KernelSet> {
         ),
         prop::collection::vec(0.01f64..5.0, 1..4),
     )
-        .prop_filter_map("weights/spectra length mismatch", move |(specs, weights)| {
-            let count = specs.len().min(weights.len());
-            if count == 0 {
-                return None;
-            }
-            let spectra: Vec<Grid<C64>> = specs[..count]
-                .iter()
-                .map(|vals| {
-                    Grid::from_vec(
-                        support,
-                        support,
-                        vals.iter().map(|&(re, im)| C64::new(re, im)).collect(),
-                    )
-                })
-                .collect();
-            Some(KernelSet::new(
-                spectra,
-                weights[..count].to_vec(),
-                256.0,
-                7.5,
-            ))
-        })
+        .prop_filter_map(
+            "weights/spectra length mismatch",
+            move |(specs, weights)| {
+                let count = specs.len().min(weights.len());
+                if count == 0 {
+                    return None;
+                }
+                let spectra: Vec<Grid<C64>> = specs[..count]
+                    .iter()
+                    .map(|vals| {
+                        Grid::from_vec(
+                            support,
+                            support,
+                            vals.iter().map(|&(re, im)| C64::new(re, im)).collect(),
+                        )
+                    })
+                    .collect();
+                Some(KernelSet::new(
+                    spectra,
+                    weights[..count].to_vec(),
+                    256.0,
+                    7.5,
+                ))
+            },
+        )
 }
 
 proptest! {

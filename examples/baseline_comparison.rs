@@ -67,9 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The level-set method (accelerated backend).
-    let sim = LithoSimulator::from_optics(&optics, grid_px, pixel_nm)?
-        .with_accelerated_backend(1);
-    let result = LevelSetIlt::builder().max_iterations(iters).build().optimize(&sim, &target)?;
+    let sim = LithoSimulator::from_optics(&optics, grid_px, pixel_nm)?.with_accelerated_backend(1);
+    let result = LevelSetIlt::builder()
+        .max_iterations(iters)
+        .build()
+        .optimize(&sim, &target)?;
     let eval = evaluate_mask(&sim, &result.mask, &layout, &target);
     let score = eval.score(result.runtime_s);
     println!(

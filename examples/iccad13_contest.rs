@@ -52,8 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let layout = suite.layout(case);
-        let sim = LithoSimulator::from_optics(&optics, grid_px, pixel_nm)?
-            .with_accelerated_backend(1);
+        let sim =
+            LithoSimulator::from_optics(&optics, grid_px, pixel_nm)?.with_accelerated_backend(1);
         let target = rasterize(&layout, grid_px, grid_px, pixel_nm);
         let result = optimizer.optimize(&sim, &target)?;
         let eval = evaluate_mask(&sim, &result.mask, &layout, &target);
@@ -72,7 +72,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ran += 1;
     }
     if ran > 0 {
-        println!("{:<6}{:>12}{:>8}{:>12}{:>8}{:>10}{:>12.0}", "avg", "", "", "", "", "", total_score / ran as f64);
+        println!(
+            "{:<6}{:>12}{:>8}{:>12}{:>8}{:>10}{:>12.0}",
+            "avg",
+            "",
+            "",
+            "",
+            "",
+            "",
+            total_score / ran as f64
+        );
     }
     Ok(())
 }

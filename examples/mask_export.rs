@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     design.push(Rect::new(232, 360, 416, 416).into());
 
     let optics = OpticsConfig::iccad2013().with_kernel_count(12);
-    let sim = LithoSimulator::from_optics(&optics, grid_px, pixel_nm)?
-        .with_accelerated_backend(1);
+    let sim = LithoSimulator::from_optics(&optics, grid_px, pixel_nm)?.with_accelerated_backend(1);
     let target = rasterize(&design, grid_px, grid_px, pixel_nm);
 
     // Optimize with light curvature smoothing so the exported geometry is

@@ -41,10 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     report(&before);
 
     // --- After OPC --------------------------------------------------------
-    let result = LevelSetIlt::builder().max_iterations(40).build().optimize(&sim, &target)?;
+    let result = LevelSetIlt::builder()
+        .max_iterations(40)
+        .build()
+        .optimize(&sim, &target)?;
     let after = evaluate_mask(&sim, &result.mask, &layout, &target);
     write_pgm(&after.pvb_map, "pvband_after.pgm")?;
-    println!("\nafter OPC ({} iterations, {:.2}s):", result.iterations, result.runtime_s);
+    println!(
+        "\nafter OPC ({} iterations, {:.2}s):",
+        result.iterations, result.runtime_s
+    );
     report(&after);
 
     println!(
@@ -75,7 +81,10 @@ fn report(eval: &lsopc_metrics::MaskEvaluation) {
         .collect();
     worst.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
     for (d, pos) in worst.iter().take(3) {
-        println!("    displacement {d:.1} nm at ({:.0}, {:.0}) nm", pos.x, pos.y);
+        println!(
+            "    displacement {d:.1} nm at ({:.0}, {:.0}) nm",
+            pos.x, pos.y
+        );
     }
     println!("  PV band: {:.0} nm²", eval.pvb_area_nm2);
     println!("  shape violations: {}", eval.shapes.total());

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo-wide pre-merge checks: formatting, lints, and the full test suite
+# (a superset of the tier-1 gate `cargo build --release && cargo test -q`).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -32,7 +32,10 @@ fn glp_to_optimized_mask_improves_all_metrics() {
     assert_eq!(layout.len(), 3);
     let sim = simulator();
     let target = rasterize(&layout, GRID, GRID, PIXEL_NM);
-    assert_eq!(target.sum() * PIXEL_NM * PIXEL_NM, layout.total_area() as f64);
+    assert_eq!(
+        target.sum() * PIXEL_NM * PIXEL_NM,
+        layout.total_area() as f64
+    );
 
     let before = evaluate_mask(&sim, &target, &layout, &target);
     let result = LevelSetIlt::builder()

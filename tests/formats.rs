@@ -2,7 +2,7 @@
 
 use lsopc::prelude::*;
 use lsopc_geometry::{
-    mask_to_polygons, parse_gds, polygons_to_layout, write_gds, write_glp, parse_glp,
+    mask_to_polygons, parse_gds, parse_glp, polygons_to_layout, write_gds, write_glp,
 };
 use lsopc_metrics::evaluate_mask;
 
@@ -22,13 +22,10 @@ fn gds_design_optimizes_and_exports() {
     assert_eq!(layout.total_area(), design().total_area());
 
     // Optimize.
-    let sim = LithoSimulator::from_optics(
-        &OpticsConfig::iccad2013().with_kernel_count(6),
-        128,
-        4.0,
-    )
-    .expect("valid configuration")
-    .with_accelerated_backend(1);
+    let sim =
+        LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(6), 128, 4.0)
+            .expect("valid configuration")
+            .with_accelerated_backend(1);
     let target = rasterize(&layout, 128, 128, 4.0);
     let result = LevelSetIlt::builder()
         .max_iterations(10)

@@ -1,0 +1,369 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io (see `vendor/README.md`), so it vendors a small wall-clock
+//! benchmark harness under criterion's names. It calibrates a batch size
+//! so each sample takes a measurable amount of time, collects
+//! `sample_size` samples, and prints min/median/mean per iteration —
+//! honest measurements, but without criterion's outlier analysis, HTML
+//! reports, or regression baselines.
+//!
+//! Command-line behaviour matches what `cargo bench`/`cargo test` need:
+//! positional arguments act as substring filters on benchmark names, and
+//! `--test` (passed by `cargo test`) runs each benchmark exactly once as
+//! a smoke test.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time each calibrated sample aims for.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+
+/// Prevents the optimizer from proving a benchmarked value unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier carrying only a parameter value (the group name
+    /// provides the function part).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function`: a `&str` or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Converts into an identifier.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    smoke_test: bool,
+    /// Mean per-iteration times of each collected sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the batch until one batch reaches the target
+        // sample time (or the routine is clearly slow enough already).
+        let mut iters = 1u64;
+        loop {
+            let t = Self::time_batch(&mut routine, iters);
+            if t >= TARGET_SAMPLE_TIME || iters >= self.iters_per_sample.max(1 << 20) {
+                break;
+            }
+            if t >= TARGET_SAMPLE_TIME / 2 {
+                iters = (iters * 2).max(iters + 1);
+                break;
+            }
+            let scale = (TARGET_SAMPLE_TIME.as_nanos() / t.as_nanos().max(1)).clamp(2, 16) as u64;
+            iters = iters.saturating_mul(scale);
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t = Self::time_batch(&mut routine, iters);
+            self.results
+                .push(t / u32::try_from(iters).unwrap_or(u32::MAX));
+        }
+    }
+
+    fn time_batch<O, R: FnMut() -> O>(routine: &mut R, iters: u64) -> Duration {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        start.elapsed()
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.smoke_test {
+            println!("{name}: ok (smoke test)");
+            return;
+        }
+        self.results.sort();
+        if self.results.is_empty() {
+            println!("{name}: no samples collected");
+            return;
+        }
+        let min = self.results[0];
+        let median = self.results[self.results.len() / 2];
+        let mean =
+            self.results.iter().sum::<Duration>() / u32::try_from(self.results.len()).unwrap_or(1);
+        println!(
+            "{name}: median {} (min {}, mean {}, {} samples)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(mean),
+            self.results.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    smoke_test: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut smoke_test = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke_test = true,
+                // Flags cargo/libtest pass through that we can ignore.
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion {
+            filters,
+            smoke_test,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let name = id.render();
+        let sample_size = self.default_sample_size;
+        self.run_one(&name, sample_size, f);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: sample_size,
+            smoke_test: self.smoke_test,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.render());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting happens as
+    /// each benchmark finishes).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            filters: Vec::new(),
+            smoke_test: false,
+            default_sample_size: 3,
+        };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(4);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0, "routine executed");
+    }
+
+    #[test]
+    fn filters_skip_nonmatching_names() {
+        let mut c = Criterion {
+            filters: vec!["matched".to_string()],
+            smoke_test: false,
+            default_sample_size: 2,
+        };
+        let mut ran = false;
+        c.bench_function("other_name", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran, "filtered benchmark must not run");
+        c.bench_function("matched_name", |b| b.iter(|| 1));
+    }
+
+    #[test]
+    fn smoke_test_mode_runs_once() {
+        let mut c = Criterion {
+            filters: Vec::new(),
+            smoke_test: true,
+            default_sample_size: 10,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1, "--test mode runs the routine exactly once");
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("fft", 1024).render(), "fft/1024");
+        assert_eq!(BenchmarkId::from_parameter(256).render(), "256");
+    }
+}

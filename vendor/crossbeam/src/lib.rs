@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io (see `vendor/README.md`). The only `crossbeam` API the
+//! workspace uses is scoped threads, which std has provided natively
+//! since 1.63 — this shim adapts `std::thread::scope` to crossbeam's
+//! calling convention (the spawn closure receives a `&Scope` handle and
+//! `scope` returns a `Result`).
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads (`crossbeam::thread`).
+
+    /// Result of joining a thread: `Err` carries the panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A handle to a thread scope; lets spawned closures spawn more
+    /// scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned permission to join a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (`Err`
+        /// holds the panic payload if it panicked).
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope handle so
+        /// it can spawn further threads within the same scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }))
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All spawned threads are joined before this
+    /// returns.
+    ///
+    /// Unlike the real crossbeam, a panic in an unjoined child propagates
+    /// out of `scope` (std semantics) instead of being returned as `Err`;
+    /// explicitly joined children report panics through
+    /// [`ScopedJoinHandle::join`] exactly like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum()
+            })
+            .expect("scope succeeds");
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_handle() {
+            let n = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 21).join().expect("inner") * 2)
+                    .join()
+                    .expect("outer")
+            })
+            .expect("scope succeeds");
+            assert_eq!(n, 42);
+        }
+
+        #[test]
+        fn join_reports_panic_payload() {
+            let r = super::scope(|s| s.spawn(|_| panic!("boom")).join());
+            assert!(r.expect("scope itself succeeds").is_err());
+        }
+    }
+}

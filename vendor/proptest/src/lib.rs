@@ -1,0 +1,500 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io (see `vendor/README.md`), so it vendors a small
+//! property-testing runner under proptest's names. Differences from the
+//! real crate, in honesty order:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` rendering, un-minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and name, so failures reproduce exactly on re-run; there
+//!   is no `PROPTEST_` environment-variable machinery.
+//! * Only the combinators this workspace uses exist: range strategies,
+//!   tuple strategies, `prop::collection::vec`, `any::<bool>()`,
+//!   `prop_map`, and `prop_filter_map`, plus the `proptest!`,
+//!   `prop_assert!`, `prop_assert_eq!` and `prop_assume!` macros.
+//!
+//! The runner semantics match upstream where it counts: `prop_assume!`
+//! and `prop_filter_map` rejections are retried without consuming a case
+//! budget slot (with a global cap), and every accepted case runs the
+//! test body to completion or panics.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+/// Runner configuration (`proptest::test_runner::Config` upstream).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass: a real failure or a rejected input.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property does not hold; the runner panics with this message.
+    Fail(String),
+    /// The input fell outside the property's assumptions; the runner
+    /// retries with a fresh input.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Whether this is a rejection (retry) rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Shorthand for a test-case outcome.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+pub mod test_runner {
+    //! The deterministic RNG driving input generation.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    pub use super::{TestCaseError, TestCaseResult};
+
+    /// Random source handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Creates a generator seeded from a test's identity, so every
+        /// run of the same test replays the same input sequence.
+        pub fn deterministic(identity: &str) -> Self {
+            // FNV-1a over the identity string.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in identity.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating test inputs.
+///
+/// `generate` returns `None` when the candidate was filtered out
+/// (`prop_filter_map`); the runner retries with fresh randomness.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: fmt::Debug;
+
+    /// Draws one candidate input.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps generated values through `f`, rejecting candidates for which
+    /// `f` returns `None`. `whence` labels the rejection for diagnostics.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            _whence: whence,
+        }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    _whence: &'static str,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Strategy for a whole type's canonical distribution (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T` (`proptest::arbitrary::any`). Only the
+/// types this workspace generates are wired up.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.gen::<bool>())
+    }
+}
+
+macro_rules! impl_any_full_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(<$t>::MIN..=<$t>::MAX))
+            }
+        }
+    )*};
+}
+
+impl_any_full_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+pub mod prop {
+    //! Strategy constructors (`proptest::prop`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Inclusive-exclusive bounds on a generated collection's length.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty collection size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        /// Strategy for `Vec`s of `element`-generated values (see [`vec`]).
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates `Vec`s whose length lies in `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+                let len = if self.size.lo + 1 >= self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi)
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (`proptest::prelude::*`).
+
+    pub use crate::{any, prop, Any, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body against `config.cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let reject_cap = config.cases.saturating_mul(64).max(4096);
+            'cases: while accepted < config.cases {
+                assert!(
+                    rejected <= reject_cap,
+                    "{} inputs rejected before reaching {} accepted cases; \
+                     loosen the strategy or the assumptions",
+                    rejected,
+                    config.cases,
+                );
+                $(
+                    let $arg = match $crate::Strategy::generate(&($strategy), &mut rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => {
+                            rejected += 1;
+                            continue 'cases;
+                        }
+                    };
+                )*
+                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err(e) if e.is_rejection() => rejected += 1,
+                    ::core::result::Result::Err(e) => {
+                        panic!("property {} falsified: {}", stringify!($name), e)
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Like `assert!`, but fails the current generated case instead of
+/// panicking directly (usable only inside [`proptest!`] bodies).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current generated case instead of
+/// panicking directly (usable only inside [`proptest!`] bodies).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left, right,
+            )));
+        }
+    }};
+}
+
+/// Rejects the current generated case unless `cond` holds; the runner
+/// retries with a fresh input without consuming a case slot.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("self-test");
+        let strat = prop::collection::vec((0i64..10, -1.0f64..1.0), 3..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng).expect("no filtering here");
+            assert!((3..7).contains(&v.len()));
+            for (i, f) in v {
+                assert!((0..10).contains(&i));
+                assert!((-1.0..1.0).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn filter_map_rejections_surface_as_none() {
+        let mut rng = crate::test_runner::TestRng::deterministic("filter-test");
+        let strat = (0u32..10).prop_filter_map("keep evens", |v| (v % 2 == 0).then_some(v));
+        let mut kept = 0;
+        for _ in 0..100 {
+            if let Some(v) = strat.generate(&mut rng) {
+                assert_eq!(v % 2, 0);
+                kept += 1;
+            }
+        }
+        assert!(kept > 10, "some candidates survive: {kept}");
+    }
+
+    #[test]
+    fn deterministic_per_identity() {
+        let mut a = crate::test_runner::TestRng::deterministic("same");
+        let mut b = crate::test_runner::TestRng::deterministic("same");
+        let s = 0u64..1_000_000;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro front-end itself: assume/assert plumbing works.
+        #[test]
+        fn macro_runner_accepts_and_rejects(x in 0i64..100, flip in any::<bool>()) {
+            prop_assume!(x != 50);
+            prop_assert!(x < 100, "x={} out of range", x);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io (see `vendor/README.md`), so it vendors a minimal
+//! serialization framework under serde's trait names. It is a real —
+//! if small — framework, not a pile of no-ops:
+//!
+//! * [`Value`] is the self-describing data model (a JSON-like tree);
+//! * [`Serialize`]/[`Serializer`] walk a value into that model, with
+//!   [`to_value`] and [`to_json`] as front doors;
+//! * [`Deserialize`]/[`Deserializer`] rebuild primitives, sequences and
+//!   hand-written impls from a [`Value`] via [`from_value`];
+//! * `#[derive(Serialize)]` (behind the `derive` feature) serializes via
+//!   the type's `Debug` representation, and `#[derive(Deserialize)]`
+//!   emits a compile-checked stub that errors at runtime — the workspace
+//!   never deserializes derived types at runtime today, it only requires
+//!   the trait bounds. The derives accept and ignore `#[serde(...)]`
+//!   attributes so annotated sources keep compiling.
+//!
+//! The subset was chosen to cover exactly what this workspace's manual
+//! impls (e.g. `Grid`'s) and derive sites need; extend it rather than
+//! adding no-op shortcuts.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered string-keyed map (struct fields keep declaration order).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders the value as JSON text (non-finite floats become `null`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Error type shared by the vendored serializer and deserializer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// A type that can serialize itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized data.
+pub trait Serializer: Sized {
+    /// Final output of successful serialization.
+    type Ok;
+    /// Serialization error.
+    type Error: ser::Error;
+    /// Sub-serializer for struct fields.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Begins serializing a struct with `len` fields.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    /// Sinks an already-built [`Value`] (the primitive fast path).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a value through its `Debug` representation — used by
+    /// the vendored `#[derive(Serialize)]`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn collect_debug<T: fmt::Debug + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(format!("{value:?}")))
+    }
+}
+
+pub mod ser {
+    //! Serialization-side helper traits (`serde::ser`).
+
+    use super::{fmt, Serialize};
+
+    /// Constructing serialization errors.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Field-by-field struct serialization.
+    pub trait SerializeStruct {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error;
+
+        /// Serializes one named field.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Finishes the struct.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    //! Deserialization-side helper traits (`serde::de`).
+
+    use super::fmt;
+
+    /// Constructing deserialization errors.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A source of deserialized data: hands out one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error.
+    type Error: de::Error;
+
+    /// Consumes the deserializer, yielding its value tree.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined (e.g. syntax errors in the source).
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error when the data does not fit.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------
+// Concrete serializer / deserializer over `Value`.
+
+/// Serializer producing a [`Value`] tree.
+#[derive(Debug, Default)]
+pub struct ValueSerializer;
+
+/// In-progress struct for [`ValueSerializer`].
+#[derive(Debug)]
+pub struct ValueStructSerializer {
+    fields: Vec<(String, Value)>,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeStruct = ValueStructSerializer;
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error> {
+        Ok(ValueStructSerializer {
+            fields: Vec::with_capacity(len),
+        })
+    }
+
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error> {
+        Ok(value)
+    }
+}
+
+impl ser::SerializeStruct for ValueStructSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        let v = value.serialize(ValueSerializer)?;
+        self.fields.push((key.to_string(), v));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Self::Ok, Self::Error> {
+        Ok(Value::Map(self.fields))
+    }
+}
+
+/// Deserializer reading from an owned [`Value`] tree.
+#[derive(Debug)]
+pub struct ValueDeserializer(Value);
+
+impl ValueDeserializer {
+    /// Wraps a value for deserialization.
+    pub fn new(value: Value) -> Self {
+        Self(value)
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn into_value(self) -> Result<Value, Self::Error> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value into the [`Value`] data model.
+///
+/// # Errors
+///
+/// Propagates errors from the type's `Serialize` impl.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Serializes any value to JSON text.
+///
+/// # Errors
+///
+/// Propagates errors from the type's `Serialize` impl.
+pub fn to_json<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value)?.to_json())
+}
+
+/// Rebuilds a value from the [`Value`] data model.
+///
+/// # Errors
+///
+/// Returns an error when the tree does not match `T`'s shape.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+
+macro_rules! serialize_as {
+    ($variant:ident: $($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::$variant((*self).into()))
+            }
+        }
+    )*};
+}
+
+serialize_as!(I64: i8, i16, i32, i64);
+serialize_as!(U64: u8, u16, u32, u64);
+serialize_as!(F64: f32, f64);
+serialize_as!(Bool: bool);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::U64(*self as u64))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::I64(*self as i64))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items: Result<Vec<Value>, Error> = self.iter().map(to_value).collect();
+        match items {
+            Ok(items) => serializer.serialize_value(Value::Seq(items)),
+            Err(e) => Err(ser::Error::custom(e)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let pair = vec![to_value(&self.0), to_value(&self.1)];
+        let items: Result<Vec<Value>, Error> = pair.into_iter().collect();
+        match items {
+            Ok(items) => serializer.serialize_value(Value::Seq(items)),
+            Err(e) => Err(ser::Error::custom(e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for primitives and containers.
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.into_value()? {
+                    Value::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!("{v} out of range"))),
+                    Value::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!("{v} out of range"))),
+                    other => Err(de::Error::custom(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.into_value()? {
+                    Value::F64(v) => Ok(v as $t),
+                    Value::I64(v) => Ok(v as $t),
+                    Value::U64(v) => Ok(v as $t),
+                    other => Err(de::Error::custom(format!(
+                        "expected number, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_value() {
+        assert_eq!(to_value(&42u32).unwrap(), Value::U64(42));
+        assert_eq!(from_value::<u32>(Value::U64(42)).unwrap(), 42);
+        assert_eq!(from_value::<f64>(Value::F64(1.5)).unwrap(), 1.5);
+        let v: Vec<i64> = from_value(to_value(&vec![1i64, 2, 3]).unwrap()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn manual_struct_serialization_builds_map() {
+        struct P {
+            x: f64,
+            y: f64,
+        }
+        impl Serialize for P {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use crate::ser::SerializeStruct;
+                let mut st = serializer.serialize_struct("P", 2)?;
+                st.serialize_field("x", &self.x)?;
+                st.serialize_field("y", &self.y)?;
+                st.end()
+            }
+        }
+        let v = to_value(&P { x: 1.0, y: -2.0 }).unwrap();
+        assert_eq!(v.get("x"), Some(&Value::F64(1.0)));
+        assert_eq!(v.to_json(), r#"{"x":1,"y":-2}"#);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let v = Value::Str("a\"b\\c\nd".to_string());
+        assert_eq!(v.to_json(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn out_of_range_integer_errors() {
+        assert!(from_value::<u8>(Value::U64(300)).is_err());
+        assert!(from_value::<u32>(Value::I64(-1)).is_err());
+    }
+}
