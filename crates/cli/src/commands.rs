@@ -18,14 +18,19 @@ lsopc — level-set inverse lithography mask optimization
 USAGE:
   lsopc optimize --glp <design.glp> --out <mask.glp>
                  [--grid 512] [--iters 30] [--kernels 24] [--pvb-weight 1.0]
+                 [--threads N]
   lsopc evaluate --glp <design.glp> --mask <mask.glp>
-                 [--grid 512] [--kernels 24]
+                 [--grid 512] [--kernels 24] [--threads N]
   lsopc report   --glp <design.glp> --mask <mask.glp>
                  [--grid 512] [--kernels 24] [--min-width-nm 40] [--min-space-nm 40]
+                 [--threads N]
   lsopc suite    [--cases 1,2,...] [--grid 256] [--iters 20] [--kernels 24]
+                 [--threads N]
   lsopc help
 
-The field is 2048nm; --grid sets the pixels per side (power of two).";
+The field is 2048nm; --grid sets the pixels per side (power of two).
+--threads sizes the shared worker pool (default: LSOPC_THREADS if set,
+otherwise the machine's available cores).";
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -35,9 +40,18 @@ fn build_sim(
 ) -> Result<(LithoSimulator, usize, f64), Box<dyn Error>> {
     let grid: usize = flags.num("grid", default_grid)?;
     let kernels: usize = flags.num("kernels", 24)?;
+    // --threads pins the shared pool size; 0 (the default) keeps the
+    // LSOPC_THREADS / available-core sizing. The pool is built once per
+    // process, so only the first build_sim call can still size it.
+    let threads: usize = flags.num("threads", 0)?;
+    if threads > 0 {
+        lsopc_parallel::init_global_threads(threads);
+    }
+    let pool_threads = lsopc_parallel::ParallelContext::global().threads();
     let pixel_nm = 2048.0 / grid as f64;
     let optics = OpticsConfig::iccad2013().with_kernel_count(kernels);
-    let sim = LithoSimulator::from_optics(&optics, grid, pixel_nm)?.with_accelerated_backend(1);
+    let sim = LithoSimulator::from_optics(&optics, grid, pixel_nm)?
+        .with_accelerated_backend(pool_threads);
     Ok((sim, grid, pixel_nm))
 }
 

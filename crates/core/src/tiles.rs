@@ -15,6 +15,7 @@ use crate::{LevelSetIlt, OptimizeError};
 use lsopc_grid::Grid;
 use lsopc_litho::{BuildSimulatorError, LithoSimulator};
 use lsopc_optics::OpticsConfig;
+use lsopc_parallel::ParallelContext;
 use std::error::Error;
 use std::fmt;
 
@@ -82,6 +83,8 @@ pub struct TiledIlt {
     optimizer: LevelSetIlt,
     core_px: usize,
     halo_px: usize,
+    /// `None` → [`ParallelContext::global`].
+    ctx: Option<ParallelContext>,
 }
 
 impl TiledIlt {
@@ -104,7 +107,21 @@ impl TiledIlt {
             optimizer,
             core_px,
             halo_px,
+            ctx: None,
         }
+    }
+
+    /// Runs tile optimizations on an explicit [`ParallelContext`] instead
+    /// of the process-global one (tests and thread-count sweeps).
+    pub fn with_context(mut self, ctx: ParallelContext) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
+    fn ctx(&self) -> &ParallelContext {
+        self.ctx
+            .as_ref()
+            .unwrap_or_else(|| ParallelContext::global())
     }
 
     /// Tile size including halo.
@@ -114,6 +131,12 @@ impl TiledIlt {
 
     /// Optimizes a (possibly large) target by tiles and stitches the
     /// result. Empty tiles are skipped.
+    ///
+    /// Tiles are independent given the halo design and are optimized
+    /// concurrently on the shared pool. The stitch (and the choice of
+    /// which error is reported when several tiles fail) follows the
+    /// deterministic row-major tile order, so the output never depends on
+    /// which tile finished first.
     ///
     /// # Errors
     ///
@@ -134,7 +157,15 @@ impl TiledIlt {
         }
         let tile = self.tile_px();
         let sim = LithoSimulator::from_optics(optics, tile, pixel_nm)?.with_accelerated_backend(1);
-        let mut out = Grid::new(w, h, 0.0);
+        // Warm the per-defocus kernel cache before fanning out so
+        // concurrent tiles don't all generate the same kernels on a miss.
+        let corners = sim.corners();
+        for c in [corners.nominal, corners.inner, corners.outer] {
+            let _ = sim.kernels_for(c.defocus_nm);
+        }
+
+        // Collect the non-empty tiles in row-major order.
+        let mut tiles: Vec<(usize, usize, Grid<f64>)> = Vec::new();
         for ty in (0..h).step_by(self.core_px) {
             for tx in (0..w).step_by(self.core_px) {
                 // Extract the tile with halo; outside the target is empty.
@@ -150,12 +181,23 @@ impl TiledIlt {
                 if tile_target.sum() == 0.0 {
                     continue; // nothing to optimize here
                 }
-                let result = self.optimizer.optimize(&sim, &tile_target)?;
-                // Paste the core region.
-                for y in 0..self.core_px {
-                    for x in 0..self.core_px {
-                        out[(tx + x, ty + y)] = result.mask[(x + self.halo_px, y + self.halo_px)];
-                    }
+                tiles.push((tx, ty, tile_target));
+            }
+        }
+
+        let results = self
+            .ctx()
+            .par_map(tiles.len(), |i| self.optimizer.optimize(&sim, &tiles[i].2));
+
+        // Stitch in row-major tile order; the first failing tile in that
+        // order wins, independent of scheduling.
+        let mut out = Grid::new(w, h, 0.0);
+        for (&(tx, ty, _), result) in tiles.iter().zip(results) {
+            let result = result?;
+            // Paste the core region.
+            for y in 0..self.core_px {
+                for x in 0..self.core_px {
+                    out[(tx + x, ty + y)] = result.mask[(x + self.halo_px, y + self.halo_px)];
                 }
             }
         }

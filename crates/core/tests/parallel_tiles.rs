@@ -1,0 +1,46 @@
+//! Parallel == serial bit-identity for tiled optimization.
+
+use lsopc_core::{LevelSetIlt, TiledIlt};
+use lsopc_grid::Grid;
+use lsopc_optics::OpticsConfig;
+use lsopc_parallel::ParallelContext;
+
+fn optics() -> OpticsConfig {
+    OpticsConfig::iccad2013().with_kernel_count(4)
+}
+
+/// Two features in different tiles of a 256-px target.
+fn two_tile_target() -> Grid<f64> {
+    Grid::from_fn(256, 256, |x, y| {
+        let a = (40..60).contains(&x) && (30..90).contains(&y);
+        let b = (180..200).contains(&x) && (160..220).contains(&y);
+        if a || b {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Concurrent tile optimization stitches the exact same mask as the
+/// serial sweep at every thread count — including counts above the
+/// number of non-empty tiles.
+#[test]
+fn tiled_masks_are_thread_count_invariant() {
+    let target = two_tile_target();
+    let opt = LevelSetIlt::builder().max_iterations(4).build();
+    let reference = TiledIlt::new(opt.clone(), 128, 64)
+        .with_context(ParallelContext::new(1))
+        .optimize(&optics(), &target, 4.0)
+        .expect("serial tiles run");
+    assert!(reference.sum() > 0.0, "premise: a non-trivial mask");
+    for threads in [2usize, 3, 8] {
+        let got = TiledIlt::new(opt.clone(), 128, 64)
+            .with_context(ParallelContext::new(threads))
+            .optimize(&optics(), &target, 4.0)
+            .expect("parallel tiles run");
+        for (a, b) in got.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

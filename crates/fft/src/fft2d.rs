@@ -1,7 +1,17 @@
 //! 2-D FFT over [`Grid`] via the row-column algorithm.
+//!
+//! Every pass is parallel: rows (and transposed columns) are independent
+//! 1-D FFTs distributed over the shared [`ParallelContext`] pool, and the
+//! blocked transposes split the output grid into disjoint row bands. All
+//! writes are disjoint and each 1-D transform runs the exact same
+//! arithmetic wherever it is scheduled, so results are bit-identical to
+//! the serial path for any thread count. The default entry points
+//! ([`Fft2d::forward`] etc.) use [`ParallelContext::global`]; the `*_with`
+//! variants take an explicit context for tests and thread-count sweeps.
 
 use crate::FftPlan;
 use lsopc_grid::{Complex, Grid, Scalar};
+use lsopc_parallel::ParallelContext;
 
 /// A reusable 2-D FFT for grids of a fixed power-of-two size.
 ///
@@ -63,7 +73,7 @@ impl<T: Scalar> Fft2d<T> {
     ///
     /// Panics if the grid dimensions differ from the planned size.
     pub fn forward(&self, g: &mut Grid<Complex<T>>) {
-        self.transform(g, false);
+        self.transform(ParallelContext::global(), g, false);
     }
 
     /// In-place inverse 2-D transform, scaled by `1/(W·H)`.
@@ -72,10 +82,22 @@ impl<T: Scalar> Fft2d<T> {
     ///
     /// Panics if the grid dimensions differ from the planned size.
     pub fn inverse(&self, g: &mut Grid<Complex<T>>) {
-        self.transform(g, true);
+        self.transform(ParallelContext::global(), g, true);
     }
 
-    fn transform(&self, g: &mut Grid<Complex<T>>, inverse: bool) {
+    /// [`Self::forward`] on an explicit [`ParallelContext`]. Bit-identical
+    /// to the default path at every thread count.
+    pub fn forward_with(&self, ctx: &ParallelContext, g: &mut Grid<Complex<T>>) {
+        self.transform(ctx, g, false);
+    }
+
+    /// [`Self::inverse`] on an explicit [`ParallelContext`]. Bit-identical
+    /// to the default path at every thread count.
+    pub fn inverse_with(&self, ctx: &ParallelContext, g: &mut Grid<Complex<T>>) {
+        self.transform(ctx, g, true);
+    }
+
+    fn transform(&self, ctx: &ParallelContext, g: &mut Grid<Complex<T>>, inverse: bool) {
         assert_eq!(
             g.dims(),
             (self.width, self.height),
@@ -90,35 +112,90 @@ impl<T: Scalar> Fft2d<T> {
         // dense transform only when the dense column pass sees the
         // original (still banded) spectrum, not an intermediate.
         if inverse {
-            self.column_pass(g, true);
-            self.row_pass(g, true);
+            self.column_pass(ctx, g, true);
+            self.row_pass(ctx, g, true);
         } else {
-            self.row_pass(g, false);
-            self.column_pass(g, false);
+            self.row_pass(ctx, g, false);
+            self.column_pass(ctx, g, false);
         }
     }
 
-    fn row_pass(&self, g: &mut Grid<Complex<T>>, inverse: bool) {
-        for y in 0..self.height {
-            if inverse {
-                self.row_plan.inverse(g.row_mut(y));
-            } else {
-                self.row_plan.forward(g.row_mut(y));
+    /// Transforms every row in parallel. Rows are disjoint slices of the
+    /// row-major storage, so scheduling never affects the result.
+    fn row_pass(&self, ctx: &ParallelContext, g: &mut Grid<Complex<T>>, inverse: bool) {
+        let plan = &self.row_plan;
+        let rows_per_chunk = rows_per_chunk(self.height, ctx.threads());
+        ctx.par_chunks_mut(g.as_mut_slice(), self.width * rows_per_chunk, |_, band| {
+            for row in band.chunks_exact_mut(self.width) {
+                if inverse {
+                    plan.inverse(row);
+                } else {
+                    plan.forward(row);
+                }
             }
-        }
+        });
     }
 
     /// Column pass via transpose so each 1-D FFT is contiguous.
-    fn column_pass(&self, g: &mut Grid<Complex<T>>, inverse: bool) {
-        let mut t = transpose(g);
-        for x in 0..self.width {
-            if inverse {
-                self.col_plan.inverse(t.row_mut(x));
-            } else {
-                self.col_plan.forward(t.row_mut(x));
+    fn column_pass(&self, ctx: &ParallelContext, g: &mut Grid<Complex<T>>, inverse: bool) {
+        let mut t = transpose(ctx, g);
+        let plan = &self.col_plan;
+        let rows_per_chunk = rows_per_chunk(self.width, ctx.threads());
+        ctx.par_chunks_mut(t.as_mut_slice(), self.height * rows_per_chunk, |_, band| {
+            for row in band.chunks_exact_mut(self.height) {
+                if inverse {
+                    plan.inverse(row);
+                } else {
+                    plan.forward(row);
+                }
+            }
+        });
+        transpose_into(ctx, &t, g);
+    }
+
+    /// Runs a 1-D column FFT on every listed column: gather each column
+    /// into a contiguous buffer, transform all of them in parallel, and
+    /// scatter the results back. The per-column arithmetic is identical to
+    /// the serial scratch loop, so results are exact at any thread count.
+    fn band_column_pass(
+        &self,
+        ctx: &ParallelContext,
+        g: &mut Grid<Complex<T>>,
+        cols: &[usize],
+        inverse: bool,
+    ) {
+        if cols.is_empty() {
+            return;
+        }
+        for &x in cols {
+            assert!(x < self.width, "band column {x} out of range");
+        }
+        let w = self.width;
+        let h = self.height;
+        let mut buf = vec![Complex::ZERO; cols.len() * h];
+        {
+            let src = g.as_slice();
+            ctx.par_chunks_mut(&mut buf, h, |i, col| {
+                let x = cols[i];
+                for (y, c) in col.iter_mut().enumerate() {
+                    *c = src[y * w + x];
+                }
+                if inverse {
+                    self.col_plan.inverse(col);
+                } else {
+                    self.col_plan.forward(col);
+                }
+            });
+        }
+        // Scatter back serially: strided writes are memory-bound and cheap
+        // next to the transforms above.
+        let dst = g.as_mut_slice();
+        for (i, col) in buf.chunks_exact(h).enumerate() {
+            let x = cols[i];
+            for (y, c) in col.iter().enumerate() {
+                dst[y * w + x] = *c;
             }
         }
-        transpose_into(&t, g);
     }
 
     /// In-place inverse transform of a spectrum that is nonzero only on
@@ -136,6 +213,16 @@ impl<T: Scalar> Fft2d<T> {
     /// Panics if the grid dimensions differ from the planned size or any
     /// column index is out of range.
     pub fn inverse_band(&self, g: &mut Grid<Complex<T>>, cols: &[usize]) {
+        self.inverse_band_with(ParallelContext::global(), g, cols);
+    }
+
+    /// [`Self::inverse_band`] on an explicit [`ParallelContext`].
+    pub fn inverse_band_with(
+        &self,
+        ctx: &ParallelContext,
+        g: &mut Grid<Complex<T>>,
+        cols: &[usize],
+    ) {
         assert_eq!(
             g.dims(),
             (self.width, self.height),
@@ -143,18 +230,8 @@ impl<T: Scalar> Fft2d<T> {
             self.width,
             self.height
         );
-        let mut scratch = vec![Complex::ZERO; self.height];
-        for &x in cols {
-            assert!(x < self.width, "band column {x} out of range");
-            for (y, s) in scratch.iter_mut().enumerate() {
-                *s = g[(x, y)];
-            }
-            self.col_plan.inverse(&mut scratch);
-            for (y, s) in scratch.iter().enumerate() {
-                g[(x, y)] = *s;
-            }
-        }
-        self.row_pass(g, true);
+        self.band_column_pass(ctx, g, cols, true);
+        self.row_pass(ctx, g, true);
     }
 
     /// In-place forward transform evaluated only on the spectrum columns
@@ -171,6 +248,16 @@ impl<T: Scalar> Fft2d<T> {
     /// Panics if the grid dimensions differ from the planned size or any
     /// column index is out of range.
     pub fn forward_band(&self, g: &mut Grid<Complex<T>>, cols: &[usize]) {
+        self.forward_band_with(ParallelContext::global(), g, cols);
+    }
+
+    /// [`Self::forward_band`] on an explicit [`ParallelContext`].
+    pub fn forward_band_with(
+        &self,
+        ctx: &ParallelContext,
+        g: &mut Grid<Complex<T>>,
+        cols: &[usize],
+    ) {
         assert_eq!(
             g.dims(),
             (self.width, self.height),
@@ -178,18 +265,8 @@ impl<T: Scalar> Fft2d<T> {
             self.width,
             self.height
         );
-        self.row_pass(g, false);
-        let mut scratch = vec![Complex::ZERO; self.height];
-        for &x in cols {
-            assert!(x < self.width, "band column {x} out of range");
-            for (y, s) in scratch.iter_mut().enumerate() {
-                *s = g[(x, y)];
-            }
-            self.col_plan.forward(&mut scratch);
-            for (y, s) in scratch.iter().enumerate() {
-                g[(x, y)] = *s;
-            }
-        }
+        self.row_pass(ctx, g, false);
+        self.band_column_pass(ctx, g, cols, false);
     }
 
     /// Computes the forward transform of a real grid, returning a fresh
@@ -205,35 +282,56 @@ impl<T: Scalar> Fft2d<T> {
     }
 }
 
-fn transpose<T: Scalar>(g: &Grid<Complex<T>>) -> Grid<Complex<T>> {
+/// Rows of work per pool chunk: over-decompose ~4× the lane count for
+/// load balancing. Chunk size only partitions disjoint writes, so it can
+/// depend on the thread count without affecting results.
+fn rows_per_chunk(rows: usize, threads: usize) -> usize {
+    rows.div_ceil((threads * 4).max(1)).max(1)
+}
+
+/// Blocked transpose block size, for cache friendliness on large grids.
+const B: usize = 32;
+
+fn transpose<T: Scalar>(ctx: &ParallelContext, g: &Grid<Complex<T>>) -> Grid<Complex<T>> {
     let (w, h) = g.dims();
     let mut t = Grid::new(h, w, Complex::ZERO);
-    // Blocked transpose for cache friendliness on large grids.
-    const B: usize = 32;
-    for by in (0..h).step_by(B) {
-        for bx in (0..w).step_by(B) {
-            for y in by..(by + B).min(h) {
-                for x in bx..(bx + B).min(w) {
-                    t[(y, x)] = g[(x, y)];
+    let src = g.as_slice();
+    // Each chunk owns a band of B consecutive output rows (input columns);
+    // writes are disjoint so the transpose parallelizes freely.
+    ctx.par_chunks_mut(t.as_mut_slice(), h * B, |ci, band| {
+        let x0 = ci * B;
+        let band_rows = band.len() / h;
+        for by in (0..h).step_by(B) {
+            for (dx, row) in band.chunks_exact_mut(h).enumerate().take(band_rows) {
+                let x = x0 + dx;
+                for (y, out) in row.iter_mut().enumerate().take((by + B).min(h)).skip(by) {
+                    *out = src[y * w + x];
                 }
             }
         }
-    }
+    });
     t
 }
 
-fn transpose_into<T: Scalar>(t: &Grid<Complex<T>>, g: &mut Grid<Complex<T>>) {
+fn transpose_into<T: Scalar>(
+    ctx: &ParallelContext,
+    t: &Grid<Complex<T>>,
+    g: &mut Grid<Complex<T>>,
+) {
     let (w, h) = g.dims();
-    const B: usize = 32;
-    for by in (0..h).step_by(B) {
+    let src = t.as_slice();
+    ctx.par_chunks_mut(g.as_mut_slice(), w * B, |ci, band| {
+        let y0 = ci * B;
+        let band_rows = band.len() / w;
         for bx in (0..w).step_by(B) {
-            for y in by..(by + B).min(h) {
-                for x in bx..(bx + B).min(w) {
-                    g[(x, y)] = t[(y, x)];
+            for (dy, row) in band.chunks_exact_mut(w).enumerate().take(band_rows) {
+                let y = y0 + dy;
+                for (x, out) in row.iter_mut().enumerate().take((bx + B).min(w)).skip(bx) {
+                    *out = src[x * h + y];
                 }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]

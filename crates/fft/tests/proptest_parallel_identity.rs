@@ -1,0 +1,122 @@
+//! Parallel == serial bit-identity for every `Fft2d` pass.
+//!
+//! The parallel execution layer promises that chunk boundaries and
+//! reduction order never depend on the thread count, so transforms must
+//! be *bit*-identical — not merely close — on 1, 2, 3 or 8 threads,
+//! including counts far above the row/column count of a tiny grid.
+
+use lsopc_fft::Fft2d;
+use lsopc_grid::{Complex, Grid, C64};
+use lsopc_parallel::ParallelContext;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+/// Thread counts under test, shared across cases so pools are built once.
+fn contexts() -> &'static [ParallelContext] {
+    static CTXS: OnceLock<Vec<ParallelContext>> = OnceLock::new();
+    CTXS.get_or_init(|| [1usize, 2, 3, 8].map(ParallelContext::new).to_vec())
+}
+
+fn rand_grid(w: usize, h: usize, seed: u64) -> Grid<C64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Grid::from_fn(w, h, |_, _| {
+        C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    })
+}
+
+fn assert_bits_equal(a: &Grid<C64>, b: &Grid<C64>) -> Result<(), TestCaseError> {
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+        prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dense forward and inverse transforms match the single-thread path
+    /// bit for bit at every thread count.
+    #[test]
+    fn dense_transforms_are_thread_count_invariant(
+        wexp in 2u32..=6,
+        hexp in 2u32..=6,
+        seed in any::<u64>(),
+        inverse in any::<bool>(),
+    ) {
+        let (w, h) = (1usize << wexp, 1usize << hexp);
+        let fft = Fft2d::<f64>::new(w, h);
+        let input = rand_grid(w, h, seed);
+        let mut reference = input.clone();
+        if inverse {
+            fft.inverse_with(&contexts()[0], &mut reference);
+        } else {
+            fft.forward_with(&contexts()[0], &mut reference);
+        }
+        for ctx in &contexts()[1..] {
+            let mut got = input.clone();
+            if inverse {
+                fft.inverse_with(ctx, &mut got);
+            } else {
+                fft.forward_with(ctx, &mut got);
+            }
+            assert_bits_equal(&reference, &got)?;
+        }
+    }
+
+    /// Band-limited transforms (the hot-path variants) are likewise
+    /// bit-identical at every thread count, for arbitrary column subsets.
+    #[test]
+    fn band_transforms_are_thread_count_invariant(
+        wexp in 2u32..=6,
+        hexp in 2u32..=6,
+        seed in any::<u64>(),
+        colseed in any::<u64>(),
+        inverse in any::<bool>(),
+    ) {
+        let (w, h) = (1usize << wexp, 1usize << hexp);
+        let fft = Fft2d::<f64>::new(w, h);
+        // A random non-empty, deduplicated column subset.
+        let mut rng = StdRng::seed_from_u64(colseed);
+        let mut cols: Vec<usize> = (0..w).filter(|_| rng.gen_range(0.0..1.0) < 0.4).collect();
+        if cols.is_empty() {
+            cols.push(rng.gen_range(0..w));
+        }
+        // For the inverse, the spectrum must actually live on the band.
+        let noise = rand_grid(w, h, seed);
+        let input = if inverse {
+            Grid::from_fn(w, h, |x, y| {
+                if cols.contains(&x) { noise[(x, y)] } else { Complex::ZERO }
+            })
+        } else {
+            noise
+        };
+        let mut reference = input.clone();
+        if inverse {
+            fft.inverse_band_with(&contexts()[0], &mut reference, &cols);
+        } else {
+            fft.forward_band_with(&contexts()[0], &mut reference, &cols);
+        }
+        for ctx in &contexts()[1..] {
+            let mut got = input.clone();
+            if inverse {
+                fft.inverse_band_with(ctx, &mut got, &cols);
+            } else {
+                fft.forward_band_with(ctx, &mut got, &cols);
+            }
+            if inverse {
+                assert_bits_equal(&reference, &got)?;
+            } else {
+                // forward_band only specifies the listed columns.
+                for &x in &cols {
+                    for y in 0..h {
+                        prop_assert_eq!(reference[(x, y)].re.to_bits(), got[(x, y)].re.to_bits());
+                        prop_assert_eq!(reference[(x, y)].im.to_bits(), got[(x, y)].im.to_bits());
+                    }
+                }
+            }
+        }
+    }
+}

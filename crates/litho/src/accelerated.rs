@@ -28,16 +28,17 @@
 //!
 //! [`FftBackend`]: crate::FftBackend
 
-use crate::backend::SimBackend;
+use crate::backend::{fold_kernel_grids, SimBackend};
 use lsopc_fft::wrap_index;
 use lsopc_grid::{Grid, C64};
 use lsopc_optics::KernelSet;
+use lsopc_parallel::ParallelContext;
 
 /// Band-limit-aware batched simulation backend (the "GPU" path).
 ///
-/// `threads` > 1 fans the per-kernel work out over that many OS threads
-/// with `crossbeam::thread::scope`; on a single-core host the algorithmic
-/// savings dominate.
+/// `threads` > 1 fans the per-kernel work out over the shared persistent
+/// [`ParallelContext`] pool (no OS threads are spawned per call); on a
+/// single-core host the algorithmic savings dominate.
 ///
 /// # Example
 ///
@@ -61,23 +62,34 @@ use lsopc_optics::KernelSet;
 ///     .fold(0.0, f64::max);
 /// assert!(diff < 1e-10);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AcceleratedBackend {
     threads: usize,
+    ctx: ParallelContext,
 }
 
 impl AcceleratedBackend {
-    /// Creates the backend with the given thread fan-out (1 = serial).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// Creates the backend with the given thread fan-out (1 = serial),
+    /// capping the shared global pool at `threads` lanes. A request for 0
+    /// threads degrades to 1 with a logged warning instead of panicking.
     pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
-        Self { threads }
+        let threads = lsopc_parallel::sanitize_thread_count(threads, "AcceleratedBackend::new");
+        Self {
+            threads,
+            ctx: ParallelContext::global().with_max_threads(threads),
+        }
     }
 
-    /// Thread fan-out.
+    /// Creates the backend on an explicit context (tests and thread-count
+    /// sweeps), fanning out over up to `ctx.threads()` lanes.
+    pub fn with_context(ctx: ParallelContext) -> Self {
+        Self {
+            threads: ctx.threads(),
+            ctx,
+        }
+    }
+
+    /// Requested thread fan-out.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -124,37 +136,6 @@ fn embed_window(window: &Grid<C64>, w: usize, h: usize) -> Grid<C64> {
     full
 }
 
-/// Splits `0..count` into `threads` contiguous chunks and folds the
-/// per-chunk partial results produced by `work` with `merge`.
-fn parallel_fold<T: Send>(
-    threads: usize,
-    count: usize,
-    work: impl Fn(std::ops::Range<usize>) -> T + Sync,
-    mut merge: impl FnMut(T, T) -> T,
-) -> Option<T> {
-    let threads = threads.min(count.max(1));
-    if threads <= 1 {
-        return Some(work(0..count));
-    }
-    let chunk = count.div_ceil(threads);
-    let partials: Vec<T> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(count);
-                let work = &work;
-                scope.spawn(move |_| work(lo..hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("backend worker thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope failed");
-    partials.into_iter().reduce(&mut merge)
-}
-
 impl SimBackend for AcceleratedBackend {
     fn name(&self) -> &'static str {
         "accelerated"
@@ -179,8 +160,8 @@ impl SimBackend for AcceleratedBackend {
         // coarse IFFT scaled by nc²/(w·h).
         let scale = (nc * nc) as f64 / (w * h) as f64;
         let c = (s / 2) as i64;
-        let accumulate = |range: std::ops::Range<usize>| -> Grid<f64> {
-            let mut partial = Grid::new(nc, nc, 0.0);
+        let empty = Grid::new(nc, nc, 0.0);
+        let accumulate = |range: std::ops::Range<usize>, partial: &mut Grid<f64>| {
             for k in range {
                 let window = kernels.spectrum(k);
                 let mut ehat = Grid::new(nc, nc, C64::ZERO);
@@ -198,16 +179,8 @@ impl SimBackend for AcceleratedBackend {
                     *dst += wk * e.norm_sqr();
                 }
             }
-            partial
         };
-        let coarse_intensity =
-            parallel_fold(self.threads, kernels.len(), accumulate, |mut a, b| {
-                for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-                    *x += *y;
-                }
-                a
-            })
-            .expect("at least one kernel");
+        let coarse_intensity = fold_kernel_grids(&self.ctx, kernels.len(), &empty, accumulate);
 
         // Exact spectral upsampling: I is band-limited to 2S−1 < nc.
         let mut ihat_c = coarse_intensity.map(|&v| C64::from_real(v));
@@ -246,8 +219,8 @@ impl SimBackend for AcceleratedBackend {
 
         // Per kernel: X̂(κ) = (1/WH)·Σ_ν ê_k(ν)·Ẑ(κ−ν) on the S-window,
         // then acc(κ) += μ_k·conj(Ŝ_k(κ))·X̂(κ).
-        let accumulate = |range: std::ops::Range<usize>| -> Grid<C64> {
-            let mut acc = Grid::new(s, s, C64::ZERO);
+        let empty = Grid::new(s, s, C64::ZERO);
+        let accumulate = |range: std::ops::Range<usize>, acc: &mut Grid<C64>| {
             for k in range {
                 let window = kernels.spectrum(k);
                 // Sparse list of the kernel's non-zero band samples.
@@ -274,15 +247,8 @@ impl SimBackend for AcceleratedBackend {
                     acc[(i, j)] += sk.conj() * x.scale(wk * inv_wh);
                 }
             }
-            acc
         };
-        let acc_window = parallel_fold(self.threads, kernels.len(), accumulate, |mut a, b| {
-            for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-                *x += *y;
-            }
-            a
-        })
-        .expect("at least one kernel");
+        let acc_window = fold_kernel_grids(&self.ctx, kernels.len(), &empty, accumulate);
 
         // One full-size inverse FFT finishes the pass.
         let mut full = embed_window(&acc_window, w, h);
@@ -404,8 +370,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_threads_panics() {
-        let _ = AcceleratedBackend::new(0);
+    fn zero_threads_degrades_to_one() {
+        let backend = AcceleratedBackend::new(0);
+        assert_eq!(backend.threads(), 1);
+        // The degraded backend still computes correctly.
+        let ks = kernels(512.0, 4);
+        let mask = test_mask(64);
+        let a = backend.aerial_image(&ks, &mask);
+        let b = AcceleratedBackend::new(1).aerial_image(&ks, &mask);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hot_paths_spawn_no_threads_after_construction() {
+        // The pool spawns its workers once, at construction; repeated
+        // aerial/gradient calls must never spawn again.
+        let ctx = lsopc_parallel::ParallelContext::new(3);
+        let backend = AcceleratedBackend::with_context(ctx.clone());
+        let baseline = ctx.os_threads_spawned();
+        assert!(baseline <= 2, "pool spawned {baseline} > workers");
+        let ks = kernels(512.0, 8);
+        let mask = test_mask(64);
+        let z = Grid::from_fn(64, 64, |x, _| 0.01 * x as f64);
+        for _ in 0..5 {
+            let _ = backend.aerial_image(&ks, &mask);
+            let _ = backend.gradient(&ks, &mask, &z);
+        }
+        assert!(
+            ctx.os_threads_spawned() <= 2,
+            "hot path spawned OS threads: {}",
+            ctx.os_threads_spawned()
+        );
     }
 }

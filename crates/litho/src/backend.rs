@@ -3,6 +3,51 @@
 use crate::spectra::{EmbeddedSpectra, SpectrumCache};
 use lsopc_grid::{Grid, C64};
 use lsopc_optics::KernelSet;
+use lsopc_parallel::ParallelContext;
+use std::ops::Range;
+
+/// Folds per-kernel partial grids over the shared pool.
+///
+/// The kernel range is split into [`lsopc_parallel::REDUCE_CHUNKS`]
+/// contiguous chunks (a constant — never the thread count); `chunk_fold`
+/// accumulates each chunk's kernels into a fresh clone of `empty`, and
+/// the partials are summed elementwise **in chunk order**. Serial and
+/// parallel execution therefore run the exact same reduction tree and
+/// produce bit-identical grids — this one routine is the accumulation
+/// loop of every backend, so the paths cannot drift.
+pub(crate) fn fold_kernel_grids<V>(
+    ctx: &ParallelContext,
+    count: usize,
+    empty: &Grid<V>,
+    chunk_fold: impl Fn(Range<usize>, &mut Grid<V>) + Sync,
+) -> Grid<V>
+where
+    V: Copy + std::ops::AddAssign + Send + Sync,
+{
+    ctx.par_map_reduce(
+        count,
+        |range| {
+            let mut partial = empty.clone();
+            chunk_fold(range, &mut partial);
+            partial
+        },
+        |mut a, b| {
+            for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                *x += *y;
+            }
+            a
+        },
+    )
+    .unwrap_or_else(|| empty.clone())
+}
+
+/// `dst += wk · |field|²` — the aerial-image accumulation shared by the
+/// reference and FFT backends.
+pub(crate) fn add_weighted_intensity(dst: &mut Grid<f64>, field: &Grid<C64>, wk: f64) {
+    for (d, e) in dst.as_mut_slice().iter_mut().zip(field.as_slice()) {
+        *d += wk * e.norm_sqr();
+    }
+}
 
 /// A compute backend for the Hopkins imaging sum and its adjoint.
 ///
@@ -63,42 +108,51 @@ impl SimBackend for ReferenceBackend {
 
     fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
         let (w, h) = mask.dims();
-        let mut intensity = Grid::new(w, h, 0.0);
-        for k in 0..kernels.len() {
-            let hk = kernels.spatial_kernel(k, w, h);
-            let field = convolve_direct(&hk, mask);
-            let wk = kernels.weight(k);
-            for (dst, e) in intensity.as_mut_slice().iter_mut().zip(field.as_slice()) {
-                *dst += wk * e.norm_sqr();
-            }
-        }
-        intensity
+        let empty = Grid::new(w, h, 0.0);
+        fold_kernel_grids(
+            ParallelContext::global(),
+            kernels.len(),
+            &empty,
+            |range, intensity| {
+                for k in range {
+                    let hk = kernels.spatial_kernel(k, w, h);
+                    let field = convolve_direct(&hk, mask);
+                    add_weighted_intensity(intensity, &field, kernels.weight(k));
+                }
+            },
+        )
     }
 
     fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
-        let mut grad = Grid::new(w, h, 0.0);
-        for k in 0..kernels.len() {
-            let hk = kernels.spatial_kernel(k, w, h);
-            let e = convolve_direct(&hk, mask);
-            let wk = kernels.weight(k);
-            // G(u) += 2 μ_k Re{ Σ_x conj(h_k(x−u)) z(x) e_k(x) }.
-            for v in 0..h {
-                for u in 0..w {
-                    let mut acc = C64::ZERO;
-                    for y in 0..h {
-                        for x in 0..w {
-                            let hx = (x + w - u) % w;
-                            let hy = (y + h - v) % h;
-                            acc += hk[(hx, hy)].conj() * e[(x, y)].scale(z[(x, y)]);
+        let empty = Grid::new(w, h, 0.0);
+        fold_kernel_grids(
+            ParallelContext::global(),
+            kernels.len(),
+            &empty,
+            |range, grad| {
+                for k in range {
+                    let hk = kernels.spatial_kernel(k, w, h);
+                    let e = convolve_direct(&hk, mask);
+                    let wk = kernels.weight(k);
+                    // G(u) += 2 μ_k Re{ Σ_x conj(h_k(x−u)) z(x) e_k(x) }.
+                    for v in 0..h {
+                        for u in 0..w {
+                            let mut acc = C64::ZERO;
+                            for y in 0..h {
+                                for x in 0..w {
+                                    let hx = (x + w - u) % w;
+                                    let hy = (y + h - v) % h;
+                                    acc += hk[(hx, hy)].conj() * e[(x, y)].scale(z[(x, y)]);
+                                }
+                            }
+                            grad[(u, v)] += 2.0 * wk * acc.re;
                         }
                     }
-                    grad[(u, v)] += 2.0 * wk * acc.re;
                 }
-            }
-        }
-        grad
+            },
+        )
     }
 }
 
@@ -133,14 +187,47 @@ fn convolve_direct(kernel: &Grid<C64>, mask: &Grid<f64>) -> Grid<C64> {
 /// [`lsopc_fft::Fft2d::forward_band`]), which skip the spectrum columns
 /// the band provably leaves zero — bit-identical to the dense transforms
 /// on these inputs, just cheaper.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct FftBackend;
+///
+/// The per-kernel accumulation fans out over the shared
+/// [`ParallelContext`] pool (see [`fold_kernel_grids`]); results are
+/// bit-identical at every thread count.
+#[derive(Debug, Default, Clone)]
+pub struct FftBackend {
+    /// `None` → [`ParallelContext::global`].
+    ctx: Option<ParallelContext>,
+}
 
 impl FftBackend {
-    /// Creates the FFT backend.
+    /// Creates the FFT backend on the process-global [`ParallelContext`].
     pub fn new() -> Self {
-        Self
+        Self { ctx: None }
     }
+
+    /// Creates the FFT backend on an explicit context (tests and
+    /// thread-count sweeps).
+    pub fn with_context(ctx: ParallelContext) -> Self {
+        Self { ctx: Some(ctx) }
+    }
+
+    fn ctx(&self) -> &ParallelContext {
+        self.ctx
+            .as_ref()
+            .unwrap_or_else(|| ParallelContext::global())
+    }
+}
+
+/// `field ← h_k ⊗ M` from the mask spectrum, via the band-limited inverse
+/// transform — the per-kernel field computation shared by the aerial and
+/// gradient passes.
+fn kernel_field_into(
+    fft: &lsopc_fft::Fft2d<f64>,
+    spectra: &EmbeddedSpectra,
+    k: usize,
+    mhat: &Grid<C64>,
+    field: &mut Grid<C64>,
+) {
+    spectra.apply_window_into(k, mhat, field);
+    fft.inverse_band(field, spectra.cols(k));
 }
 
 impl SimBackend for FftBackend {
@@ -153,19 +240,16 @@ impl SimBackend for FftBackend {
         let fft = lsopc_fft::plan(w, h);
         let spectra = SpectrumCache::global().embedded(kernels, w, h);
         let mhat = fft.forward_real(mask);
-        let mut intensity = Grid::new(w, h, 0.0);
-        // One scratch field reused across kernels; apply_window_into
-        // re-zeroes it each pass.
-        let mut field = Grid::new(w, h, C64::ZERO);
-        for k in 0..kernels.len() {
-            spectra.apply_window_into(k, &mhat, &mut field);
-            fft.inverse_band(&mut field, spectra.cols(k));
-            let wk = kernels.weight(k);
-            for (dst, e) in intensity.as_mut_slice().iter_mut().zip(field.as_slice()) {
-                *dst += wk * e.norm_sqr();
+        let empty = Grid::new(w, h, 0.0);
+        fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, intensity| {
+            // One scratch field reused across the chunk's kernels;
+            // apply_window_into re-zeroes it each pass.
+            let mut field = Grid::new(w, h, C64::ZERO);
+            for k in range {
+                kernel_field_into(&fft, &spectra, k, &mhat, &mut field);
+                add_weighted_intensity(intensity, &field, kernels.weight(k));
             }
-        }
-        intensity
+        })
     }
 
     fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
@@ -174,21 +258,22 @@ impl SimBackend for FftBackend {
         let fft = lsopc_fft::plan(w, h);
         let spectra = SpectrumCache::global().embedded(kernels, w, h);
         let mhat = fft.forward_real(mask);
-        let mut acc: Grid<C64> = Grid::new(w, h, C64::ZERO);
-        let mut field = Grid::new(w, h, C64::ZERO);
-        for k in 0..kernels.len() {
-            // e_k = h_k ⊗ M.
-            spectra.apply_window_into(k, &mhat, &mut field);
-            fft.inverse_band(&mut field, spectra.cols(k));
-            // W = z ⊙ e_k, then Ŵ (needed only on the band columns).
-            for (fv, &zv) in field.as_mut_slice().iter_mut().zip(z.as_slice()) {
-                *fv = fv.scale(zv);
+        let empty: Grid<C64> = Grid::new(w, h, C64::ZERO);
+        let mut acc = fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, acc| {
+            let mut field = Grid::new(w, h, C64::ZERO);
+            for k in range {
+                // e_k = h_k ⊗ M.
+                kernel_field_into(&fft, &spectra, k, &mhat, &mut field);
+                // W = z ⊙ e_k, then Ŵ (needed only on the band columns).
+                for (fv, &zv) in field.as_mut_slice().iter_mut().zip(z.as_slice()) {
+                    *fv = fv.scale(zv);
+                }
+                fft.forward_band(&mut field, spectra.cols(k));
+                // acc += μ_k · conj(Ŝ_k) ⊙ Ŵ (only the band is non-zero).
+                spectra.accumulate_adjoint(k, &field, kernels.weight(k), acc);
             }
-            fft.forward_band(&mut field, spectra.cols(k));
-            // acc += μ_k · conj(Ŝ_k) ⊙ Ŵ (only the band is non-zero).
-            spectra.accumulate_adjoint(k, &field, kernels.weight(k), &mut acc);
-        }
-        fft.inverse_band(&mut acc, spectra.all_cols());
+        });
+        fft.inverse_band_with(self.ctx(), &mut acc, spectra.all_cols());
         acc.map(|v| 2.0 * v.re)
     }
 }

@@ -3,6 +3,7 @@
 use crate::{AcceleratedBackend, FftBackend, ResistModel, SimBackend};
 use lsopc_grid::Grid;
 use lsopc_optics::{KernelSet, OpticsConfig, ProcessCondition, ProcessCorners};
+use lsopc_parallel::ParallelContext;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::error::Error;
@@ -272,14 +273,34 @@ impl LithoSimulator {
 
     /// Hard prints at all three process corners.
     ///
+    /// The corners are independent simulations and run concurrently on
+    /// the shared pool (each one's inner kernel fold then runs inline on
+    /// its thread). Results are identical to running them sequentially.
+    ///
     /// # Panics
     ///
     /// Panics if the mask dimensions do not match the simulator grid.
     pub fn print_corners(&self, mask: &Grid<f64>) -> PrintedCorners {
+        self.print_corners_with(ParallelContext::global(), mask)
+    }
+
+    /// [`Self::print_corners`] on an explicit [`ParallelContext`].
+    pub fn print_corners_with(&self, ctx: &ParallelContext, mask: &Grid<f64>) -> PrintedCorners {
+        self.check_mask(mask);
+        let corners = [self.corners.nominal, self.corners.inner, self.corners.outer];
+        // Pre-warm the kernel cache serially: concurrent misses on the
+        // same defocus would generate the same kernel set redundantly.
+        for c in &corners {
+            let _ = self.kernels_for(c.defocus_nm);
+        }
+        let mut prints = ctx.par_map(corners.len(), |i| self.print(mask, corners[i]));
+        let outer = prints.pop().expect("three corners");
+        let inner = prints.pop().expect("three corners");
+        let nominal = prints.pop().expect("three corners");
         PrintedCorners {
-            nominal: self.print(mask, self.corners.nominal),
-            inner: self.print(mask, self.corners.inner),
-            outer: self.print(mask, self.corners.outer),
+            nominal,
+            inner,
+            outer,
         }
     }
 }

@@ -1,0 +1,93 @@
+//! Parallel == serial bit-identity for the simulation backends.
+//!
+//! `fold_kernel_grids` fixes the chunk boundaries and the partial-merge
+//! order independently of the thread count, so `FftBackend` and
+//! `AcceleratedBackend` must return *bit*-identical aerial images and
+//! gradients on 1, 2, 3 or 8 threads — including thread counts above the
+//! kernel count.
+
+use lsopc_grid::Grid;
+use lsopc_litho::{AcceleratedBackend, FftBackend, SimBackend};
+use lsopc_optics::{KernelSet, OpticsConfig};
+use lsopc_parallel::ParallelContext;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+fn contexts() -> &'static [ParallelContext] {
+    static CTXS: OnceLock<Vec<ParallelContext>> = OnceLock::new();
+    CTXS.get_or_init(|| [1usize, 2, 3, 8].map(ParallelContext::new).to_vec())
+}
+
+fn kernels(count: usize) -> KernelSet {
+    OpticsConfig::iccad2013()
+        .with_field_nm(256.0)
+        .with_kernel_count(count)
+        .kernels(0.0)
+}
+
+fn rand_mask(n: usize, seed: u64) -> Grid<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Grid::from_fn(n, n, |_, _| {
+        if rng.gen_range(0.0..1.0) < 0.3 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn rand_z(n: usize, seed: u64) -> Grid<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Grid::from_fn(n, n, |_, _| rng.gen_range(-0.1..0.1))
+}
+
+fn assert_bits_equal(a: &Grid<f64>, b: &Grid<f64>) -> Result<(), TestCaseError> {
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// FftBackend aerial + gradient are thread-count invariant.
+    #[test]
+    fn fft_backend_is_thread_count_invariant(
+        kcount in 2usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let ks = kernels(kcount);
+        let mask = rand_mask(64, seed);
+        let z = rand_z(64, seed.wrapping_add(1));
+        let reference = FftBackend::with_context(contexts()[0].clone());
+        let aerial_ref = reference.aerial_image(&ks, &mask);
+        let grad_ref = reference.gradient(&ks, &mask, &z);
+        for ctx in &contexts()[1..] {
+            let backend = FftBackend::with_context(ctx.clone());
+            assert_bits_equal(&aerial_ref, &backend.aerial_image(&ks, &mask))?;
+            assert_bits_equal(&grad_ref, &backend.gradient(&ks, &mask, &z))?;
+        }
+    }
+
+    /// AcceleratedBackend aerial + gradient are thread-count invariant.
+    #[test]
+    fn accelerated_backend_is_thread_count_invariant(
+        kcount in 2usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let ks = kernels(kcount);
+        let mask = rand_mask(64, seed);
+        let z = rand_z(64, seed.wrapping_add(1));
+        let reference = AcceleratedBackend::with_context(contexts()[0].clone());
+        let aerial_ref = reference.aerial_image(&ks, &mask);
+        let grad_ref = reference.gradient(&ks, &mask, &z);
+        for ctx in &contexts()[1..] {
+            let backend = AcceleratedBackend::with_context(ctx.clone());
+            assert_bits_equal(&aerial_ref, &backend.aerial_image(&ks, &mask))?;
+            assert_bits_equal(&grad_ref, &backend.gradient(&ks, &mask, &z))?;
+        }
+    }
+}

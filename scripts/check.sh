@@ -15,7 +15,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test (workspace)"
-cargo test -q --workspace
+echo "==> cargo test (workspace, LSOPC_THREADS=1)"
+LSOPC_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (workspace, LSOPC_THREADS=4)"
+LSOPC_THREADS=4 cargo test -q --workspace
 
 echo "All checks passed."

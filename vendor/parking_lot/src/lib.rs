@@ -100,6 +100,46 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable with the `parking_lot` API.
+///
+/// Like the lock shims above, this wraps the std primitive behind
+/// `parking_lot`'s interface: `wait` takes the guard by `&mut` (instead of
+/// std's consume-and-return) and poisoning is recovered transparently.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Blocks until the condition variable is notified, releasing the
+    /// mutex while parked and reacquiring it before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait consumes the guard and returns a fresh one; bridge to
+        // parking_lot's `&mut` signature by moving the guard out and back.
+        // Sound because no code runs between the read and the write except
+        // `wait`, whose poison error is recovered, so the moved-out guard
+        // is always written back exactly once.
+        unsafe {
+            let moved = std::ptr::read(guard);
+            let reacquired = self.0.wait(moved).unwrap_or_else(PoisonError::into_inner);
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +171,26 @@ mod tests {
         static TABLE: RwLock<i32> = RwLock::new(9);
         assert_eq!(*CELL.lock(), 7);
         assert_eq!(*TABLE.read(), 9);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut guard = lock.lock();
+            while !*guard {
+                cv.wait(&mut guard);
+            }
+            *guard
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(handle.join().expect("waiter finishes"));
     }
 }
