@@ -23,7 +23,11 @@ impl Flags {
                 return Err(format!("unexpected positional argument `{arg}`"));
             };
             let value = match it.peek() {
-                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                Some(v) if !v.starts_with("--") => {
+                    let v = (*v).clone();
+                    it.next();
+                    v
+                }
                 _ => String::new(),
             };
             values.insert(key.to_string(), value);

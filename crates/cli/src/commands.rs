@@ -1,15 +1,15 @@
 //! The CLI subcommands.
 
 use crate::args::Flags;
+use crate::error::CliError;
 use lsopc_benchsuite::Iccad2013Suite;
-use lsopc_core::LevelSetIlt;
+use lsopc_core::{LevelSetIlt, RecoveryPolicy};
 use lsopc_geometry::{
     mask_to_polygons, parse_glp, polygons_to_layout, rasterize, write_glp, Layout,
 };
 use lsopc_litho::LithoSimulator;
 use lsopc_metrics::{evaluate_mask, render_report, MaskComplexity, MrcReport};
 use lsopc_optics::OpticsConfig;
-use std::error::Error;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -18,26 +18,45 @@ lsopc — level-set inverse lithography mask optimization
 USAGE:
   lsopc optimize --glp <design.glp> --out <mask.glp>
                  [--grid 512] [--iters 30] [--kernels 24] [--pvb-weight 1.0]
-                 [--threads N]
+                 [--threads N] [--recover on|off|strict]
   lsopc evaluate --glp <design.glp> --mask <mask.glp>
                  [--grid 512] [--kernels 24] [--threads N]
   lsopc report   --glp <design.glp> --mask <mask.glp>
                  [--grid 512] [--kernels 24] [--min-width-nm 40] [--min-space-nm 40]
                  [--threads N]
   lsopc suite    [--cases 1,2,...] [--grid 256] [--iters 20] [--kernels 24]
-                 [--threads N]
+                 [--threads N] [--recover on|off|strict]
   lsopc help
 
 The field is 2048nm; --grid sets the pixels per side (power of two).
 --threads sizes the shared worker pool (default: LSOPC_THREADS if set,
-otherwise the machine's available cores).";
+otherwise the machine's available cores).
+--recover controls the solver health guard (default on): `on` rolls back
+to the last healthy checkpoint and halves the step on numerical trouble,
+`strict` turns an exhausted guard into a hard error, `off` disables it.
 
-type CliResult = Result<(), Box<dyn Error>>;
+EXIT CODES:
+  0 success    2 usage    3 I/O    4 layout parse
+  5 simulator setup    6 optimizer    7 strict recovery failure";
 
-fn build_sim(
-    flags: &Flags,
-    default_grid: usize,
-) -> Result<(LithoSimulator, usize, f64), Box<dyn Error>> {
+type CliResult = Result<(), CliError>;
+
+// Flag-parsing errors (missing/invalid values) are usage errors.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::usage(message)
+    }
+}
+
+fn recovery_policy(flags: &Flags) -> Result<RecoveryPolicy, CliError> {
+    let value = flags
+        .get("recover")
+        .filter(|v| !v.is_empty())
+        .unwrap_or("on");
+    RecoveryPolicy::parse(value).map_err(|e| CliError::usage(format!("--recover: {e}")))
+}
+
+fn build_sim(flags: &Flags, default_grid: usize) -> Result<(LithoSimulator, usize, f64), CliError> {
     let grid: usize = flags.num("grid", default_grid)?;
     let kernels: usize = flags.num("kernels", 24)?;
     // --threads pins the shared pool size; 0 (the default) keeps the
@@ -50,23 +69,29 @@ fn build_sim(
     let pool_threads = lsopc_parallel::ParallelContext::global().threads();
     let pixel_nm = 2048.0 / grid as f64;
     let optics = OpticsConfig::iccad2013().with_kernel_count(kernels);
-    let sim = LithoSimulator::from_optics(&optics, grid, pixel_nm)?
+    let sim = LithoSimulator::from_optics(&optics, grid, pixel_nm)
+        .map_err(|e| CliError::setup(e.to_string()))?
         .with_accelerated_backend(pool_threads);
     Ok((sim, grid, pixel_nm))
 }
 
-fn load_layout(path: &str) -> Result<Layout, Box<dyn Error>> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Ok(parse_glp(&text)?)
+fn load_layout(path: &str) -> Result<Layout, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    parse_glp(&text).map_err(|e| CliError::parse(format!("{path}: {e}")))
 }
 
 /// `lsopc optimize`: design in, optimized mask out.
 pub fn optimize(args: &[String]) -> CliResult {
     let flags = Flags::parse(args)?;
-    let design = load_layout(flags.require("glp")?)?;
+    // Validate all flags before touching the filesystem so misuse is
+    // reported as such even when the input path is also bad.
+    let glp_path = flags.require("glp")?.to_string();
     let out_path = flags.require("out")?.to_string();
     let iters: usize = flags.num("iters", 30)?;
     let w_pvb: f64 = flags.num("pvb-weight", 1.0)?;
+    let recovery = recovery_policy(&flags)?;
+    let design = load_layout(&glp_path)?;
     let (sim, grid, pixel_nm) = build_sim(&flags, 512)?;
 
     let target = rasterize(&design, grid, grid, pixel_nm);
@@ -77,14 +102,28 @@ pub fn optimize(args: &[String]) -> CliResult {
     let result = LevelSetIlt::builder()
         .max_iterations(iters)
         .pvb_weight(w_pvb)
+        .recovery(recovery)
         .build()
-        .optimize(&sim, &target)?;
+        .optimize(&sim, &target)
+        .map_err(CliError::from_optimize)?;
+    if result.diagnostics.has_events() {
+        eprintln!(
+            "recovery: {} backoffs, {} recoveries{}",
+            result.diagnostics.backoffs,
+            result.diagnostics.recoveries,
+            if result.diagnostics.gave_up {
+                " (guard gave up; kept best healthy iterate)"
+            } else {
+                ""
+            }
+        );
+    }
 
     let polygons = mask_to_polygons(&result.mask, pixel_nm);
     let mut mask_layout = polygons_to_layout(&polygons);
     mask_layout.name = design.name.clone().map(|n| format!("{n}_opc"));
     std::fs::write(&out_path, write_glp(&mask_layout))
-        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        .map_err(|e| CliError::io(format!("cannot write {out_path}: {e}")))?;
 
     let eval = evaluate_mask(&sim, &result.mask, &design, &target);
     let complexity = MaskComplexity::measure(&result.mask);
@@ -167,6 +206,7 @@ pub fn suite(args: &[String]) -> CliResult {
     let flags = Flags::parse(args)?;
     let case_filter = flags.index_list("cases")?;
     let iters: usize = flags.num("iters", 20)?;
+    let recovery = recovery_policy(&flags)?;
     let (_, grid, pixel_nm) = build_sim(&flags, 256)?;
 
     let suite = Iccad2013Suite::new();
@@ -186,8 +226,10 @@ pub fn suite(args: &[String]) -> CliResult {
         let target = rasterize(&layout, grid, grid, pixel_nm);
         let result = LevelSetIlt::builder()
             .max_iterations(iters)
+            .recovery(recovery)
             .build()
-            .optimize(&sim, &target)?;
+            .optimize(&sim, &target)
+            .map_err(CliError::from_optimize)?;
         let eval = evaluate_mask(&sim, &result.mask, &layout, &target);
         let score = eval.score(result.runtime_s);
         println!(
@@ -266,6 +308,95 @@ mod tests {
     fn optimize_requires_flags() {
         let err = optimize(&to_args(&["--glp", "x.glp"])).expect_err("missing --out");
         assert!(err.to_string().contains("--out") || err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn error_categories_map_to_distinct_exit_codes() {
+        use crate::error::Category;
+
+        // Missing required flag → usage (2).
+        let err = optimize(&to_args(&[])).expect_err("missing flags");
+        assert_eq!(err.category(), Category::Usage);
+        assert_eq!(err.exit_code(), 2);
+
+        // Bad --recover value → usage (2).
+        let err = optimize(&to_args(&[
+            "--glp",
+            "x.glp",
+            "--out",
+            "y.glp",
+            "--recover",
+            "maybe",
+        ]))
+        .expect_err("bad recover");
+        assert_eq!(err.category(), Category::Usage);
+        assert!(err.to_string().contains("--recover"));
+
+        // Unreadable input file → I/O (3).
+        let err = optimize(&to_args(&[
+            "--glp",
+            "/nonexistent/lsopc.glp",
+            "--out",
+            "y.glp",
+        ]))
+        .expect_err("unreadable file");
+        assert_eq!(err.category(), Category::Io);
+        assert_eq!(err.exit_code(), 3);
+
+        // Malformed layout → parse (4), with the line number surfaced.
+        let bad = tmpfile("bad.glp");
+        std::fs::write(&bad, "RECT 1 2 3 ;\n").expect("write bad layout");
+        let err = optimize(&to_args(&[
+            "--glp",
+            bad.to_str().expect("utf8"),
+            "--out",
+            "y.glp",
+        ]))
+        .expect_err("parse failure");
+        assert_eq!(err.category(), Category::Parse);
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("line 1"));
+        std::fs::remove_file(bad).ok();
+
+        // Unusable simulator configuration → setup (5).
+        let design = tmpfile("setup.glp");
+        std::fs::write(&design, "BEGIN\nRECT 0 0 64 64 ;\nEND\n").expect("write design");
+        let err = optimize(&to_args(&[
+            "--glp",
+            design.to_str().expect("utf8"),
+            "--out",
+            "y.glp",
+            "--grid",
+            "3",
+        ]))
+        .expect_err("setup failure");
+        assert_eq!(err.category(), Category::Setup);
+        assert_eq!(err.exit_code(), 5);
+        std::fs::remove_file(design).ok();
+    }
+
+    #[test]
+    fn empty_target_is_an_optimizer_error() {
+        use crate::error::Category;
+        // A design whose only shape lies outside the field rasterizes to
+        // an empty target, which the optimizer rejects (exit code 6).
+        let design = tmpfile("offfield.glp");
+        std::fs::write(&design, "BEGIN\nRECT 900000000 900000000 64 64 ;\nEND\n")
+            .expect("write design");
+        let err = optimize(&to_args(&[
+            "--glp",
+            design.to_str().expect("utf8"),
+            "--out",
+            "y.glp",
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+        ]))
+        .expect_err("empty target");
+        assert_eq!(err.category(), Category::Optimize);
+        assert_eq!(err.exit_code(), 6);
+        std::fs::remove_file(design).ok();
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Categorized CLI errors with one stable nonzero exit code per
+//! category, so scripts can branch on *why* `lsopc` failed.
+
+use lsopc_core::OptimizeError;
+use std::fmt;
+
+/// Failure category; the discriminant is the process exit code.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Bad flags, unknown command, or invalid flag values.
+    Usage = 2,
+    /// Reading or writing a file failed.
+    Io = 3,
+    /// A layout file did not parse.
+    Parse = 4,
+    /// The simulator could not be constructed.
+    Setup = 5,
+    /// The optimizer rejected its inputs or failed to run.
+    Optimize = 6,
+    /// The solver health guard gave up under `--recover strict`.
+    Recovery = 7,
+}
+
+/// An error bound for the user: one category, one line of text.
+#[derive(Debug)]
+pub struct CliError {
+    category: Category,
+    message: String,
+}
+
+impl CliError {
+    fn new(category: Category, message: impl Into<String>) -> Self {
+        Self {
+            category,
+            message: message.into(),
+        }
+    }
+
+    /// Flag/command misuse (exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self::new(Category::Usage, message)
+    }
+
+    /// File I/O failure (exit code 3).
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::new(Category::Io, message)
+    }
+
+    /// Layout parse failure (exit code 4).
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::new(Category::Parse, message)
+    }
+
+    /// Simulator construction failure (exit code 5).
+    pub fn setup(message: impl Into<String>) -> Self {
+        Self::new(Category::Setup, message)
+    }
+
+    /// Maps optimizer failures, splitting strict-guard give-ups (exit
+    /// code 7) from input rejections (exit code 6).
+    pub fn from_optimize(e: OptimizeError) -> Self {
+        let category = match e {
+            OptimizeError::RecoveryFailed { .. } => Category::Recovery,
+            _ => Category::Optimize,
+        };
+        Self::new(category, e.to_string())
+    }
+
+    /// The failure category (used by tests to assert code mapping).
+    #[cfg(test)]
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> u8 {
+        self.category as u8
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Single line: main prints this after an "error: " prefix.
+        write!(f, "{}", self.message.replace('\n', " "))
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let codes = [
+            CliError::usage("u").exit_code(),
+            CliError::io("i").exit_code(),
+            CliError::parse("p").exit_code(),
+            CliError::setup("s").exit_code(),
+            CliError::from_optimize(OptimizeError::EmptyTarget).exit_code(),
+            CliError::from_optimize(OptimizeError::RecoveryFailed {
+                iteration: 3,
+                backoffs: 6,
+            })
+            .exit_code(),
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            assert!(*a >= 2);
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b, "exit codes must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_giveup_maps_to_recovery_code() {
+        let e = CliError::from_optimize(OptimizeError::RecoveryFailed {
+            iteration: 9,
+            backoffs: 6,
+        });
+        assert_eq!(e.category(), Category::Recovery);
+        assert_eq!(e.exit_code(), 7);
+        assert!(e.to_string().contains("gave up"));
+    }
+
+    #[test]
+    fn messages_render_on_one_line() {
+        let e = CliError::usage("bad\nflag");
+        assert!(!e.to_string().contains('\n'));
+    }
+}

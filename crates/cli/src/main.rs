@@ -6,17 +6,22 @@
 //! lsopc suite [--cases 1,2] [--grid 256] [--iters 20]
 //! lsopc help
 //! ```
+//!
+//! Every failure prints a one-line `error: …` message and exits with the
+//! category code documented in [`commands::USAGE`] (2 usage, 3 I/O,
+//! 4 parse, 5 setup, 6 optimizer, 7 strict recovery failure).
 
 use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod error;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!("{}", commands::USAGE);
-        return ExitCode::FAILURE;
+        return ExitCode::from(error::CliError::usage("no command").exit_code());
     };
     let result = match command.as_str() {
         "optimize" => commands::optimize(rest),
@@ -27,13 +32,15 @@ fn main() -> ExitCode {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE).into()),
+        other => Err(error::CliError::usage(format!(
+            "unknown command `{other}` (try `lsopc help`)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Optimizer configuration and builder.
 
+use crate::RecoveryPolicy;
 use serde::{Deserialize, Serialize};
 
 /// How successive evolution velocities are combined (paper Eq. (15)).
@@ -45,6 +46,7 @@ pub struct LevelSetIlt {
     pub(crate) snapshot_interval: usize,
     pub(crate) narrow_band: f64,
     pub(crate) line_search: bool,
+    pub(crate) recovery: RecoveryPolicy,
 }
 
 impl LevelSetIlt {
@@ -114,6 +116,12 @@ impl LevelSetIlt {
     pub fn snapshot_interval(&self) -> usize {
         self.snapshot_interval
     }
+
+    /// The solver-health recovery policy ([`RecoveryPolicy::Off`] by
+    /// default, preserving the historical code path exactly).
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
 }
 
 impl Default for LevelSetIlt {
@@ -146,6 +154,7 @@ impl LevelSetIltBuilder {
                 snapshot_interval: 0,
                 narrow_band: 0.0,
                 line_search: false,
+                recovery: RecoveryPolicy::Off,
             },
         }
     }
@@ -271,6 +280,15 @@ impl LevelSetIltBuilder {
         self
     }
 
+    /// Sets the solver-health [`RecoveryPolicy`]. With the guard enabled
+    /// a fault-free run is bit-identical to [`RecoveryPolicy::Off`] (see
+    /// DESIGN.md §10); on trouble the optimizer rolls `ψ` back to the
+    /// last healthy checkpoint and retries with a halved `λ_t`.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.inner.recovery = policy;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> LevelSetIlt {
         self.inner
@@ -296,6 +314,15 @@ mod tests {
         assert!(opt.upwind());
         assert_eq!(opt.reinit_interval(), 10);
         assert_eq!(opt.curvature_weight(), 0.0);
+        assert_eq!(opt.recovery(), RecoveryPolicy::Off);
+    }
+
+    #[test]
+    fn builder_sets_recovery_policy() {
+        let policy = RecoveryPolicy::parse("strict").expect("valid");
+        let opt = LevelSetIlt::builder().recovery(policy).build();
+        assert_eq!(opt.recovery(), policy);
+        assert!(opt.recovery().is_strict());
     }
 
     #[test]

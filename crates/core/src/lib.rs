@@ -51,11 +51,13 @@ pub mod cg;
 pub mod sraf;
 
 mod config;
+mod guard;
 mod history;
 mod optimizer;
 mod tiles;
 
 pub use config::{Evolution, LevelSetIlt, LevelSetIltBuilder};
+pub use guard::{GuardConfig, GuardEvent, GuardEventKind, RecoveryPolicy, SolverDiagnostics};
 pub use history::IterationRecord;
 pub use optimizer::{IltResult, OptimizeError};
 pub use tiles::{TiledError, TiledIlt};

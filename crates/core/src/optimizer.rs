@@ -1,15 +1,17 @@
 //! The optimization loop (paper Algorithm 1).
 
 use crate::cg::prp_beta;
-use crate::{Evolution, IterationRecord, LevelSetIlt};
+use crate::guard::{panic_message, BackoffOutcome, Health, HealthGuard};
+use crate::{Evolution, GuardEventKind, IterationRecord, LevelSetIlt, SolverDiagnostics};
 use lsopc_grid::{max_abs, Grid};
 use lsopc_levelset::{
     cfl_time_step, curvature, evolve, godunov_gradient, gradient_magnitude, mask_from_levelset,
     reinitialize, signed_distance, NarrowBand,
 };
-use lsopc_litho::{cost_and_gradient, cost_only, LithoSimulator};
+use lsopc_litho::{cost_and_gradient, cost_only, CostReport, LithoSimulator};
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Error returned by [`LevelSetIlt::optimize`].
@@ -24,6 +26,14 @@ pub enum OptimizeError {
     },
     /// Target contains no pattern (nothing to optimize).
     EmptyTarget,
+    /// The health guard exhausted its backoffs under
+    /// [`RecoveryPolicy::Strict`](crate::RecoveryPolicy::Strict).
+    RecoveryFailed {
+        /// Iteration at which the guard gave up.
+        iteration: usize,
+        /// Backoffs performed before giving up.
+        backoffs: usize,
+    },
 }
 
 impl fmt::Display for OptimizeError {
@@ -35,6 +45,13 @@ impl fmt::Display for OptimizeError {
                 target.0, target.1
             ),
             Self::EmptyTarget => write!(f, "target contains no pattern"),
+            Self::RecoveryFailed {
+                iteration,
+                backoffs,
+            } => write!(
+                f,
+                "solver health guard gave up at iteration {iteration} after {backoffs} backoffs"
+            ),
         }
     }
 }
@@ -59,6 +76,10 @@ pub struct IltResult {
     /// Mask snapshots `(iteration, mask)` when snapshotting was enabled
     /// (for reproducing the paper's Fig. 2).
     pub snapshots: Vec<(usize, Grid<f64>)>,
+    /// What the solver health guard observed (empty with
+    /// [`RecoveryPolicy::Off`](crate::RecoveryPolicy::Off) or on a
+    /// healthy run).
+    pub diagnostics: SolverDiagnostics,
 }
 
 impl IltResult {
@@ -108,17 +129,106 @@ impl LevelSetIlt {
         let mut best: Option<(f64, Grid<f64>, Grid<f64>)> = None;
         let mut converged = false;
         let mut iterations = 0;
+        // The health guard (None with RecoveryPolicy::Off — the loop then
+        // follows the historical code path exactly) and its checkpoint:
+        // the last pre-evolve ψ that passed every per-iteration check.
+        let mut guard = HealthGuard::from_policy(&self.recovery);
+        let mut checkpoint: Option<Grid<f64>> = None;
 
-        for i in 0..self.max_iterations {
+        'iterate: for i in 0..self.max_iterations {
             iterations = i + 1;
             // Line 7 (Eq. (6)): current binary mask from ψ.
             let mask = mask_from_levelset(&psi);
             if self.snapshot_interval > 0 && i % self.snapshot_interval == 0 {
                 snapshots.push((i, mask.clone()));
             }
+            // Effective λ_t: halved per guard backoff. With the guard on
+            // but never triggered the scale is exactly 1.0, so the
+            // multiply reproduces `self.lambda_t` bit-for-bit.
+            let lambda_scale = guard.as_ref().map_or(1.0, |g| g.lambda_scale());
+            let effective_lambda_t = match guard.as_ref() {
+                Some(g) => self.lambda_t * g.lambda_scale(),
+                None => self.lambda_t,
+            };
 
             // Lines 8–9: simulate, evaluate, back-propagate (Eq. (11)/(14)).
-            let (report, gradient) = cost_and_gradient(sim, &mask, &target, self.w_pvb);
+            // With the guard on, a worker-pool panic re-raised by
+            // lsopc-parallel is contained here and handled as trouble
+            // instead of aborting the process.
+            let evaluated = match guard {
+                Some(_) => catch_unwind(AssertUnwindSafe(|| {
+                    cost_and_gradient(sim, &mask, &target, self.w_pvb)
+                })),
+                None => Ok(cost_and_gradient(sim, &mask, &target, self.w_pvb)),
+            };
+            let (report, gradient, mut verdict) = match evaluated {
+                Ok((report, gradient)) => (report, gradient, Health::Healthy),
+                Err(payload) => (
+                    CostReport {
+                        nominal: f64::NAN,
+                        pvb: f64::NAN,
+                        w_pvb: self.w_pvb,
+                    },
+                    Grid::new(n, n, f64::NAN),
+                    Health::Corrupt(GuardEventKind::WorkerPanic {
+                        message: panic_message(payload),
+                    }),
+                ),
+            };
+            if matches!(verdict, Health::Healthy) {
+                if let Some(g) = guard.as_mut() {
+                    verdict = g.inspect_evaluation(i, report.total(), &gradient);
+                }
+            }
+
+            // Trouble at the evaluation stage: record the rejected
+            // iteration, roll ψ back to the checkpoint and retry with a
+            // halved λ_t and a CG restart — or give up.
+            if let Health::Corrupt(kind) = &verdict {
+                if let Some(g) = guard.as_mut() {
+                    let outcome = g.trouble(i, kind.clone());
+                    history.push(IterationRecord {
+                        iteration: i,
+                        cost_nominal: report.nominal,
+                        cost_pvb: report.pvb,
+                        cost_total: report.total(),
+                        max_velocity: f64::NAN,
+                        time_step: f64::NAN,
+                        cg_beta: 0.0,
+                        elapsed_s: start.elapsed().as_secs_f64(),
+                        rolled_back: true,
+                        backoffs: g.diagnostics.backoffs,
+                        lambda_scale: g.lambda_scale(),
+                    });
+                    match outcome {
+                        BackoffOutcome::Retry => {
+                            // With no checkpoint yet, ψ is still the
+                            // untouched initial signed distance.
+                            if let Some(cp) = &checkpoint {
+                                psi = cp.clone();
+                            }
+                            prev_gradient_velocity = None;
+                            prev_velocity = None;
+                            continue 'iterate;
+                        }
+                        BackoffOutcome::GiveUp => {
+                            if self.recovery.is_strict() {
+                                return Err(OptimizeError::RecoveryFailed {
+                                    iteration: i,
+                                    backoffs: g.diagnostics.backoffs,
+                                });
+                            }
+                            if let Some(cp) = &checkpoint {
+                                psi = cp.clone();
+                            }
+                            break 'iterate;
+                        }
+                    }
+                }
+            }
+
+            // Best-tracking: only evaluations the guard accepted (or all
+            // of them with the guard off) can become the returned mask.
             if best.as_ref().is_none_or(|(c, _, _)| report.total() < *c) {
                 best = Some((report.total(), mask.clone(), psi.clone()));
             }
@@ -188,8 +298,51 @@ impl LevelSetIlt {
                 NarrowBand::extract(&psi, self.narrow_band).mask_velocity(&mut velocity);
             }
 
+            // A combined velocity with NaN/∞ cells (e.g. momentum carried
+            // from a corrupt history) must never evolve ψ.
+            if let Some(g) = guard.as_mut() {
+                if let Some(kind) = g.inspect_velocity(&velocity) {
+                    let outcome = g.trouble(i, kind);
+                    history.push(IterationRecord {
+                        iteration: i,
+                        cost_nominal: report.nominal,
+                        cost_pvb: report.pvb,
+                        cost_total: report.total(),
+                        max_velocity: f64::NAN,
+                        time_step: f64::NAN,
+                        cg_beta: beta,
+                        elapsed_s: start.elapsed().as_secs_f64(),
+                        rolled_back: true,
+                        backoffs: g.diagnostics.backoffs,
+                        lambda_scale: g.lambda_scale(),
+                    });
+                    match outcome {
+                        BackoffOutcome::Retry => {
+                            if let Some(cp) = &checkpoint {
+                                psi = cp.clone();
+                            }
+                            prev_gradient_velocity = None;
+                            prev_velocity = None;
+                            continue 'iterate;
+                        }
+                        BackoffOutcome::GiveUp => {
+                            if self.recovery.is_strict() {
+                                return Err(OptimizeError::RecoveryFailed {
+                                    iteration: i,
+                                    backoffs: g.diagnostics.backoffs,
+                                });
+                            }
+                            if let Some(cp) = &checkpoint {
+                                psi = cp.clone();
+                            }
+                            break 'iterate;
+                        }
+                    }
+                }
+            }
+
             let vmax = max_abs(&velocity);
-            let dt = cfl_time_step(&velocity, self.lambda_t);
+            let dt = cfl_time_step(&velocity, effective_lambda_t);
             history.push(IterationRecord {
                 iteration: i,
                 cost_nominal: report.nominal,
@@ -199,12 +352,31 @@ impl LevelSetIlt {
                 time_step: dt,
                 cg_beta: beta,
                 elapsed_s: start.elapsed().as_secs_f64(),
+                rolled_back: false,
+                backoffs: guard.as_ref().map_or(0, |g| g.diagnostics.backoffs),
+                lambda_scale,
             });
+
+            // Stall: healthy values but no cost progress for the window.
+            // Backing off cannot unstall a frozen run, so stop early.
+            if let Health::Stalled(kind) = verdict {
+                if let Some(g) = guard.as_mut() {
+                    g.note_event(i, kind);
+                }
+                break 'iterate;
+            }
 
             // Algorithm 1 stop condition: max|v| ≤ ε.
             if vmax <= self.velocity_tolerance {
                 converged = true;
                 break;
+            }
+
+            // Commit the checkpoint: this pre-evolve ψ passed every check
+            // and its cost is on record; a corrupted evolve rolls back to
+            // exactly here.
+            if guard.is_some() {
+                checkpoint = Some(psi.clone());
             }
 
             // Lines 5–6: CFL step and evolution, optionally guarded by a
@@ -216,7 +388,28 @@ impl LevelSetIlt {
                     let mut trial_psi = psi.clone();
                     evolve(&mut trial_psi, &velocity, trial_dt);
                     let trial_mask = mask_from_levelset(&trial_psi);
-                    let trial_cost = cost_only(sim, &trial_mask, &target, self.w_pvb).total();
+                    let trial_cost = match guard.as_mut() {
+                        Some(g) => {
+                            // A contained worker panic rejects this trial
+                            // step; the post-evolve scan still protects
+                            // the fallback step below.
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                cost_only(sim, &trial_mask, &target, self.w_pvb).total()
+                            })) {
+                                Ok(cost) => cost,
+                                Err(payload) => {
+                                    g.note_event(
+                                        i,
+                                        GuardEventKind::WorkerPanic {
+                                            message: panic_message(payload),
+                                        },
+                                    );
+                                    f64::INFINITY
+                                }
+                            }
+                        }
+                        None => cost_only(sim, &trial_mask, &target, self.w_pvb).total(),
+                    };
                     if trial_cost <= report.total() {
                         psi = trial_psi;
                         accepted = true;
@@ -231,6 +424,41 @@ impl LevelSetIlt {
                 evolve(&mut psi, &velocity, dt);
             }
 
+            // Scan ψ BEFORE reinitialization: reinit thresholds at zero
+            // and would launder NaN cells into a finite (wrong) signed
+            // distance.
+            if let Some(g) = guard.as_mut() {
+                if let Some(kind) = g.inspect_levelset(&psi) {
+                    let outcome = g.trouble(i, kind);
+                    if let Some(rec) = history.last_mut() {
+                        rec.rolled_back = true;
+                        rec.backoffs = g.diagnostics.backoffs;
+                    }
+                    match outcome {
+                        BackoffOutcome::Retry => {
+                            if let Some(cp) = &checkpoint {
+                                psi = cp.clone();
+                            }
+                            prev_gradient_velocity = None;
+                            prev_velocity = None;
+                            continue 'iterate;
+                        }
+                        BackoffOutcome::GiveUp => {
+                            if self.recovery.is_strict() {
+                                return Err(OptimizeError::RecoveryFailed {
+                                    iteration: i,
+                                    backoffs: g.diagnostics.backoffs,
+                                });
+                            }
+                            if let Some(cp) = &checkpoint {
+                                psi = cp.clone();
+                            }
+                            break 'iterate;
+                        }
+                    }
+                }
+            }
+
             // Keep ψ a signed distance function periodically.
             if self.reinit_interval > 0 && (i + 1) % self.reinit_interval == 0 {
                 psi = reinitialize(&psi);
@@ -241,13 +469,51 @@ impl LevelSetIlt {
         }
 
         // Evaluate the final iterate too, then return the best mask seen.
+        // With the guard on, a panic or non-finite cost here must not
+        // pick the (corrupt) final iterate.
         let final_mask = mask_from_levelset(&psi);
-        let (final_report, _) = cost_and_gradient(sim, &final_mask, &target, self.w_pvb);
-        let (mask, levelset) = match best {
-            Some((best_cost, best_mask, best_psi)) if best_cost < final_report.total() => {
-                (best_mask, best_psi)
+        let final_evaluated = match guard {
+            Some(_) => catch_unwind(AssertUnwindSafe(|| {
+                cost_and_gradient(sim, &final_mask, &target, self.w_pvb)
+            })),
+            None => Ok(cost_and_gradient(sim, &final_mask, &target, self.w_pvb)),
+        };
+        let final_total = match final_evaluated {
+            Ok((final_report, _)) => {
+                if !final_report.total().is_finite() {
+                    if let Some(g) = guard.as_mut() {
+                        g.note_event(iterations, GuardEventKind::NonFiniteCost);
+                    }
+                }
+                final_report.total()
             }
-            _ => (final_mask, psi),
+            Err(payload) => {
+                if let Some(g) = guard.as_mut() {
+                    g.note_event(
+                        iterations,
+                        GuardEventKind::WorkerPanic {
+                            message: panic_message(payload),
+                        },
+                    );
+                }
+                f64::NAN
+            }
+        };
+        let (mask, levelset) = if guard.is_some() && !final_total.is_finite() {
+            match best {
+                Some((_, best_mask, best_psi)) => (best_mask, best_psi),
+                // No healthy iterate at all: under the guard ψ is still
+                // finite (every evolve was scanned or rolled back), so
+                // its mask is a safe last resort.
+                None => (final_mask, psi),
+            }
+        } else {
+            match best {
+                Some((best_cost, best_mask, best_psi)) if best_cost < final_total => {
+                    (best_mask, best_psi)
+                }
+                _ => (final_mask, psi),
+            }
         };
         if self.snapshot_interval > 0 {
             snapshots.push((iterations, mask.clone()));
@@ -261,6 +527,7 @@ impl LevelSetIlt {
             converged,
             runtime_s: start.elapsed().as_secs_f64(),
             snapshots,
+            diagnostics: guard.map_or_else(SolverDiagnostics::default, |g| g.diagnostics),
         })
     }
 }
@@ -484,6 +751,126 @@ mod evolution_tests {
     #[should_panic(expected = "momentum")]
     fn invalid_heavy_ball_coefficient_panics() {
         let _ = LevelSetIlt::builder().evolution(Evolution::HeavyBall { beta: 1.0 });
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+    use crate::{GuardConfig, RecoveryPolicy};
+    use lsopc_optics::OpticsConfig;
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::from_optics(&OpticsConfig::iccad2013().with_kernel_count(4), 64, 4.0)
+            .expect("valid configuration")
+    }
+
+    fn wire_target() -> Grid<f64> {
+        Grid::from_fn(64, 64, |x, y| {
+            if (26..38).contains(&x) && (12..52).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn assert_bit_identical(off: &IltResult, on: &IltResult) {
+        assert_eq!(off.iterations, on.iterations);
+        assert_eq!(off.converged, on.converged);
+        for (name, a, b) in [
+            ("mask", &off.mask, &on.mask),
+            ("levelset", &off.levelset, &on.levelset),
+        ] {
+            assert_eq!(a.dims(), b.dims(), "{name} dims");
+            for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{name} cell {i}: {x} vs {y} differ bitwise"
+                );
+            }
+        }
+        assert_eq!(off.history.len(), on.history.len());
+        for (x, y) in off.history.iter().zip(&on.history) {
+            assert_eq!(x.iteration, y.iteration);
+            // Every field except the wall-clock timestamp.
+            for (name, a, b) in [
+                ("cost_nominal", x.cost_nominal, y.cost_nominal),
+                ("cost_pvb", x.cost_pvb, y.cost_pvb),
+                ("cost_total", x.cost_total, y.cost_total),
+                ("max_velocity", x.max_velocity, y.max_velocity),
+                ("time_step", x.time_step, y.time_step),
+                ("cg_beta", x.cg_beta, y.cg_beta),
+                ("lambda_scale", x.lambda_scale, y.lambda_scale),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "iter {} {name}: {a} vs {b} differ bitwise",
+                    x.iteration
+                );
+            }
+            assert_eq!(x.rolled_back, y.rolled_back);
+            assert_eq!(x.backoffs, y.backoffs);
+        }
+    }
+
+    #[test]
+    fn fault_free_run_is_bit_identical_with_guard_enabled() {
+        let sim = sim();
+        let target = wire_target();
+        let off = LevelSetIlt::builder()
+            .max_iterations(8)
+            .build()
+            .optimize(&sim, &target)
+            .expect("guard off runs");
+        let on = LevelSetIlt::builder()
+            .max_iterations(8)
+            .recovery(RecoveryPolicy::On(GuardConfig::default()))
+            .build()
+            .optimize(&sim, &target)
+            .expect("guard on runs");
+        assert_bit_identical(&off, &on);
+        assert!(!on.diagnostics.has_events());
+        assert_eq!(on.diagnostics.backoffs, 0);
+        assert_eq!(on.diagnostics.final_lambda_scale, 1.0);
+    }
+
+    #[test]
+    fn fault_free_line_search_run_is_bit_identical_with_guard_enabled() {
+        let sim = sim();
+        let target = wire_target();
+        let build = |policy: RecoveryPolicy| {
+            LevelSetIlt::builder()
+                .max_iterations(6)
+                .lambda_t(4.0)
+                .line_search(true)
+                .recovery(policy)
+                .build()
+                .optimize(&sim, &target)
+                .expect("runs")
+        };
+        let off = build(RecoveryPolicy::Off);
+        let on = build(RecoveryPolicy::Strict(GuardConfig::default()));
+        assert_bit_identical(&off, &on);
+        assert!(!on.diagnostics.has_events());
+    }
+
+    #[test]
+    fn healthy_records_carry_unit_lambda_scale() {
+        let sim = sim();
+        let result = LevelSetIlt::builder()
+            .max_iterations(4)
+            .recovery(RecoveryPolicy::On(GuardConfig::default()))
+            .build()
+            .optimize(&sim, &wire_target())
+            .expect("runs");
+        for rec in &result.history {
+            assert!(!rec.rolled_back);
+            assert_eq!(rec.backoffs, 0);
+            assert_eq!(rec.lambda_scale, 1.0);
+        }
     }
 }
 

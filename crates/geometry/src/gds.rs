@@ -160,7 +160,9 @@ fn push_string(out: &mut Vec<u8>, tag: u16, s: &str) {
 /// # Errors
 ///
 /// Returns [`ParseGdsError`] on truncated records, unsupported element
-/// types, or non-rectilinear boundaries.
+/// types, coordinates beyond ±[`MAX_COORD`](crate::MAX_COORD), or
+/// non-rectilinear boundaries. The error carries the byte offset of the
+/// offending record; no input panics the parser.
 pub fn parse_gds(bytes: &[u8]) -> Result<Layout, ParseGdsError> {
     let mut layout = Layout::new();
     let mut pos = 0usize;
@@ -194,9 +196,15 @@ pub fn parse_gds(bytes: &[u8]) -> Result<Layout, ParseGdsError> {
                 }
                 let mut pts = Vec::with_capacity(payload.len() / 8);
                 for chunk in payload.chunks_exact(8) {
-                    let x = i32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-                    let y = i32::from_be_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
-                    pts.push(Point::new(x as i64, y as i64));
+                    let x = i32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) as i64;
+                    let y = i32::from_be_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]) as i64;
+                    if x.abs() > crate::MAX_COORD || y.abs() > crate::MAX_COORD {
+                        return Err(ParseGdsError::new(
+                            pos,
+                            format!("coordinate ({x}, {y}) exceeds ±2^30 nm"),
+                        ));
+                    }
+                    pts.push(Point::new(x, y));
                 }
                 xy = Some(pts);
             }
@@ -347,6 +355,24 @@ mod tests {
         push_record(&mut bytes, ENDLIB, &[]);
         let err = parse_gds(&bytes).expect_err("diagonal");
         assert!(err.to_string().contains("axis-parallel"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_coordinates() {
+        let mut bytes = Vec::new();
+        push_record(&mut bytes, HEADER, &600i16.to_be_bytes());
+        push_record(&mut bytes, BOUNDARY, &[]);
+        let mut xy = Vec::new();
+        for &(x, y) in &[(0i32, 0i32), (i32::MAX, 0), (i32::MAX, 10), (0, 10), (0, 0)] {
+            xy.extend_from_slice(&x.to_be_bytes());
+            xy.extend_from_slice(&y.to_be_bytes());
+        }
+        push_record(&mut bytes, XY, &xy);
+        push_record(&mut bytes, ENDEL, &[]);
+        push_record(&mut bytes, ENDLIB, &[]);
+        let err = parse_gds(&bytes).expect_err("out of range");
+        assert!(err.to_string().contains("exceeds"), "got: {err}");
+        assert!(err.offset() > 0);
     }
 
     #[test]

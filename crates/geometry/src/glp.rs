@@ -52,7 +52,9 @@ impl Error for ParseGlpError {}
 /// # Errors
 ///
 /// Returns [`ParseGlpError`] when a `RECT` or `PGON` record is malformed
-/// (wrong arity, non-integer coordinate, or non-rectilinear polygon).
+/// (wrong arity, non-integer coordinate, coordinate beyond
+/// ±[`MAX_COORD`](crate::MAX_COORD), or non-rectilinear polygon). The error
+/// carries the 1-based line number; no input panics the parser.
 ///
 /// # Example
 ///
@@ -79,7 +81,11 @@ pub fn parse_glp(text: &str) -> Result<Layout, ParseGlpError> {
         if tokens.last() == Some(&";") {
             tokens.pop();
         }
-        match tokens[0].to_ascii_uppercase().as_str() {
+        // A bare ";" line leaves no tokens; treat it as blank.
+        let Some(first) = tokens.first() else {
+            continue;
+        };
+        match first.to_ascii_uppercase().as_str() {
             "RECT" => {
                 let nums = parse_ints(&tokens[1..], lineno)?;
                 if nums.len() != 4 {
@@ -126,8 +132,17 @@ fn parse_ints(tokens: &[&str], lineno: usize) -> Result<Vec<i64>, ParseGlpError>
     tokens
         .iter()
         .map(|t| {
-            t.parse::<i64>()
-                .map_err(|_| ParseGlpError::new(lineno, format!("invalid integer `{t}`")))
+            let v = t
+                .parse::<i64>()
+                .map_err(|_| ParseGlpError::new(lineno, format!("invalid integer `{t}`")))?;
+            // Range test, not `abs()`: `i64::MIN.abs()` itself overflows.
+            if !(-crate::MAX_COORD..=crate::MAX_COORD).contains(&v) {
+                return Err(ParseGlpError::new(
+                    lineno,
+                    format!("coordinate {v} exceeds ±2^30 nm"),
+                ));
+            }
+            Ok(v)
         })
         .collect()
 }
@@ -222,6 +237,22 @@ mod tests {
         assert!(
             err.to_string().contains("axis-parallel") || err.to_string().contains("zero length")
         );
+    }
+
+    #[test]
+    fn tolerates_bare_semicolon_lines() {
+        let layout = parse_glp(";\nRECT 0 0 5 5 ;\n  ;  \n").expect("valid");
+        assert_eq!(layout.total_area(), 25);
+    }
+
+    #[test]
+    fn rejects_out_of_range_coordinate() {
+        let err = parse_glp("RECT 2000000000 0 5 5 ;").expect_err("bad");
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("exceeds"));
+        // Values past i64 entirely are invalid integers, not panics.
+        let err = parse_glp("PGON 99999999999999999999 0 1 0 1 1 0 1 ;").expect_err("bad");
+        assert!(err.to_string().contains("invalid integer"));
     }
 
     #[test]

@@ -30,6 +30,13 @@
 
 #![warn(missing_docs)]
 
+/// Largest coordinate magnitude (nm) the parsers accept: ±2³⁰ nm ≈ ±1.07 m,
+/// far beyond any reticle. Bounding parsed coordinates here keeps every
+/// downstream integer computation (rect sizes, shoelace areas, bounding
+/// boxes) inside `i64`/`i128` range, so adversarial inputs cannot trigger
+/// arithmetic overflow.
+pub const MAX_COORD: i64 = 1 << 30;
+
 pub mod components;
 pub mod contour;
 pub mod gds;

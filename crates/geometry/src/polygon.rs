@@ -107,15 +107,19 @@ impl Polygon {
 
     /// Signed shoelace area: positive when vertices wind counter-clockwise
     /// in a y-up frame (equivalently clockwise in the y-down grid frame).
+    ///
+    /// Accumulates in `i128`: individual cross terms reach 2·|coord|² and
+    /// would overflow `i64` for coordinates past ±2³⁰ nm even though the
+    /// final area of a simple polygon with such coordinates still fits.
     pub fn signed_area(&self) -> i64 {
         let n = self.vertices.len();
-        let mut acc = 0i64;
+        let mut acc = 0i128;
         for i in 0..n {
             let a = self.vertices[i];
             let b = self.vertices[(i + 1) % n];
-            acc += a.x * b.y - b.x * a.y;
+            acc += a.x as i128 * b.y as i128 - b.x as i128 * a.y as i128;
         }
-        acc / 2
+        (acc / 2) as i64
     }
 
     /// Axis-aligned bounding box.

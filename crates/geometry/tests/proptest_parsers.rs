@@ -1,0 +1,121 @@
+//! Adversarial-input properties of the layout parsers: arbitrary bytes
+//! and mutated-but-plausible records must never panic, and every failure
+//! must carry a position (line for `.glp`, byte offset for GDSII) that
+//! points back into the input.
+
+use lsopc_geometry::{parse_gds, parse_glp, write_gds, Layout, Rect};
+use proptest::prelude::*;
+
+/// A pool of adversarial integer tokens: boundary values, overflow
+/// candidates, and values just past the parser's ±2³⁰ coordinate bound.
+fn token(ix: u8, raw: i64) -> String {
+    match ix % 8 {
+        0 => raw.to_string(),
+        1 => i64::MAX.to_string(),
+        2 => i64::MIN.to_string(),
+        3 => "99999999999999999999".to_string(), // past i64
+        4 => ((1i64 << 30) + 1).to_string(),     // past MAX_COORD
+        5 => "1e9".to_string(),                  // not an integer
+        6 => ";".to_string(),
+        _ => "-".to_string(),
+    }
+}
+
+fn glp_line(kind: u8, tokens: &[(u8, i64)]) -> String {
+    let keyword = match kind % 6 {
+        0 => "RECT",
+        1 => "PGON",
+        2 => "CELL",
+        3 => "rect",
+        4 => "",
+        _ => "NOISE",
+    };
+    let mut line = keyword.to_string();
+    for &(ix, raw) in tokens {
+        line.push(' ');
+        line.push_str(&token(ix, raw));
+    }
+    if kind.is_multiple_of(2) {
+        line.push_str(" ;");
+    }
+    line
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary bytes, decoded lossily, never panic `parse_glp`; any
+    /// error names a line inside the input.
+    #[test]
+    fn glp_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_glp(&text) {
+            let nlines = text.lines().count().max(1);
+            prop_assert!(e.line() >= 1 && e.line() <= nlines,
+                "line {} outside input ({} lines)", e.line(), nlines);
+        }
+    }
+
+    /// Structured-but-hostile records (overflowing coordinates, odd
+    /// arity, stray separators) never panic; errors stay line-addressed.
+    #[test]
+    fn glp_survives_adversarial_records(
+        lines in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec((any::<u8>(), any::<i64>()), 0..12)),
+            0..8,
+        )
+    ) {
+        let text: String = lines
+            .iter()
+            .map(|(kind, tokens)| glp_line(*kind, tokens) + "\n")
+            .collect();
+        if let Err(e) = parse_glp(&text) {
+            let nlines = text.lines().count().max(1);
+            prop_assert!(e.line() >= 1 && e.line() <= nlines);
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    /// Raw bytes never panic `parse_gds`; any error carries an offset no
+    /// further than one record header past the end of the input.
+    #[test]
+    fn gds_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Err(e) = parse_gds(&bytes) {
+            prop_assert!(e.offset() <= bytes.len(),
+                "offset {} beyond input ({} bytes)", e.offset(), bytes.len());
+        }
+    }
+
+    /// A valid stream with one corrupted byte (truncated records, bogus
+    /// tags, warped coordinates) parses or fails cleanly — never panics.
+    #[test]
+    fn gds_survives_single_byte_corruption(
+        x0 in -512i64..512, y0 in -512i64..512,
+        w in 1i64..256, h in 1i64..256,
+        at in any::<u16>(), to in any::<u8>(),
+    ) {
+        let mut layout = Layout::new();
+        layout.push(Rect::from_origin_size(x0, y0, w, h).into());
+        let mut bytes = write_gds(&layout, 1);
+        let at = at as usize % bytes.len();
+        bytes[at] = to;
+        if let Err(e) = parse_gds(&bytes) {
+            prop_assert!(e.offset() <= bytes.len());
+        }
+    }
+
+    /// Truncating a valid stream at any point fails cleanly with an
+    /// in-range offset (or still parses, when the cut lands after ENDLIB).
+    #[test]
+    fn gds_survives_truncation_everywhere(
+        w in 1i64..256, h in 1i64..256, cut in any::<u16>(),
+    ) {
+        let mut layout = Layout::new();
+        layout.push(Rect::from_origin_size(0, 0, w, h).into());
+        let bytes = write_gds(&layout, 1);
+        let cut = cut as usize % bytes.len();
+        if let Err(e) = parse_gds(&bytes[..cut]) {
+            prop_assert!(e.offset() <= cut);
+        }
+    }
+}

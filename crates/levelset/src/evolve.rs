@@ -1,12 +1,19 @@
 //! Level-set evolution step, CFL time step and reinitialization.
 
 use crate::{mask_from_levelset, signed_distance};
-use lsopc_grid::{max_abs, Grid};
+use lsopc_grid::Grid;
 
 /// The paper's time-step rule `Δt = λ_t / max|v|` (Algorithm 1, line 5).
 ///
 /// Returns 0 when the velocity field is identically zero (the evolution
-/// has converged).
+/// has converged) **or contains any non-finite value**. A corrupted
+/// velocity must never move the front: `λ_t / ∞` would silently freeze
+/// the run at `Δt = 0` anyway, while a NaN cell is invisible to a
+/// `max`-fold (`f64::max` ignores NaN) and would otherwise propagate
+/// into `ψ` on the next [`evolve`]. Callers that need to distinguish
+/// "converged" from "corrupted" (the solver health guard does) should
+/// scan the field themselves; this function only promises a finite,
+/// non-negative `Δt`.
 ///
 /// # Panics
 ///
@@ -23,7 +30,13 @@ use lsopc_grid::{max_abs, Grid};
 /// ```
 pub fn cfl_time_step(velocity: &Grid<f64>, lambda_t: f64) -> f64 {
     assert!(lambda_t > 0.0, "lambda_t must be positive");
-    let vmax = max_abs(velocity);
+    let mut vmax = 0.0f64;
+    for &v in velocity.as_slice() {
+        if !v.is_finite() {
+            return 0.0;
+        }
+        vmax = vmax.max(v.abs());
+    }
     if vmax == 0.0 {
         0.0
     } else {
@@ -120,5 +133,28 @@ mod tests {
     fn invalid_lambda_panics() {
         let v = Grid::new(2, 2, 1.0);
         let _ = cfl_time_step(&v, 0.0);
+    }
+
+    #[test]
+    fn nan_velocity_gives_zero_step() {
+        // f64::max ignores NaN, so a max-fold would report the finite
+        // peak (here 3.0) and produce a *finite nonzero* Δt that then
+        // evolves NaN into ψ. The contract is a hard 0 instead.
+        let v = Grid::from_vec(2, 2, vec![1.0, f64::NAN, -3.0, 0.5]);
+        assert_eq!(cfl_time_step(&v, 2.0), 0.0);
+    }
+
+    #[test]
+    fn inf_velocity_gives_zero_step() {
+        let v = Grid::from_vec(2, 2, vec![1.0, f64::INFINITY, -3.0, 0.5]);
+        assert_eq!(cfl_time_step(&v, 2.0), 0.0);
+        let v = Grid::from_vec(2, 2, vec![1.0, f64::NEG_INFINITY, -3.0, 0.5]);
+        assert_eq!(cfl_time_step(&v, 2.0), 0.0);
+    }
+
+    #[test]
+    fn all_nan_velocity_gives_zero_step() {
+        let v = Grid::new(3, 3, f64::NAN);
+        assert_eq!(cfl_time_step(&v, 1.0), 0.0);
     }
 }

@@ -97,6 +97,8 @@ pub fn cost_and_gradient(
             *dst += v;
         }
     }
+    #[cfg(feature = "fault-injection")]
+    sim.apply_fault(&mut report, &mut gradient);
     (report, gradient)
 }
 

@@ -93,6 +93,16 @@ pub struct LithoSimulator {
     corners: ProcessCorners,
     backend: Box<dyn SimBackend>,
     kernel_cache: RwLock<HashMap<i64, Arc<KernelSet>>>,
+    #[cfg(feature = "fault-injection")]
+    fault: Option<FaultHook>,
+}
+
+/// An installed fault injector plus its evaluation counter.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug)]
+struct FaultHook {
+    injector: Arc<dyn crate::FaultInjector>,
+    calls: std::sync::atomic::AtomicUsize,
 }
 
 impl fmt::Debug for LithoSimulator {
@@ -144,7 +154,45 @@ impl LithoSimulator {
             corners: ProcessCorners::iccad2013(),
             backend: Box::new(FftBackend::new()),
             kernel_cache: RwLock::new(HashMap::new()),
+            #[cfg(feature = "fault-injection")]
+            fault: None,
         })
+    }
+
+    /// Installs a [`FaultInjector`](crate::FaultInjector) invoked after
+    /// every [`cost_and_gradient`](crate::cost_and_gradient) evaluation
+    /// on this simulator, with a call counter starting at 0.
+    ///
+    /// Only available with the `fault-injection` feature; production
+    /// builds have no hook.
+    #[cfg(feature = "fault-injection")]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn crate::FaultInjector>) -> Self {
+        self.fault = Some(FaultHook {
+            injector,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        });
+        self
+    }
+
+    /// Runs the installed fault injector (if any) against one evaluation.
+    /// Called by [`cost_and_gradient`](crate::cost_and_gradient).
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fn apply_fault(&self, report: &mut crate::CostReport, gradient: &mut Grid<f64>) {
+        if let Some(hook) = &self.fault {
+            let call = hook
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            hook.injector.inject(call, report, gradient);
+        }
+    }
+
+    /// Number of `cost_and_gradient` evaluations seen by the installed
+    /// injector so far (0 when none is installed).
+    #[cfg(feature = "fault-injection")]
+    pub fn fault_calls(&self) -> usize {
+        self.fault
+            .as_ref()
+            .map_or(0, |h| h.calls.load(std::sync::atomic::Ordering::Relaxed))
     }
 
     /// Replaces the compute backend.

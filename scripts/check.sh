@@ -21,4 +21,21 @@ LSOPC_THREADS=1 cargo test -q --workspace
 echo "==> cargo test (workspace, LSOPC_THREADS=4)"
 LSOPC_THREADS=4 cargo test -q --workspace
 
+echo "==> cargo test -p lsopc-core --features fault-injection"
+LSOPC_THREADS=4 cargo test -q -p lsopc-core --features fault-injection
+
+echo "==> CLI unwrap/expect gate"
+# No unwrap()/expect( reachable from main on bad input: reject them in
+# crates/cli/src non-test code (everything before the first #[cfg(test)]).
+bad=$(awk '
+  FNR == 1 { in_tests = 0 }
+  /^#\[cfg\(test\)\]/ { in_tests = 1 }
+  !in_tests && (/\.unwrap\(\)/ || /\.expect\(/) { print FILENAME ":" FNR ": " $0 }
+' crates/cli/src/*.rs)
+if [ -n "$bad" ]; then
+  echo "error: unwrap()/expect( in CLI non-test code:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+
 echo "All checks passed."
