@@ -3,10 +3,11 @@
 use crate::args::Flags;
 use crate::error::CliError;
 use lsopc_benchsuite::Iccad2013Suite;
-use lsopc_core::{LevelSetIlt, RecoveryPolicy};
+use lsopc_core::{IltResult, LevelSetIlt, RecoveryPolicy};
 use lsopc_geometry::{
     mask_to_polygons, parse_glp, polygons_to_layout, rasterize, write_glp, Layout,
 };
+use lsopc_grid::Grid;
 use lsopc_litho::LithoSimulator;
 use lsopc_metrics::{evaluate_mask, render_report, MaskComplexity, MrcReport};
 use lsopc_optics::OpticsConfig;
@@ -19,6 +20,7 @@ USAGE:
   lsopc optimize --glp <design.glp> --out <mask.glp>
                  [--grid 512] [--iters 30] [--kernels 24] [--pvb-weight 1.0]
                  [--threads N] [--recover on|off|strict]
+                 [--precision f64|f32|mixed]
   lsopc evaluate --glp <design.glp> --mask <mask.glp>
                  [--grid 512] [--kernels 24] [--threads N]
   lsopc report   --glp <design.glp> --mask <mask.glp>
@@ -26,6 +28,7 @@ USAGE:
                  [--threads N]
   lsopc suite    [--cases 1,2,...] [--grid 256] [--iters 20] [--kernels 24]
                  [--threads N] [--recover on|off|strict]
+                 [--precision f64|f32|mixed]
   lsopc help
 
 The field is 2048nm; --grid sets the pixels per side (power of two).
@@ -34,6 +37,11 @@ otherwise the machine's available cores).
 --recover controls the solver health guard (default on): `on` rolls back
 to the last healthy checkpoint and halves the step on numerical trouble,
 `strict` turns an exhausted guard into a hard error, `off` disables it.
+--precision picks the arithmetic for the optimization loop (default f64):
+`f32` runs fields and transforms in single precision (the paper's GPU
+arithmetic, reproduced on CPU), `mixed` runs f32 convolutions/spectra
+under f64 accumulation and optimizer state (the master-weights pattern).
+Scoring and reporting always run at f64 (see DESIGN.md §11).
 
 EXIT CODES:
   0 success    2 usage    3 I/O    4 layout parse
@@ -56,7 +64,44 @@ fn recovery_policy(flags: &Flags) -> Result<RecoveryPolicy, CliError> {
     RecoveryPolicy::parse(value).map_err(|e| CliError::usage(format!("--recover: {e}")))
 }
 
-fn build_sim(flags: &Flags, default_grid: usize) -> Result<(LithoSimulator, usize, f64), CliError> {
+/// Arithmetic used by the optimization loop (`--precision`). Scoring and
+/// reporting always run at f64 regardless.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Precision {
+    /// Full double precision — the default, bit-identical to the
+    /// pre-generic pipeline.
+    F64,
+    /// Pure single precision fields and transforms (the paper's GPU
+    /// arithmetic); the result mask is widened to f64 for scoring.
+    F32,
+    /// f32 convolutions/spectra with f64 accumulation and optimizer
+    /// state (master-weights pattern).
+    Mixed,
+}
+
+fn precision(flags: &Flags) -> Result<Precision, CliError> {
+    match flags.get("precision").filter(|v| !v.is_empty()) {
+        None | Some("f64") => Ok(Precision::F64),
+        Some("f32") => Ok(Precision::F32),
+        Some("mixed") => Ok(Precision::Mixed),
+        Some(other) => Err(CliError::usage(format!(
+            "invalid value `{other}` for --precision: expected f64, f32 or mixed"
+        ))),
+    }
+}
+
+/// Everything `build_sim` derives from the flags: the (f64, accelerated)
+/// scoring simulator plus the pieces needed to build precision variants
+/// of it for the optimization loop.
+struct SimSetup {
+    sim: LithoSimulator,
+    grid: usize,
+    pixel_nm: f64,
+    optics: OpticsConfig,
+    pool_threads: usize,
+}
+
+fn build_sim(flags: &Flags, default_grid: usize) -> Result<SimSetup, CliError> {
     let grid: usize = flags.num("grid", default_grid)?;
     let kernels: usize = flags.num("kernels", 24)?;
     // --threads pins the shared pool size; 0 (the default) keeps the
@@ -72,7 +117,44 @@ fn build_sim(flags: &Flags, default_grid: usize) -> Result<(LithoSimulator, usiz
     let sim = LithoSimulator::from_optics(&optics, grid, pixel_nm)
         .map_err(|e| CliError::setup(e.to_string()))?
         .with_accelerated_backend(pool_threads);
-    Ok((sim, grid, pixel_nm))
+    Ok(SimSetup {
+        sim,
+        grid,
+        pixel_nm,
+        optics,
+        pool_threads,
+    })
+}
+
+/// Runs the configured optimizer at the requested precision and returns
+/// an f64 result (the seam where f32 runs re-enter the f64 world).
+fn run_ilt(
+    ilt: &LevelSetIlt,
+    setup: &SimSetup,
+    target: &Grid<f64>,
+    precision: Precision,
+) -> Result<IltResult, CliError> {
+    match precision {
+        Precision::F64 => ilt
+            .optimize(&setup.sim, target)
+            .map_err(CliError::from_optimize),
+        Precision::Mixed => {
+            let sim = LithoSimulator::<f64>::from_optics(&setup.optics, setup.grid, setup.pixel_nm)
+                .map_err(|e| CliError::setup(e.to_string()))?
+                .with_mixed_backend();
+            ilt.optimize(&sim, target).map_err(CliError::from_optimize)
+        }
+        Precision::F32 => {
+            let sim = LithoSimulator::<f32>::from_optics(&setup.optics, setup.grid, setup.pixel_nm)
+                .map_err(|e| CliError::setup(e.to_string()))?
+                .with_accelerated_backend(setup.pool_threads);
+            let target32 = target.map(|&v| v as f32);
+            Ok(ilt
+                .optimize(&sim, &target32)
+                .map_err(CliError::from_optimize)?
+                .to_f64())
+        }
+    }
 }
 
 fn load_layout(path: &str) -> Result<Layout, CliError> {
@@ -91,21 +173,22 @@ pub fn optimize(args: &[String]) -> CliResult {
     let iters: usize = flags.num("iters", 30)?;
     let w_pvb: f64 = flags.num("pvb-weight", 1.0)?;
     let recovery = recovery_policy(&flags)?;
+    let precision = precision(&flags)?;
     let design = load_layout(&glp_path)?;
-    let (sim, grid, pixel_nm) = build_sim(&flags, 512)?;
+    let setup = build_sim(&flags, 512)?;
+    let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
 
     let target = rasterize(&design, grid, grid, pixel_nm);
     eprintln!(
         "optimizing {} shapes at {grid}px ({pixel_nm} nm/px), {iters} iterations…",
         design.len()
     );
-    let result = LevelSetIlt::builder()
+    let ilt = LevelSetIlt::builder()
         .max_iterations(iters)
         .pvb_weight(w_pvb)
         .recovery(recovery)
-        .build()
-        .optimize(&sim, &target)
-        .map_err(CliError::from_optimize)?;
+        .build();
+    let result = run_ilt(&ilt, &setup, &target, precision)?;
     if result.diagnostics.has_events() {
         eprintln!(
             "recovery: {} backoffs, {} recoveries{}",
@@ -125,7 +208,7 @@ pub fn optimize(args: &[String]) -> CliResult {
     std::fs::write(&out_path, write_glp(&mask_layout))
         .map_err(|e| CliError::io(format!("cannot write {out_path}: {e}")))?;
 
-    let eval = evaluate_mask(&sim, &result.mask, &design, &target);
+    let eval = evaluate_mask(&setup.sim, &result.mask, &design, &target);
     let complexity = MaskComplexity::measure(&result.mask);
     println!(
         "done in {:.2}s / {} iterations (cost {:.1} -> {:.1})",
@@ -154,11 +237,12 @@ pub fn evaluate(args: &[String]) -> CliResult {
     let flags = Flags::parse(args)?;
     let design = load_layout(flags.require("glp")?)?;
     let mask_layout = load_layout(flags.require("mask")?)?;
-    let (sim, grid, pixel_nm) = build_sim(&flags, 512)?;
+    let setup = build_sim(&flags, 512)?;
+    let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
 
     let target = rasterize(&design, grid, grid, pixel_nm);
     let mask = rasterize(&mask_layout, grid, grid, pixel_nm);
-    let eval = evaluate_mask(&sim, &mask, &design, &target);
+    let eval = evaluate_mask(&setup.sim, &mask, &design, &target);
     println!(
         "#EPE {} / {} probes",
         eval.epe.violations, eval.epe.total_probes
@@ -182,11 +266,12 @@ pub fn report(args: &[String]) -> CliResult {
     let mask_layout = load_layout(flags.require("mask")?)?;
     let min_width_nm: f64 = flags.num("min-width-nm", 40.0)?;
     let min_space_nm: f64 = flags.num("min-space-nm", 40.0)?;
-    let (sim, grid, pixel_nm) = build_sim(&flags, 512)?;
+    let setup = build_sim(&flags, 512)?;
+    let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
 
     let target = rasterize(&design, grid, grid, pixel_nm);
     let mask = rasterize(&mask_layout, grid, grid, pixel_nm);
-    let eval = evaluate_mask(&sim, &mask, &design, &target);
+    let eval = evaluate_mask(&setup.sim, &mask, &design, &target);
     let complexity = MaskComplexity::measure(&mask);
     let mrc = MrcReport::check(
         &mask,
@@ -207,7 +292,9 @@ pub fn suite(args: &[String]) -> CliResult {
     let case_filter = flags.index_list("cases")?;
     let iters: usize = flags.num("iters", 20)?;
     let recovery = recovery_policy(&flags)?;
-    let (_, grid, pixel_nm) = build_sim(&flags, 256)?;
+    let precision = precision(&flags)?;
+    let first = build_sim(&flags, 256)?;
+    let (grid, pixel_nm) = (first.grid, first.pixel_nm);
 
     let suite = Iccad2013Suite::new();
     println!(
@@ -222,15 +309,14 @@ pub fn suite(args: &[String]) -> CliResult {
         }
         let layout = suite.layout(case);
         // Fresh simulator per case keeps kernel caches bounded.
-        let (sim, _, _) = build_sim(&flags, 256)?;
+        let setup = build_sim(&flags, 256)?;
         let target = rasterize(&layout, grid, grid, pixel_nm);
-        let result = LevelSetIlt::builder()
+        let ilt = LevelSetIlt::builder()
             .max_iterations(iters)
             .recovery(recovery)
-            .build()
-            .optimize(&sim, &target)
-            .map_err(CliError::from_optimize)?;
-        let eval = evaluate_mask(&sim, &result.mask, &layout, &target);
+            .build();
+        let result = run_ilt(&ilt, &setup, &target, precision)?;
+        let eval = evaluate_mask(&setup.sim, &result.mask, &layout, &target);
         let score = eval.score(result.runtime_s);
         println!(
             "{:<6}{:>12}{:>8}{:>12.0}{:>8}{:>10.1}{:>12.0}",
@@ -302,6 +388,53 @@ mod tests {
 
         std::fs::remove_file(design_path).ok();
         std::fs::remove_file(mask_path).ok();
+    }
+
+    #[test]
+    fn optimize_runs_at_every_precision() {
+        let design_path = tmpfile("prec_design.glp");
+        std::fs::write(
+            &design_path,
+            "BEGIN\nCELL prec_test\nRECT 832 480 384 1088 ;\nEND\n",
+        )
+        .expect("write design");
+        for prec in ["f64", "f32", "mixed"] {
+            let mask_path = tmpfile(&format!("prec_{prec}.glp"));
+            optimize(&to_args(&[
+                "--glp",
+                design_path.to_str().expect("utf8"),
+                "--out",
+                mask_path.to_str().expect("utf8"),
+                "--grid",
+                "128",
+                "--kernels",
+                "4",
+                "--iters",
+                "3",
+                "--precision",
+                prec,
+            ]))
+            .unwrap_or_else(|e| panic!("--precision {prec} runs: {e}"));
+            assert!(mask_path.exists(), "--precision {prec} wrote a mask");
+            std::fs::remove_file(mask_path).ok();
+        }
+        std::fs::remove_file(design_path).ok();
+    }
+
+    #[test]
+    fn invalid_precision_is_a_usage_error() {
+        use crate::error::Category;
+        let err = optimize(&to_args(&[
+            "--glp",
+            "x.glp",
+            "--out",
+            "y.glp",
+            "--precision",
+            "f16",
+        ]))
+        .expect_err("bad precision");
+        assert_eq!(err.category(), Category::Usage);
+        assert!(err.to_string().contains("--precision"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The Polak–Ribière–Polyak conjugate-gradient rule (paper Eq. (15)–(16)).
 
-use lsopc_grid::{dot, l2_norm_sq, Grid};
+use lsopc_grid::{dot, l2_norm_sq, Grid, Scalar};
 
 /// The PRP coefficient
 /// `λ = (‖g_i‖² − g_i·g_{i−1}) / ‖g_{i−1}‖²` (paper Eq. (16)), with the
@@ -29,12 +29,22 @@ use lsopc_grid::{dot, l2_norm_sq, Grid};
 /// let g = Grid::from_vec(2, 1, vec![0.0, 2.0]);
 /// assert_eq!(prp_beta(&g, &g_prev), 4.0);
 /// ```
-pub fn prp_beta(g: &Grid<f64>, g_prev: &Grid<f64>) -> f64 {
+pub fn prp_beta<T: Scalar>(g: &Grid<T>, g_prev: &Grid<T>) -> f64 {
     let denom = l2_norm_sq(g_prev);
-    if denom <= 1e-300 {
+    // The tiny-denominator floor is precision-relative: f64 keeps the
+    // historical 1e-300 (the f64 path must stay bit-identical), while
+    // coarser scalars get a floor well above their subnormal range so a
+    // vanishing gradient restarts the direction instead of producing an
+    // inf/NaN coefficient.
+    let floor = if T::EPSILON.to_f64() > f64::EPSILON {
+        1e-30
+    } else {
+        1e-300
+    };
+    if denom.to_f64() <= floor {
         return 0.0;
     }
-    let beta = (l2_norm_sq(g) - dot(g, g_prev)) / denom;
+    let beta = ((l2_norm_sq(g) - dot(g, g_prev)) / denom).to_f64();
     beta.max(0.0)
 }
 
@@ -61,6 +71,16 @@ mod tests {
         let g = Grid::from_vec(2, 1, vec![1.0, 0.0]);
         let g_prev = Grid::from_vec(2, 1, vec![3.0, 0.0]);
         assert_eq!(prp_beta(&g, &g_prev), 0.0);
+    }
+
+    #[test]
+    fn f32_gradients_produce_finite_beta() {
+        let g = Grid::from_vec(2, 1, vec![2.0_f32, 1.0]);
+        let g_prev = Grid::from_vec(2, 1, vec![1.0_f32, 1.0]);
+        assert_eq!(prp_beta(&g, &g_prev), 1.0);
+        // Denominator below the f32 floor restarts instead of overflowing.
+        let tiny = Grid::new(2, 1, 1e-20_f32);
+        assert_eq!(prp_beta(&g, &tiny), 0.0);
     }
 
     #[test]

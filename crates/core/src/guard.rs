@@ -19,7 +19,7 @@
 //! the identical order — bit-identical masks and history (see
 //! DESIGN.md §10 for the state machine and the determinism argument).
 
-use lsopc_grid::Grid;
+use lsopc_grid::{Grid, Scalar};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -57,6 +57,41 @@ impl Default for GuardConfig {
             stall_tolerance: 0.0,
             cost_spike_factor: 100.0,
             gradient_spike_factor: 1e6,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// The detection thresholds adapted to the scalar type `T` of the
+    /// fields being watched.
+    ///
+    /// A `T`-precision evaluation carries ~`T::EPSILON` relative
+    /// round-off — 2^29 times coarser at f32 than at f64 — so thresholds
+    /// tuned for f64 noise misread f32 noise. Two adjustments:
+    ///
+    /// * the divergence/stall tolerances (absolute relative-change
+    ///   cutoffs) are floored at `16·ε_T`, so round-off wiggle in the
+    ///   cost is never counted as progress or divergence;
+    /// * the spike factors gain the matching `1 + 16·ε_T` headroom —
+    ///   both sides of a spike comparison carry `O(ε_T)` relative error,
+    ///   so the cutoff ratio needs that much slack before a borderline
+    ///   value can trip on round-off alone.
+    ///
+    /// At `T = f64` the configured values pass through **unchanged** (not
+    /// merely approximately: the f64 branch returns `*self`), keeping the
+    /// historical guard path bit-identical.
+    pub(crate) fn scaled_for<T: Scalar>(&self) -> GuardConfig {
+        let eps = T::EPSILON.to_f64();
+        if eps <= f64::EPSILON {
+            return *self;
+        }
+        let floor = 16.0 * eps;
+        GuardConfig {
+            divergence_tolerance: self.divergence_tolerance.max(floor),
+            stall_tolerance: self.stall_tolerance.max(floor),
+            cost_spike_factor: self.cost_spike_factor * (1.0 + floor),
+            gradient_spike_factor: self.gradient_spike_factor * (1.0 + floor),
+            ..*self
         }
     }
 }
@@ -308,40 +343,47 @@ impl HealthGuard {
 
     /// Classifies one cost/gradient evaluation, updating the divergence
     /// and stall streaks and the healthy reference values.
-    pub(crate) fn inspect_evaluation(
+    ///
+    /// Generic over the gradient's scalar: the cost is always f64 (the
+    /// optimizer's master state), while the detection thresholds are
+    /// adapted to `T`'s epsilon via [`GuardConfig::scaled_for`] — an
+    /// exact pass-through at `T = f64`.
+    pub(crate) fn inspect_evaluation<T: Scalar>(
         &mut self,
         iteration: usize,
         cost_total: f64,
-        gradient: &Grid<f64>,
+        gradient: &Grid<T>,
     ) -> Health {
+        let config = self.config.scaled_for::<T>();
         if !cost_total.is_finite() {
             return Health::Corrupt(GuardEventKind::NonFiniteCost);
         }
-        let mut peak = 0.0f64;
+        let mut peak = T::ZERO;
         for &g in gradient.as_slice() {
             if !g.is_finite() {
                 return Health::Corrupt(GuardEventKind::NonFiniteGradient);
             }
             peak = peak.max(g.abs());
         }
+        let peak = peak.to_f64();
         if let Some(ref_peak) = self.last_healthy_gradient_peak {
-            if ref_peak > 0.0 && peak > ref_peak * self.config.gradient_spike_factor {
+            if ref_peak > 0.0 && peak > ref_peak * config.gradient_spike_factor {
                 return Health::Corrupt(GuardEventKind::GradientSpike {
                     ratio: peak / ref_peak,
                 });
             }
         }
         if let Some(ref_cost) = self.last_healthy_cost {
-            if ref_cost > 0.0 && cost_total > ref_cost * self.config.cost_spike_factor {
+            if ref_cost > 0.0 && cost_total > ref_cost * config.cost_spike_factor {
                 return Health::Corrupt(GuardEventKind::CostSpike {
                     ratio: cost_total / ref_cost,
                 });
             }
             let scale = ref_cost.abs().max(1.0);
-            if cost_total > ref_cost + self.config.divergence_tolerance * scale {
+            if cost_total > ref_cost + config.divergence_tolerance * scale {
                 self.rising_streak += 1;
                 self.stall_streak = 0;
-            } else if (cost_total - ref_cost).abs() <= self.config.stall_tolerance * scale {
+            } else if (cost_total - ref_cost).abs() <= config.stall_tolerance * scale {
                 self.rising_streak = 0;
                 self.stall_streak += 1;
             } else {
@@ -373,12 +415,12 @@ impl HealthGuard {
     }
 
     /// Scans a velocity field for non-finite cells.
-    pub(crate) fn inspect_velocity(&self, velocity: &Grid<f64>) -> Option<GuardEventKind> {
+    pub(crate) fn inspect_velocity<T: Scalar>(&self, velocity: &Grid<T>) -> Option<GuardEventKind> {
         scan_non_finite(velocity).then_some(GuardEventKind::NonFiniteVelocity)
     }
 
     /// Scans `ψ` for non-finite cells after an evolution step.
-    pub(crate) fn inspect_levelset(&self, psi: &Grid<f64>) -> Option<GuardEventKind> {
+    pub(crate) fn inspect_levelset<T: Scalar>(&self, psi: &Grid<T>) -> Option<GuardEventKind> {
         scan_non_finite(psi).then_some(GuardEventKind::NonFiniteLevelSet)
     }
 
@@ -413,7 +455,7 @@ impl HealthGuard {
 }
 
 /// True when any cell is NaN or ±∞.
-fn scan_non_finite(grid: &Grid<f64>) -> bool {
+fn scan_non_finite<T: Scalar>(grid: &Grid<T>) -> bool {
     grid.as_slice().iter().any(|v| !v.is_finite())
 }
 
@@ -606,6 +648,58 @@ mod tests {
         assert_eq!(
             g.inspect_levelset(&bad),
             Some(GuardEventKind::NonFiniteLevelSet)
+        );
+    }
+
+    #[test]
+    fn f64_threshold_scaling_is_an_exact_pass_through() {
+        let config = GuardConfig::default();
+        assert_eq!(config.scaled_for::<f64>(), config);
+        let custom = GuardConfig {
+            divergence_tolerance: 3e-12,
+            stall_tolerance: 1e-13,
+            ..config
+        };
+        assert_eq!(custom.scaled_for::<f64>(), custom);
+    }
+
+    #[test]
+    fn f32_thresholds_gain_epsilon_headroom() {
+        let config = GuardConfig::default();
+        let scaled = config.scaled_for::<f32>();
+        let floor = 16.0 * f32::EPSILON as f64;
+        assert_eq!(scaled.divergence_tolerance, floor);
+        assert_eq!(scaled.stall_tolerance, floor);
+        assert!(scaled.cost_spike_factor > config.cost_spike_factor);
+        assert!(scaled.gradient_spike_factor > config.gradient_spike_factor);
+        // Windows and backoff limits are precision-independent.
+        assert_eq!(scaled.max_backoffs, config.max_backoffs);
+        assert_eq!(scaled.divergence_window, config.divergence_window);
+        assert_eq!(scaled.stall_window, config.stall_window);
+    }
+
+    #[test]
+    fn f32_round_off_wiggle_counts_as_stall_not_divergence() {
+        // Cost changes of a few f32 ulps must not feed the divergence
+        // streak at f32 (they would at the raw f64 tolerance of 1e-9).
+        let g32 = Grid::from_vec(2, 2, vec![0.5_f32, -1.0, 2.0, 0.0]);
+        let mut watcher = guard();
+        let mut last = Health::Healthy;
+        for i in 0..=5 {
+            let cost = 10.0 * (1.0 + i as f64 * 1e-8);
+            last = watcher.inspect_evaluation(i, cost, &g32);
+        }
+        assert_eq!(last, Health::Stalled(GuardEventKind::Stall { window: 5 }));
+        // The same rising sequence against f64 fields diverges.
+        let mut watcher = guard();
+        let mut last = Health::Healthy;
+        for i in 0..=5 {
+            let cost = 10.0 * (1.0 + i as f64 * 1e-8);
+            last = watcher.inspect_evaluation(i, cost, &finite_gradient());
+        }
+        assert_eq!(
+            last,
+            Health::Corrupt(GuardEventKind::CostDivergence { consecutive: 5 })
         );
     }
 

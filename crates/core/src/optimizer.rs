@@ -3,7 +3,7 @@
 use crate::cg::prp_beta;
 use crate::guard::{panic_message, BackoffOutcome, Health, HealthGuard};
 use crate::{Evolution, GuardEventKind, IterationRecord, LevelSetIlt, SolverDiagnostics};
-use lsopc_grid::{max_abs, Grid};
+use lsopc_grid::{max_abs, Grid, Scalar};
 use lsopc_levelset::{
     cfl_time_step, curvature, evolve, godunov_gradient, gradient_magnitude, mask_from_levelset,
     reinitialize, signed_distance, NarrowBand,
@@ -59,12 +59,17 @@ impl fmt::Display for OptimizeError {
 impl Error for OptimizeError {}
 
 /// The outcome of a level-set ILT run.
+///
+/// Generic over the field scalar `T` (default `f64`): the mask, level
+/// set and snapshots carry the precision the run was performed at, while
+/// the per-iteration history is always recorded in f64 — costs and step
+/// sizes are optimizer master state regardless of field precision.
 #[derive(Clone, Debug)]
-pub struct IltResult {
+pub struct IltResult<T: Scalar = f64> {
     /// The optimized binary mask `M*`.
-    pub mask: Grid<f64>,
+    pub mask: Grid<T>,
     /// The final level-set function `ψ`.
-    pub levelset: Grid<f64>,
+    pub levelset: Grid<T>,
     /// Per-iteration records (always collected; they are cheap).
     pub history: Vec<IterationRecord>,
     /// Number of iterations actually run.
@@ -75,17 +80,39 @@ pub struct IltResult {
     pub runtime_s: f64,
     /// Mask snapshots `(iteration, mask)` when snapshotting was enabled
     /// (for reproducing the paper's Fig. 2).
-    pub snapshots: Vec<(usize, Grid<f64>)>,
+    pub snapshots: Vec<(usize, Grid<T>)>,
     /// What the solver health guard observed (empty with
     /// [`RecoveryPolicy::Off`](crate::RecoveryPolicy::Off) or on a
     /// healthy run).
     pub diagnostics: SolverDiagnostics,
 }
 
-impl IltResult {
+impl<T: Scalar> IltResult<T> {
     /// Total cost at the last iteration.
     pub fn final_cost(&self) -> f64 {
         self.history.last().map_or(f64::NAN, |r| r.cost_total)
+    }
+
+    /// The result with mask, level set and snapshots widened to f64.
+    ///
+    /// Scoring and reporting run at f64 regardless of the optimization
+    /// precision; this is the seam where an f32 run re-enters the f64
+    /// world. A no-op (exact) when `T = f64`.
+    pub fn to_f64(&self) -> IltResult<f64> {
+        IltResult {
+            mask: self.mask.map(|&v| v.to_f64()),
+            levelset: self.levelset.map(|&v| v.to_f64()),
+            history: self.history.clone(),
+            iterations: self.iterations,
+            converged: self.converged,
+            runtime_s: self.runtime_s,
+            snapshots: self
+                .snapshots
+                .iter()
+                .map(|(i, m)| (*i, m.map(|&v| v.to_f64())))
+                .collect(),
+            diagnostics: self.diagnostics.clone(),
+        }
     }
 }
 
@@ -98,15 +125,22 @@ impl LevelSetIlt {
     /// best-scoring iterate (by total cost), which for a well-behaved run
     /// is the final one.
     ///
+    /// Generic over the field scalar `T` (default `f64`): fields (mask,
+    /// `ψ`, gradients, velocities) are held and evolved at `T`, while
+    /// every piece of optimizer control state — costs, CFL time step,
+    /// PRP coefficient, guard thresholds — stays f64, the master-state
+    /// pattern. At `T = f64` this is bit-identical to the historical
+    /// f64-only loop (see `tests/golden_f64.rs`).
+    ///
     /// # Errors
     ///
     /// Returns [`OptimizeError`] if the target does not match the
     /// simulator grid or contains no pattern.
-    pub fn optimize(
+    pub fn optimize<T: Scalar>(
         &self,
-        sim: &LithoSimulator,
-        target: &Grid<f64>,
-    ) -> Result<IltResult, OptimizeError> {
+        sim: &LithoSimulator<T>,
+        target: &Grid<T>,
+    ) -> Result<IltResult<T>, OptimizeError> {
         let n = sim.grid_px();
         if target.dims() != (n, n) {
             return Err(OptimizeError::TargetDimsMismatch {
@@ -115,7 +149,7 @@ impl LevelSetIlt {
             });
         }
         let target = target.binarize(0.5);
-        if target.sum() == 0.0 {
+        if target.sum() == T::ZERO {
             return Err(OptimizeError::EmptyTarget);
         }
 
@@ -124,16 +158,16 @@ impl LevelSetIlt {
         let mut psi = signed_distance(&target);
         let mut history = Vec::with_capacity(self.max_iterations);
         let mut snapshots = Vec::new();
-        let mut prev_gradient_velocity: Option<Grid<f64>> = None;
-        let mut prev_velocity: Option<Grid<f64>> = None;
-        let mut best: Option<(f64, Grid<f64>, Grid<f64>)> = None;
+        let mut prev_gradient_velocity: Option<Grid<T>> = None;
+        let mut prev_velocity: Option<Grid<T>> = None;
+        let mut best: Option<(f64, Grid<T>, Grid<T>)> = None;
         let mut converged = false;
         let mut iterations = 0;
         // The health guard (None with RecoveryPolicy::Off — the loop then
         // follows the historical code path exactly) and its checkpoint:
         // the last pre-evolve ψ that passed every per-iteration check.
         let mut guard = HealthGuard::from_policy(&self.recovery);
-        let mut checkpoint: Option<Grid<f64>> = None;
+        let mut checkpoint: Option<Grid<T>> = None;
 
         'iterate: for i in 0..self.max_iterations {
             iterations = i + 1;
@@ -169,7 +203,7 @@ impl LevelSetIlt {
                         pvb: f64::NAN,
                         w_pvb: self.w_pvb,
                     },
-                    Grid::new(n, n, f64::NAN),
+                    Grid::new(n, n, T::from_f64(f64::NAN)),
                     Health::Corrupt(GuardEventKind::WorkerPanic {
                         message: panic_message(payload),
                     }),
@@ -259,10 +293,11 @@ impl LevelSetIlt {
                     {
                         beta = prp_beta(&gradient_velocity, g_prev);
                         if beta > 0.0 {
+                            let beta_t = T::from_f64(beta);
                             for (v, &pv) in
                                 velocity.as_mut_slice().iter_mut().zip(v_prev.as_slice())
                             {
-                                *v += beta * pv;
+                                *v += beta_t * pv;
                             }
                         }
                     }
@@ -270,8 +305,9 @@ impl LevelSetIlt {
                 Evolution::HeavyBall { beta: momentum } => {
                     if let Some(v_prev) = prev_velocity.as_ref() {
                         beta = momentum;
+                        let momentum_t = T::from_f64(momentum);
                         for (v, &pv) in velocity.as_mut_slice().iter_mut().zip(v_prev.as_slice()) {
-                            *v += momentum * pv;
+                            *v += momentum_t * pv;
                         }
                     }
                 }
@@ -281,13 +317,14 @@ impl LevelSetIlt {
             if self.curvature_weight > 0.0 {
                 let kappa = curvature(&psi);
                 let central = gradient_magnitude(&psi);
+                let weight = T::from_f64(self.curvature_weight);
                 for ((v, &k), &m) in velocity
                     .as_mut_slice()
                     .iter_mut()
                     .zip(kappa.as_slice())
                     .zip(central.as_slice())
                 {
-                    *v += self.curvature_weight * k * m;
+                    *v += weight * k * m;
                 }
             }
 
@@ -341,7 +378,7 @@ impl LevelSetIlt {
                 }
             }
 
-            let vmax = max_abs(&velocity);
+            let vmax = max_abs(&velocity).to_f64();
             let dt = cfl_time_step(&velocity, effective_lambda_t);
             history.push(IterationRecord {
                 iteration: i,

@@ -3,19 +3,25 @@
 //! Building an [`Fft2d`] computes twiddle-factor and bit-reversal tables;
 //! doing that on every simulation call wastes work and, worse, hides the
 //! plan's identity from callers that could otherwise share it. This
-//! module gives the workspace one canonical plan per `(width, height)`:
+//! module gives the workspace one canonical plan per `(scalar type,
+//! width, height)`:
 //!
 //! * [`PlanCache`] — an injectable cache instance, for tests and for
 //!   callers that want isolated plan lifetimes;
 //! * [`PlanCache::global`] — the process-global instance every hot path
 //!   (backends, convolution helpers, optics kernel construction) goes
 //!   through;
-//! * [`plan`] — shorthand for `PlanCache::global().plan(w, h)`.
+//! * [`plan`] — shorthand for `PlanCache::global().plan(w, h)` (`f64`);
+//! * [`plan_t`] — the scalar-generic equivalent, used by the f32 and
+//!   mixed-precision execution modes.
 //!
-//! Plans are returned as `Arc<Fft2d<f64>>`: repeated lookups of the same
-//! size return clones of the *same* allocation, so callers may compare
-//! with `Arc::ptr_eq` and hold plans across iterations for free.
+//! Plans are returned as `Arc<Fft2d<T>>`: repeated lookups of the same
+//! size and scalar type return clones of the *same* allocation, so
+//! callers may compare with `Arc::ptr_eq` and hold plans across
+//! iterations for free. Plans of different scalar types never alias:
+//! the cache key includes `TypeId::of::<T>()`.
 
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -24,10 +30,13 @@ use parking_lot::RwLock;
 
 use crate::Fft2d;
 
-/// Plans stored by the cache, keyed by `(width, height)`.
-type PlanMap = HashMap<(usize, usize), Arc<Fft2d<f64>>>;
+/// Plans stored by the cache, keyed by `(scalar type, width, height)`.
+/// Values are type-erased `Arc<Fft2d<T>>` (generic statics are illegal in
+/// Rust, so one erased map serves every scalar type).
+type PlanMap = HashMap<(TypeId, usize, usize), Arc<dyn Any + Send + Sync>>;
 
-/// A thread-safe cache of [`Fft2d`] plans keyed by `(width, height)`.
+/// A thread-safe cache of [`Fft2d`] plans keyed by scalar type and
+/// `(width, height)`.
 ///
 /// Reads take a shared lock, so concurrent simulation threads hitting
 /// already-built plans never serialize; only the first construction of a
@@ -49,30 +58,43 @@ impl PlanCache {
         &GLOBAL
     }
 
-    /// Returns the shared plan for `width` x `height` grids, building it
-    /// on first use. All callers asking for the same size get the same
-    /// `Arc` allocation.
+    /// Returns the shared `f64` plan for `width` x `height` grids,
+    /// building it on first use. All callers asking for the same size get
+    /// the same `Arc` allocation.
     ///
     /// # Panics
     ///
     /// Panics if either dimension is zero or not a power of two (same
     /// contract as [`Fft2d::new`]).
     pub fn plan(&self, width: usize, height: usize) -> Arc<Fft2d<f64>> {
-        if let Some(plan) = self.plans.read().get(&(width, height)) {
-            return Arc::clone(plan);
+        self.plan_t::<f64>(width, height)
+    }
+
+    /// Returns the shared plan of scalar type `T` for `width` x `height`
+    /// grids, building it on first use. Plans of different scalar types
+    /// are cached independently — an `f64` plan is never handed to an
+    /// `f32` caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or not a power of two (same
+    /// contract as [`Fft2d::new`]).
+    pub fn plan_t<T: Scalar>(&self, width: usize, height: usize) -> Arc<Fft2d<T>> {
+        let key = (TypeId::of::<T>(), width, height);
+        if let Some(plan) = self.plans.read().get(&key) {
+            return downcast_plan(plan);
         }
         let mut plans = self.plans.write();
         // Re-check under the write lock: another thread may have built
         // the plan between our read and write acquisitions, and every
         // caller must observe the same Arc.
-        Arc::clone(
-            plans
-                .entry((width, height))
-                .or_insert_with(|| Arc::new(Fft2d::new(width, height))),
-        )
+        let erased = plans
+            .entry(key)
+            .or_insert_with(|| Arc::new(Fft2d::<T>::new(width, height)));
+        downcast_plan(erased)
     }
 
-    /// Number of distinct plan sizes currently cached.
+    /// Number of distinct `(scalar type, size)` plans currently cached.
     pub fn len(&self) -> usize {
         self.plans.read().len()
     }
@@ -89,7 +111,15 @@ impl PlanCache {
     }
 }
 
-/// Shared plan for `width` x `height` grids from the process-global
+/// Recovers the typed `Arc<Fft2d<T>>` from a cache entry. The key's
+/// `TypeId` guarantees the downcast succeeds.
+fn downcast_plan<T: Scalar>(erased: &Arc<dyn Any + Send + Sync>) -> Arc<Fft2d<T>> {
+    Arc::clone(erased)
+        .downcast::<Fft2d<T>>()
+        .unwrap_or_else(|_| unreachable!("plan cache entry keyed by TypeId has that type"))
+}
+
+/// Shared `f64` plan for `width` x `height` grids from the process-global
 /// cache. See [`PlanCache::plan`].
 ///
 /// # Panics
@@ -99,15 +129,14 @@ pub fn plan(width: usize, height: usize) -> Arc<Fft2d<f64>> {
     PlanCache::global().plan(width, height)
 }
 
-/// Scalar-generic access to the global cache: `f64` requests hit the
-/// shared cache, other scalar types build a fresh plan (the workspace's
-/// hot paths are all `f64`; `f32` support exists for completeness).
-pub(crate) fn plan_for<T: Scalar>(width: usize, height: usize) -> Arc<Fft2d<T>> {
-    let any: Arc<dyn std::any::Any + Send + Sync> = plan(width, height);
-    match any.downcast::<Fft2d<T>>() {
-        Ok(plan) => plan,
-        Err(_) => Arc::new(Fft2d::new(width, height)),
-    }
+/// Shared plan of scalar type `T` for `width` x `height` grids from the
+/// process-global cache. See [`PlanCache::plan_t`].
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or not a power of two.
+pub fn plan_t<T: Scalar>(width: usize, height: usize) -> Arc<Fft2d<T>> {
+    PlanCache::global().plan_t::<T>(width, height)
 }
 
 #[cfg(test)]
@@ -154,12 +183,26 @@ mod tests {
     }
 
     #[test]
+    fn f32_and_f64_plans_are_cached_independently() {
+        let cache = PlanCache::new();
+        let a64 = cache.plan_t::<f64>(16, 16);
+        let a32 = cache.plan_t::<f32>(16, 16);
+        let b32 = cache.plan_t::<f32>(16, 16);
+        assert!(Arc::ptr_eq(&a32, &b32), "f32 plans are cached");
+        assert_eq!(cache.len(), 2, "one entry per scalar type");
+        assert_eq!((a64.width(), a64.height()), (16, 16));
+        assert_eq!((a32.width(), a32.height()), (16, 16));
+    }
+
+    #[test]
     fn generic_helper_reuses_f64_plans() {
         // The global cache is shared; use a size no other test asks for.
-        let a = plan_for::<f64>(64, 2);
+        let a = plan_t::<f64>(64, 2);
         let b = plan(64, 2);
         assert!(Arc::ptr_eq(&a, &b));
-        let c = plan_for::<f32>(64, 2);
+        let c = plan_t::<f32>(64, 2);
+        let d = plan_t::<f32>(64, 2);
+        assert!(Arc::ptr_eq(&c, &d), "global f32 plans are cached too");
         assert_eq!((c.width(), c.height()), (64, 2));
     }
 }

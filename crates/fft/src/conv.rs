@@ -67,7 +67,7 @@ pub fn spectrum_accumulate<T: Scalar>(
 pub fn convolve_cyclic<T: Scalar>(a: &Grid<Complex<T>>, b: &Grid<Complex<T>>) -> Grid<Complex<T>> {
     assert_eq!(a.dims(), b.dims(), "grid dimensions must match");
     let (w, h) = a.dims();
-    let fft = crate::cache::plan_for::<T>(w, h);
+    let fft = crate::cache::plan_t::<T>(w, h);
     let mut fa = a.clone();
     let mut fb = b.clone();
     fft.forward(&mut fa);

@@ -49,7 +49,7 @@ mod reference;
 mod resample;
 mod shift;
 
-pub use cache::{plan, PlanCache};
+pub use cache::{plan, plan_t, PlanCache};
 pub use conv::{convolve_cyclic, spectrum_accumulate, spectrum_multiply};
 pub use fft2d::Fft2d;
 pub use plan::FftPlan;

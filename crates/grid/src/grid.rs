@@ -3,6 +3,8 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::scalar::Scalar;
+
 /// A dense 2-D array with row-major storage, indexed as `(x, y)` where `x`
 /// is the column and `y` the row.
 ///
@@ -278,15 +280,18 @@ impl Grid<f64> {
             self[(x / factor, y / factor)]
         })
     }
+}
 
+impl<T: Scalar> Grid<T> {
     /// Binarizes the grid at `threshold`: cells `>= threshold` become 1.0.
-    pub fn binarize(&self, threshold: f64) -> Grid<f64> {
-        self.map(|&v| if v >= threshold { 1.0 } else { 0.0 })
+    pub fn binarize(&self, threshold: f64) -> Grid<T> {
+        let threshold = T::from_f64(threshold);
+        self.map(|&v| if v >= threshold { T::ONE } else { T::ZERO })
     }
 
     /// Sum of all cells.
-    pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+    pub fn sum(&self) -> T {
+        self.data.iter().copied().sum()
     }
 }
 

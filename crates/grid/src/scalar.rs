@@ -48,6 +48,14 @@ pub trait Scalar:
     const ONE: Self;
     /// Archimedes' constant.
     const PI: Self;
+    /// Machine epsilon: the difference between 1.0 and the next
+    /// representable value. Guard thresholds scale with this so f32 runs
+    /// tolerate proportionally larger round-off.
+    const EPSILON: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+    /// Positive infinity.
+    const INFINITY: Self;
 
     /// Lossy conversion from `f64`.
     fn from_f64(v: f64) -> Self;
@@ -78,6 +86,14 @@ pub trait Scalar:
     fn is_finite(self) -> bool;
     /// Raise to an integer power.
     fn powi(self, n: i32) -> Self;
+    /// Raise to a floating-point power.
+    fn powf(self, n: Self) -> Self;
+    /// Restrict to `[min, max]` with `f64::clamp` semantics (NaN passes
+    /// through; `min`/`max` folds would swallow it).
+    fn clamp(self, min: Self, max: Self) -> Self;
+    /// Euclidean distance `sqrt(self² + other²)` without intermediate
+    /// overflow/underflow.
+    fn hypot(self, other: Self) -> Self;
 }
 
 macro_rules! impl_scalar {
@@ -86,6 +102,9 @@ macro_rules! impl_scalar {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
             const PI: Self = $pi;
+            const EPSILON: Self = <$t>::EPSILON;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+            const INFINITY: Self = <$t>::INFINITY;
 
             #[inline]
             fn from_f64(v: f64) -> Self {
@@ -134,6 +153,18 @@ macro_rules! impl_scalar {
             #[inline]
             fn powi(self, n: i32) -> Self {
                 self.powi(n)
+            }
+            #[inline]
+            fn powf(self, n: Self) -> Self {
+                self.powf(n)
+            }
+            #[inline]
+            fn clamp(self, min: Self, max: Self) -> Self {
+                self.clamp(min, max)
+            }
+            #[inline]
+            fn hypot(self, other: Self) -> Self {
+                self.hypot(other)
             }
         }
     };
@@ -185,5 +216,41 @@ mod tests {
         assert_eq!(0.5_f32.exp(), Scalar::exp(0.5_f32));
         assert!(Scalar::is_finite(1.0_f64));
         assert!(!Scalar::is_finite(f64::NAN));
+    }
+
+    #[test]
+    fn epsilon_and_limits_match_std() {
+        assert_eq!(<f64 as Scalar>::EPSILON, f64::EPSILON);
+        assert_eq!(<f32 as Scalar>::EPSILON, f32::EPSILON);
+        assert_eq!(<f64 as Scalar>::MIN_POSITIVE, f64::MIN_POSITIVE);
+        assert_eq!(<f32 as Scalar>::INFINITY, f32::INFINITY);
+        // f32 round-off is ~2^29 times coarser than f64: the ratio used to
+        // scale guard thresholds per precision.
+        let ratio = <f32 as Scalar>::EPSILON.to_f64() / <f64 as Scalar>::EPSILON;
+        assert_eq!(ratio, (1u64 << 29) as f64);
+    }
+
+    #[test]
+    fn powf_delegates_to_std() {
+        assert_eq!(Scalar::powf(2.0_f64, 0.5), 2.0_f64.powf(0.5));
+        assert_eq!(Scalar::powf(3.0_f32, 1.5), 3.0_f32.powf(1.5));
+        // powf(1.5) is the curvature denominator |∇ψ|³ from |∇ψ|².
+        assert_eq!(Scalar::powf(4.0_f64, 1.5), 8.0);
+    }
+
+    #[test]
+    fn clamp_keeps_f64_semantics() {
+        assert_eq!(Scalar::clamp(5.0_f64, -1.0, 1.0), 1.0);
+        assert_eq!(Scalar::clamp(-5.0_f32, -1.0, 1.0), -1.0);
+        assert!(Scalar::clamp(f64::NAN, -1.0, 1.0).is_nan());
+    }
+
+    #[test]
+    fn hypot_avoids_overflow() {
+        assert_eq!(Scalar::hypot(3.0_f64, 4.0), 5.0);
+        assert_eq!(Scalar::hypot(3.0_f32, 4.0), 5.0);
+        // Naive sqrt(a²+b²) would overflow here; hypot must not.
+        assert!(Scalar::hypot(1e300_f64, 1e300).is_finite());
+        assert!(Scalar::hypot(1e30_f32, 1e30).is_finite());
     }
 }

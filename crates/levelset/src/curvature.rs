@@ -1,6 +1,6 @@
 //! Mean curvature of level-set contours.
 
-use lsopc_grid::Grid;
+use lsopc_grid::{Grid, Scalar};
 
 /// Mean curvature `κ = div(∇ψ/|∇ψ|)` of the level sets of `ψ`, computed
 /// with central differences and clamped to `±1/px`.
@@ -13,7 +13,7 @@ use lsopc_grid::Grid;
 /// # Example
 ///
 /// ```
-/// use lsopc_grid::Grid;
+/// use lsopc_grid::{Grid, Scalar};
 /// use lsopc_levelset::curvature;
 ///
 /// // The signed distance of a disc of radius 8: the contour through a
@@ -24,26 +24,31 @@ use lsopc_grid::Grid;
 /// });
 /// assert!((curvature(&psi)[(24, 16)] - 1.0 / 8.0).abs() < 0.01);
 /// ```
-pub fn curvature(psi: &Grid<f64>) -> Grid<f64> {
+pub fn curvature<T: Scalar>(psi: &Grid<T>) -> Grid<T> {
     let (w, h) = psi.dims();
     let at = |x: i64, y: i64| {
         let xc = x.clamp(0, w as i64 - 1) as usize;
         let yc = y.clamp(0, h as i64 - 1) as usize;
         psi[(xc, yc)]
     };
+    let two = T::from_f64(2.0);
+    let four = T::from_f64(4.0);
+    let tiny = T::from_f64(1e-12);
+    let exp = T::from_f64(1.5);
     Grid::from_fn(w, h, |xu, yu| {
         let (x, y) = (xu as i64, yu as i64);
-        let px = (at(x + 1, y) - at(x - 1, y)) / 2.0;
-        let py = (at(x, y + 1) - at(x, y - 1)) / 2.0;
-        let pxx = at(x + 1, y) - 2.0 * at(x, y) + at(x - 1, y);
-        let pyy = at(x, y + 1) - 2.0 * at(x, y) + at(x, y - 1);
-        let pxy = (at(x + 1, y + 1) - at(x + 1, y - 1) - at(x - 1, y + 1) + at(x - 1, y - 1)) / 4.0;
+        let px = (at(x + 1, y) - at(x - 1, y)) / two;
+        let py = (at(x, y + 1) - at(x, y - 1)) / two;
+        let pxx = at(x + 1, y) - two * at(x, y) + at(x - 1, y);
+        let pyy = at(x, y + 1) - two * at(x, y) + at(x, y - 1);
+        let pxy =
+            (at(x + 1, y + 1) - at(x + 1, y - 1) - at(x - 1, y + 1) + at(x - 1, y - 1)) / four;
         let g2 = px * px + py * py;
-        if g2 < 1e-12 {
-            return 0.0;
+        if g2 < tiny {
+            return T::ZERO;
         }
-        let kappa = (pxx * py * py - 2.0 * px * py * pxy + pyy * px * px) / g2.powf(1.5);
-        kappa.clamp(-1.0, 1.0)
+        let kappa = (pxx * py * py - two * px * py * pxy + pyy * px * px) / g2.powf(exp);
+        kappa.clamp(-T::ONE, T::ONE)
     })
 }
 

@@ -1,7 +1,7 @@
 //! Level-set evolution step, CFL time step and reinitialization.
 
 use crate::{mask_from_levelset, signed_distance};
-use lsopc_grid::Grid;
+use lsopc_grid::{Grid, Scalar};
 
 /// The paper's time-step rule `Δt = λ_t / max|v|` (Algorithm 1, line 5).
 ///
@@ -22,25 +22,27 @@ use lsopc_grid::Grid;
 /// # Example
 ///
 /// ```
-/// use lsopc_grid::Grid;
+/// use lsopc_grid::{Grid, Scalar};
 /// use lsopc_levelset::cfl_time_step;
 ///
 /// let v = Grid::from_vec(2, 1, vec![0.5, -2.0]);
 /// assert_eq!(cfl_time_step(&v, 1.0), 0.5);
 /// ```
-pub fn cfl_time_step(velocity: &Grid<f64>, lambda_t: f64) -> f64 {
+pub fn cfl_time_step<T: Scalar>(velocity: &Grid<T>, lambda_t: f64) -> f64 {
     assert!(lambda_t > 0.0, "lambda_t must be positive");
-    let mut vmax = 0.0f64;
+    let mut vmax = T::ZERO;
     for &v in velocity.as_slice() {
         if !v.is_finite() {
             return 0.0;
         }
         vmax = vmax.max(v.abs());
     }
-    if vmax == 0.0 {
+    if vmax == T::ZERO {
         0.0
     } else {
-        lambda_t / vmax
+        // Δt stays `f64` at every precision: it is optimizer control
+        // state, not field data (the master-state pattern).
+        lambda_t / vmax.to_f64()
     }
 }
 
@@ -49,8 +51,9 @@ pub fn cfl_time_step(velocity: &Grid<f64>, lambda_t: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if the grids differ in shape.
-pub fn evolve(psi: &mut Grid<f64>, velocity: &Grid<f64>, dt: f64) {
+pub fn evolve<T: Scalar>(psi: &mut Grid<T>, velocity: &Grid<T>, dt: f64) {
     assert_eq!(psi.dims(), velocity.dims(), "grid dimensions must match");
+    let dt = T::from_f64(dt);
     for (p, &v) in psi.as_mut_slice().iter_mut().zip(velocity.as_slice()) {
         *p += v * dt;
     }
@@ -63,7 +66,7 @@ pub fn evolve(psi: &mut Grid<f64>, velocity: &Grid<f64>, dt: f64) {
 /// Evolution distorts `|∇ψ|` away from 1, which degrades both the CFL
 /// estimate and the velocity extension; periodic reinitialization is
 /// standard practice in level-set methods.
-pub fn reinitialize(psi: &Grid<f64>) -> Grid<f64> {
+pub fn reinitialize<T: Scalar>(psi: &Grid<T>) -> Grid<T> {
     signed_distance(&mask_from_levelset(psi))
 }
 

@@ -1,6 +1,6 @@
 //! Gradient-magnitude schemes for level-set evolution.
 
-use lsopc_grid::Grid;
+use lsopc_grid::{Grid, Scalar};
 
 /// Central-difference |∇ψ| with one-sided differences at the borders.
 ///
@@ -11,7 +11,7 @@ use lsopc_grid::Grid;
 /// # Example
 ///
 /// ```
-/// use lsopc_grid::Grid;
+/// use lsopc_grid::{Grid, Scalar};
 /// use lsopc_levelset::gradient_magnitude;
 ///
 /// // ψ = x: a unit-slope ramp has |∇ψ| = 1 everywhere.
@@ -19,7 +19,7 @@ use lsopc_grid::Grid;
 /// let g = gradient_magnitude(&psi);
 /// assert!(g.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-12));
 /// ```
-pub fn gradient_magnitude(psi: &Grid<f64>) -> Grid<f64> {
+pub fn gradient_magnitude<T: Scalar>(psi: &Grid<T>) -> Grid<T> {
     let (w, h) = psi.dims();
     Grid::from_fn(w, h, |x, y| {
         let dx = diff_central(psi, x, y, true);
@@ -40,7 +40,7 @@ pub fn gradient_magnitude(psi: &Grid<f64>) -> Grid<f64> {
 /// # Panics
 ///
 /// Panics if the two grids have different dimensions.
-pub fn godunov_gradient(psi: &Grid<f64>, speed: &Grid<f64>) -> Grid<f64> {
+pub fn godunov_gradient<T: Scalar>(psi: &Grid<T>, speed: &Grid<T>) -> Grid<T> {
     assert_eq!(psi.dims(), speed.dims(), "grid dimensions must match");
     let (w, h) = psi.dims();
     Grid::from_fn(w, h, |x, y| {
@@ -49,59 +49,70 @@ pub fn godunov_gradient(psi: &Grid<f64>, speed: &Grid<f64>) -> Grid<f64> {
         let dym = diff_backward(psi, x, y, false);
         let dyp = diff_forward(psi, x, y, false);
         let s = speed[(x, y)];
-        let (a, b, c, d) = if s > 0.0 {
-            (dxm.max(0.0), dxp.min(0.0), dym.max(0.0), dyp.min(0.0))
+        let (a, b, c, d) = if s > T::ZERO {
+            (
+                dxm.max(T::ZERO),
+                dxp.min(T::ZERO),
+                dym.max(T::ZERO),
+                dyp.min(T::ZERO),
+            )
         } else {
-            (dxm.min(0.0), dxp.max(0.0), dym.min(0.0), dyp.max(0.0))
+            (
+                dxm.min(T::ZERO),
+                dxp.max(T::ZERO),
+                dym.min(T::ZERO),
+                dyp.max(T::ZERO),
+            )
         };
         (a * a + b * b + c * c + d * d).sqrt()
     })
 }
 
 #[inline]
-fn diff_central(psi: &Grid<f64>, x: usize, y: usize, along_x: bool) -> f64 {
+fn diff_central<T: Scalar>(psi: &Grid<T>, x: usize, y: usize, along_x: bool) -> T {
     let (w, h) = psi.dims();
+    let two = T::from_f64(2.0);
     if along_x {
         match x {
             0 => psi[(1, y)] - psi[(0, y)],
             _ if x == w - 1 => psi[(w - 1, y)] - psi[(w - 2, y)],
-            _ => (psi[(x + 1, y)] - psi[(x - 1, y)]) / 2.0,
+            _ => (psi[(x + 1, y)] - psi[(x - 1, y)]) / two,
         }
     } else {
         match y {
             0 => psi[(x, 1)] - psi[(x, 0)],
             _ if y == h - 1 => psi[(x, h - 1)] - psi[(x, h - 2)],
-            _ => (psi[(x, y + 1)] - psi[(x, y - 1)]) / 2.0,
+            _ => (psi[(x, y + 1)] - psi[(x, y - 1)]) / two,
         }
     }
 }
 
 #[inline]
-fn diff_backward(psi: &Grid<f64>, x: usize, y: usize, along_x: bool) -> f64 {
+fn diff_backward<T: Scalar>(psi: &Grid<T>, x: usize, y: usize, along_x: bool) -> T {
     if along_x {
         if x == 0 {
-            0.0
+            T::ZERO
         } else {
             psi[(x, y)] - psi[(x - 1, y)]
         }
     } else if y == 0 {
-        0.0
+        T::ZERO
     } else {
         psi[(x, y)] - psi[(x, y - 1)]
     }
 }
 
 #[inline]
-fn diff_forward(psi: &Grid<f64>, x: usize, y: usize, along_x: bool) -> f64 {
+fn diff_forward<T: Scalar>(psi: &Grid<T>, x: usize, y: usize, along_x: bool) -> T {
     let (w, h) = psi.dims();
     if along_x {
         if x == w - 1 {
-            0.0
+            T::ZERO
         } else {
             psi[(x + 1, y)] - psi[(x, y)]
         }
     } else if y == h - 1 {
-        0.0
+        T::ZERO
     } else {
         psi[(x, y + 1)] - psi[(x, y)]
     }

@@ -8,7 +8,7 @@
 //! keeps far-field ψ values frozen, which avoids spurious far-away
 //! islands appearing between reinitializations.
 
-use lsopc_grid::Grid;
+use lsopc_grid::{Grid, Scalar};
 
 /// The set of grid cells within `width` pixels of the zero contour.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,7 +29,7 @@ impl NarrowBand {
     /// # Example
     ///
     /// ```
-    /// use lsopc_grid::Grid;
+    /// use lsopc_grid::{Grid, Scalar};
     /// use lsopc_levelset::{signed_distance, NarrowBand};
     ///
     /// let mask = Grid::from_fn(32, 32, |x, y| {
@@ -40,13 +40,14 @@ impl NarrowBand {
     /// assert!(band.len() > 0);
     /// assert!(band.len() < psi.len()); // a band, not the whole grid
     /// ```
-    pub fn extract(psi: &Grid<f64>, width: f64) -> Self {
+    pub fn extract<T: Scalar>(psi: &Grid<T>, width: f64) -> Self {
         assert!(width > 0.0, "band width must be positive");
+        let width_t = T::from_f64(width);
         let indices = psi
             .as_slice()
             .iter()
             .enumerate()
-            .filter(|(_, &v)| v.abs() <= width)
+            .filter(|(_, &v)| v.abs() <= width_t)
             .map(|(i, _)| i as u32)
             .collect();
         Self { width, indices }
@@ -79,7 +80,7 @@ impl NarrowBand {
     ///
     /// Panics if the velocity grid size differs from the ψ the band was
     /// extracted from.
-    pub fn mask_velocity(&self, velocity: &mut Grid<f64>) {
+    pub fn mask_velocity<T: Scalar>(&self, velocity: &mut Grid<T>) {
         let slice = velocity.as_mut_slice();
         // Walk both the sorted band indices and the slice once.
         let mut band_iter = self.indices.iter().peekable();
@@ -88,7 +89,7 @@ impl NarrowBand {
                 Some(&&next) if next as usize == i => {
                     band_iter.next();
                 }
-                _ => *v = 0.0,
+                _ => *v = T::ZERO,
             }
         }
         assert!(

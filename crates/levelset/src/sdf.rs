@@ -1,6 +1,6 @@
 //! Exact Euclidean signed distance transform.
 
-use lsopc_grid::Grid;
+use lsopc_grid::{Grid, Scalar};
 
 const INF: f64 = 1e20;
 
@@ -51,9 +51,9 @@ fn dt1d(f: &[f64], out: &mut [f64], v: &mut [usize], z: &mut [f64]) {
 fn edt_sq(feature: impl Fn(usize, usize) -> bool, w: usize, h: usize) -> Grid<f64> {
     let n = w.max(h);
     let mut v = vec![0usize; n];
-    let mut z = vec![0.0f64; n + 1];
-    let mut buf_in = vec![0.0f64; n];
-    let mut buf_out = vec![0.0f64; n];
+    let mut z = vec![0.0f64; n + 1]; // allow-f64: EDT internals (DESIGN.md §11)
+    let mut buf_in = vec![0.0f64; n]; // allow-f64: EDT internals (DESIGN.md §11)
+    let mut buf_out = vec![0.0f64; n]; // allow-f64: EDT internals (DESIGN.md §11)
 
     // Column pass first: distance along y to the nearest feature cell.
     let mut stage = Grid::new(w, h, INF);
@@ -87,7 +87,7 @@ fn edt_sq(feature: impl Fn(usize, usize) -> bool, w: usize, h: usize) -> Grid<f6
 /// # Example
 ///
 /// ```
-/// use lsopc_grid::Grid;
+/// use lsopc_grid::{Grid, Scalar};
 /// use lsopc_levelset::signed_distance;
 ///
 /// let mask = Grid::from_fn(8, 8, |x, _| if x >= 4 { 1.0 } else { 0.0 });
@@ -96,25 +96,30 @@ fn edt_sq(feature: impl Fn(usize, usize) -> bool, w: usize, h: usize) -> Grid<f6
 /// assert_eq!(psi[(4, 4)], -0.5);  // first inside column
 /// assert_eq!(psi[(0, 4)], 3.5);
 /// ```
-pub fn signed_distance(mask: &Grid<f64>) -> Grid<f64> {
+/// At any scalar precision `T` the transform itself runs in `f64` — the
+/// parabolic-envelope intersections are the numerically delicate part and
+/// the pass is cheap next to the FFT work — and each distance is rounded
+/// to `T` once on output. At `T = f64` that is the identity.
+pub fn signed_distance<T: Scalar>(mask: &Grid<T>) -> Grid<T> {
     let (w, h) = mask.dims();
     let clamp = (w + h) as f64;
-    let inside = |x: usize, y: usize| mask[(x, y)] >= 0.5;
+    let half = T::from_f64(0.5);
+    let inside = |x: usize, y: usize| mask[(x, y)] >= half;
     let d_to_inside = edt_sq(inside, w, h);
     let d_to_outside = edt_sq(|x, y| !inside(x, y), w, h);
     Grid::from_fn(w, h, |x, y| {
         if inside(x, y) {
-            -(d_to_outside[(x, y)].sqrt() - 0.5).min(clamp)
+            T::from_f64(-(d_to_outside[(x, y)].sqrt() - 0.5).min(clamp))
         } else {
-            (d_to_inside[(x, y)].sqrt() - 0.5).min(clamp)
+            T::from_f64((d_to_inside[(x, y)].sqrt() - 0.5).min(clamp))
         }
     })
 }
 
 /// Thresholds a level-set function back into a binary mask: `ψ <= 0` is
 /// inside (paper Eq. (6)).
-pub fn mask_from_levelset(psi: &Grid<f64>) -> Grid<f64> {
-    psi.map(|&v| if v <= 0.0 { 1.0 } else { 0.0 })
+pub fn mask_from_levelset<T: Scalar>(psi: &Grid<T>) -> Grid<T> {
+    psi.map(|&v| if v <= T::ZERO { T::ONE } else { T::ZERO })
 }
 
 #[cfg(test)]

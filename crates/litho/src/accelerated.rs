@@ -30,7 +30,7 @@
 
 use crate::backend::{fold_kernel_grids, SimBackend};
 use lsopc_fft::wrap_index;
-use lsopc_grid::{Grid, C64};
+use lsopc_grid::{Complex, Grid, Scalar};
 use lsopc_optics::KernelSet;
 use lsopc_parallel::ParallelContext;
 
@@ -117,7 +117,7 @@ impl Default for AcceleratedBackend {
 
 /// Extracts the centred `size x size` window of a full DFT-layout spectrum
 /// (offset 0 at the window centre).
-fn centered_window(full: &Grid<C64>, size: usize) -> Grid<C64> {
+fn centered_window<T: Scalar>(full: &Grid<Complex<T>>, size: usize) -> Grid<Complex<T>> {
     let (w, h) = full.dims();
     let c = (size / 2) as i64;
     Grid::from_fn(size, size, |i, j| {
@@ -126,22 +126,22 @@ fn centered_window(full: &Grid<C64>, size: usize) -> Grid<C64> {
 }
 
 /// Embeds a centred window into an `w x h` DFT-layout spectrum.
-fn embed_window(window: &Grid<C64>, w: usize, h: usize) -> Grid<C64> {
+fn embed_window<T: Scalar>(window: &Grid<Complex<T>>, w: usize, h: usize) -> Grid<Complex<T>> {
     let size = window.width();
     let c = (size / 2) as i64;
-    let mut full = Grid::new(w, h, C64::ZERO);
+    let mut full = Grid::new(w, h, Complex::<T>::ZERO);
     for (i, j, &v) in window.iter_coords() {
         full[(wrap_index(i as i64 - c, w), wrap_index(j as i64 - c, h))] = v;
     }
     full
 }
 
-impl SimBackend for AcceleratedBackend {
+impl<T: Scalar> SimBackend<T> for AcceleratedBackend {
     fn name(&self) -> &'static str {
         "accelerated"
     }
 
-    fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
+    fn aerial_image(&self, kernels: &KernelSet<T>, mask: &Grid<T>) -> Grid<T> {
         let (w, h) = mask.dims();
         let s = kernels.support();
         assert!(
@@ -149,8 +149,8 @@ impl SimBackend for AcceleratedBackend {
             "grid {w}x{h} too small for kernel support {s}"
         );
         let nc = Self::coarse_size(s, w.min(h));
-        let fft_full = lsopc_fft::plan(w, h);
-        let fft_coarse = lsopc_fft::plan(nc, nc);
+        let fft_full = lsopc_fft::plan_t::<T>(w, h);
+        let fft_coarse = lsopc_fft::plan_t::<T>(nc, nc);
 
         // One full-size forward FFT, then only the band matters.
         let mhat = fft_full.forward_real(mask);
@@ -158,15 +158,15 @@ impl SimBackend for AcceleratedBackend {
 
         // Per-kernel coarse fields; e at full-grid sample points equals the
         // coarse IFFT scaled by nc²/(w·h).
-        let scale = (nc * nc) as f64 / (w * h) as f64;
+        let scale = T::from_f64((nc * nc) as f64 / (w * h) as f64);
         let c = (s / 2) as i64;
-        let empty = Grid::new(nc, nc, 0.0);
-        let accumulate = |range: std::ops::Range<usize>, partial: &mut Grid<f64>| {
+        let empty = Grid::new(nc, nc, T::ZERO);
+        let accumulate = |range: std::ops::Range<usize>, partial: &mut Grid<T>| {
             for k in range {
                 let window = kernels.spectrum(k);
-                let mut ehat = Grid::new(nc, nc, C64::ZERO);
+                let mut ehat = Grid::new(nc, nc, Complex::<T>::ZERO);
                 for (i, j, &sv) in window.iter_coords() {
-                    if sv == C64::ZERO {
+                    if sv == Complex::<T>::ZERO {
                         continue;
                     }
                     let fx = wrap_index(i as i64 - c, nc);
@@ -183,11 +183,11 @@ impl SimBackend for AcceleratedBackend {
         let coarse_intensity = fold_kernel_grids(&self.ctx, kernels.len(), &empty, accumulate);
 
         // Exact spectral upsampling: I is band-limited to 2S−1 < nc.
-        let mut ihat_c = coarse_intensity.map(|&v| C64::from_real(v));
+        let mut ihat_c = coarse_intensity.map(|&v| Complex::from_real(v));
         fft_coarse.forward(&mut ihat_c);
         let window = centered_window(&ihat_c, nc.min(2 * s - 1));
         let mut full = embed_window(&window, w, h);
-        let up = (w * h) as f64 / (nc * nc) as f64;
+        let up = T::from_f64((w * h) as f64 / (nc * nc) as f64);
         for v in full.as_mut_slice() {
             *v = v.scale(up);
         }
@@ -195,7 +195,7 @@ impl SimBackend for AcceleratedBackend {
         full.map(|v| v.re)
     }
 
-    fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
+    fn gradient(&self, kernels: &KernelSet<T>, mask: &Grid<T>, z: &Grid<T>) -> Grid<T> {
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
         let s = kernels.support();
@@ -204,7 +204,7 @@ impl SimBackend for AcceleratedBackend {
             "grid {w}x{h} too small for doubled band {}",
             2 * s - 1
         );
-        let fft_full = lsopc_fft::plan(w, h);
+        let fft_full = lsopc_fft::plan_t::<T>(w, h);
 
         // Two full-size forward FFTs: the mask and the sensitivity field.
         let mhat = fft_full.forward_real(mask);
@@ -215,30 +215,30 @@ impl SimBackend for AcceleratedBackend {
         let z_big = centered_window(&zhat, big);
         let cb = (big / 2) as i64;
         let c = (s / 2) as i64;
-        let inv_wh = 1.0 / (w * h) as f64;
+        let inv_wh = T::from_f64(1.0 / (w * h) as f64);
 
         // Per kernel: X̂(κ) = (1/WH)·Σ_ν ê_k(ν)·Ẑ(κ−ν) on the S-window,
         // then acc(κ) += μ_k·conj(Ŝ_k(κ))·X̂(κ).
-        let empty = Grid::new(s, s, C64::ZERO);
-        let accumulate = |range: std::ops::Range<usize>, acc: &mut Grid<C64>| {
+        let empty = Grid::new(s, s, Complex::<T>::ZERO);
+        let accumulate = |range: std::ops::Range<usize>, acc: &mut Grid<Complex<T>>| {
             for k in range {
                 let window = kernels.spectrum(k);
                 // Sparse list of the kernel's non-zero band samples.
-                let mut ehat: Vec<(i64, i64, C64)> = Vec::new();
+                let mut ehat: Vec<(i64, i64, Complex<T>)> = Vec::new();
                 for (i, j, &sv) in window.iter_coords() {
-                    if sv == C64::ZERO {
+                    if sv == Complex::<T>::ZERO {
                         continue;
                     }
                     ehat.push((i as i64 - c, j as i64 - c, sv * m_window[(i, j)]));
                 }
                 let wk = kernels.weight(k);
                 for (i, j, &sk) in window.iter_coords() {
-                    if sk == C64::ZERO {
+                    if sk == Complex::<T>::ZERO {
                         continue;
                     }
                     let kx = i as i64 - c;
                     let ky = j as i64 - c;
-                    let mut x = C64::ZERO;
+                    let mut x = Complex::<T>::ZERO;
                     for &(nx, ny, ev) in &ehat {
                         let zx = (kx - nx + cb) as usize;
                         let zy = (ky - ny + cb) as usize;
@@ -253,7 +253,8 @@ impl SimBackend for AcceleratedBackend {
         // One full-size inverse FFT finishes the pass.
         let mut full = embed_window(&acc_window, w, h);
         fft_full.inverse(&mut full);
-        full.map(|v| 2.0 * v.re)
+        let two = T::from_f64(2.0);
+        full.map(|v| two * v.re)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Simulation backends: the pluggable convolution engines.
 
 use crate::spectra::{EmbeddedSpectra, SpectrumCache};
-use lsopc_grid::{Grid, C64};
+use lsopc_grid::{Complex, Grid, Scalar};
 use lsopc_optics::KernelSet;
 use lsopc_parallel::ParallelContext;
 use std::ops::Range;
@@ -42,8 +42,12 @@ where
 }
 
 /// `dst += wk · |field|²` — the aerial-image accumulation shared by the
-/// reference and FFT backends.
-pub(crate) fn add_weighted_intensity(dst: &mut Grid<f64>, field: &Grid<C64>, wk: f64) {
+/// reference and FFT backends, at any scalar precision.
+pub(crate) fn add_weighted_intensity<T: Scalar>(
+    dst: &mut Grid<T>,
+    field: &Grid<Complex<T>>,
+    wk: T,
+) {
     for (d, e) in dst.as_mut_slice().iter_mut().zip(field.as_slice()) {
         *d += wk * e.norm_sqr();
     }
@@ -58,7 +62,12 @@ pub(crate) fn add_weighted_intensity(dst: &mut Grid<f64>, field: &Grid<C64>, wk:
 /// * [`FftBackend`] — per-kernel FFT convolution (the paper's CPU path);
 /// * [`crate::AcceleratedBackend`] — band-limit-aware batched path (the
 ///   paper's GPU path, reproduced on CPU).
-pub trait SimBackend: Send + Sync + std::fmt::Debug {
+///
+/// The trait is generic over the scalar precision `T` the convolutions
+/// run at (`f64` default). A backend may implement it at several
+/// precisions; [`crate::MixedBackend`] implements `SimBackend<f64>`
+/// while computing its transforms in f32 internally.
+pub trait SimBackend<T: Scalar = f64>: Send + Sync + std::fmt::Debug {
     /// Human-readable backend name for reports.
     fn name(&self) -> &'static str;
 
@@ -68,7 +77,7 @@ pub trait SimBackend: Send + Sync + std::fmt::Debug {
     ///
     /// Implementations panic if the mask dimensions are not powers of two
     /// or are too small for the kernel band.
-    fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64>;
+    fn aerial_image(&self, kernels: &KernelSet<T>, mask: &Grid<T>) -> Grid<T>;
 
     /// The adjoint (gradient) map of the aerial image: given the
     /// sensitivity field `z = ∂L/∂I`, returns
@@ -84,7 +93,7 @@ pub trait SimBackend: Send + Sync + std::fmt::Debug {
     ///
     /// Implementations panic if `mask` and `z` dimensions differ or are
     /// unsupported.
-    fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64>;
+    fn gradient(&self, kernels: &KernelSet<T>, mask: &Grid<T>, z: &Grid<T>) -> Grid<T>;
 }
 
 /// Direct spatial-domain convolution, O(N⁴) per kernel.
@@ -101,14 +110,14 @@ impl ReferenceBackend {
     }
 }
 
-impl SimBackend for ReferenceBackend {
+impl<T: Scalar> SimBackend<T> for ReferenceBackend {
     fn name(&self) -> &'static str {
         "reference"
     }
 
-    fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
+    fn aerial_image(&self, kernels: &KernelSet<T>, mask: &Grid<T>) -> Grid<T> {
         let (w, h) = mask.dims();
-        let empty = Grid::new(w, h, 0.0);
+        let empty = Grid::new(w, h, T::ZERO);
         fold_kernel_grids(
             ParallelContext::global(),
             kernels.len(),
@@ -123,10 +132,11 @@ impl SimBackend for ReferenceBackend {
         )
     }
 
-    fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
+    fn gradient(&self, kernels: &KernelSet<T>, mask: &Grid<T>, z: &Grid<T>) -> Grid<T> {
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
-        let empty = Grid::new(w, h, 0.0);
+        let empty = Grid::new(w, h, T::ZERO);
+        let two = T::from_f64(2.0);
         fold_kernel_grids(
             ParallelContext::global(),
             kernels.len(),
@@ -139,7 +149,7 @@ impl SimBackend for ReferenceBackend {
                     // G(u) += 2 μ_k Re{ Σ_x conj(h_k(x−u)) z(x) e_k(x) }.
                     for v in 0..h {
                         for u in 0..w {
-                            let mut acc = C64::ZERO;
+                            let mut acc = Complex::<T>::ZERO;
                             for y in 0..h {
                                 for x in 0..w {
                                     let hx = (x + w - u) % w;
@@ -147,7 +157,7 @@ impl SimBackend for ReferenceBackend {
                                     acc += hk[(hx, hy)].conj() * e[(x, y)].scale(z[(x, y)]);
                                 }
                             }
-                            grad[(u, v)] += 2.0 * wk * acc.re;
+                            grad[(u, v)] += two * wk * acc.re;
                         }
                     }
                 }
@@ -157,14 +167,14 @@ impl SimBackend for ReferenceBackend {
 }
 
 /// Cyclic convolution of a complex kernel with a real mask, direct sum.
-fn convolve_direct(kernel: &Grid<C64>, mask: &Grid<f64>) -> Grid<C64> {
+fn convolve_direct<T: Scalar>(kernel: &Grid<Complex<T>>, mask: &Grid<T>) -> Grid<Complex<T>> {
     let (w, h) = mask.dims();
     Grid::from_fn(w, h, |x, y| {
-        let mut acc = C64::ZERO;
+        let mut acc = Complex::<T>::ZERO;
         for v in 0..h {
             for u in 0..w {
                 let m = mask[(u, v)];
-                if m != 0.0 {
+                if m != T::ZERO {
                     let kx = (x + w - u) % w;
                     let ky = (y + h - v) % h;
                     acc += kernel[(kx, ky)].scale(m);
@@ -219,32 +229,32 @@ impl FftBackend {
 /// `field ← h_k ⊗ M` from the mask spectrum, via the band-limited inverse
 /// transform — the per-kernel field computation shared by the aerial and
 /// gradient passes.
-fn kernel_field_into(
-    fft: &lsopc_fft::Fft2d<f64>,
-    spectra: &EmbeddedSpectra,
+pub(crate) fn kernel_field_into<T: Scalar>(
+    fft: &lsopc_fft::Fft2d<T>,
+    spectra: &EmbeddedSpectra<T>,
     k: usize,
-    mhat: &Grid<C64>,
-    field: &mut Grid<C64>,
+    mhat: &Grid<Complex<T>>,
+    field: &mut Grid<Complex<T>>,
 ) {
     spectra.apply_window_into(k, mhat, field);
     fft.inverse_band(field, spectra.cols(k));
 }
 
-impl SimBackend for FftBackend {
+impl<T: Scalar> SimBackend<T> for FftBackend {
     fn name(&self) -> &'static str {
         "fft-cpu"
     }
 
-    fn aerial_image(&self, kernels: &KernelSet, mask: &Grid<f64>) -> Grid<f64> {
+    fn aerial_image(&self, kernels: &KernelSet<T>, mask: &Grid<T>) -> Grid<T> {
         let (w, h) = mask.dims();
-        let fft = lsopc_fft::plan(w, h);
+        let fft = lsopc_fft::plan_t::<T>(w, h);
         let spectra = SpectrumCache::global().embedded(kernels, w, h);
         let mhat = fft.forward_real(mask);
-        let empty = Grid::new(w, h, 0.0);
+        let empty = Grid::new(w, h, T::ZERO);
         fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, intensity| {
             // One scratch field reused across the chunk's kernels;
             // apply_window_into re-zeroes it each pass.
-            let mut field = Grid::new(w, h, C64::ZERO);
+            let mut field = Grid::new(w, h, Complex::<T>::ZERO);
             for k in range {
                 kernel_field_into(&fft, &spectra, k, &mhat, &mut field);
                 add_weighted_intensity(intensity, &field, kernels.weight(k));
@@ -252,15 +262,15 @@ impl SimBackend for FftBackend {
         })
     }
 
-    fn gradient(&self, kernels: &KernelSet, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
+    fn gradient(&self, kernels: &KernelSet<T>, mask: &Grid<T>, z: &Grid<T>) -> Grid<T> {
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
-        let fft = lsopc_fft::plan(w, h);
+        let fft = lsopc_fft::plan_t::<T>(w, h);
         let spectra = SpectrumCache::global().embedded(kernels, w, h);
         let mhat = fft.forward_real(mask);
-        let empty: Grid<C64> = Grid::new(w, h, C64::ZERO);
+        let empty: Grid<Complex<T>> = Grid::new(w, h, Complex::<T>::ZERO);
         let mut acc = fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, acc| {
-            let mut field = Grid::new(w, h, C64::ZERO);
+            let mut field = Grid::new(w, h, Complex::<T>::ZERO);
             for k in range {
                 // e_k = h_k ⊗ M.
                 kernel_field_into(&fft, &spectra, k, &mhat, &mut field);
@@ -274,7 +284,8 @@ impl SimBackend for FftBackend {
             }
         });
         fft.inverse_band_with(self.ctx(), &mut acc, spectra.all_cols());
-        acc.map(|v| 2.0 * v.re)
+        let two = T::from_f64(2.0);
+        acc.map(|v| two * v.re)
     }
 }
 
@@ -284,10 +295,14 @@ impl SimBackend for FftBackend {
 /// Builds the embedding uncached — for one-shot kernel sets (e.g. the
 /// fused kernel of [`crate::fused_aerial_image`]) whose ids would only
 /// churn the [`SpectrumCache`]. Hot paths use the cache directly.
-pub(crate) fn apply_kernel_window(kernels: &KernelSet, k: usize, mhat: &Grid<C64>) -> Grid<C64> {
+pub(crate) fn apply_kernel_window<T: Scalar>(
+    kernels: &KernelSet<T>,
+    k: usize,
+    mhat: &Grid<Complex<T>>,
+) -> Grid<Complex<T>> {
     let (w, h) = mhat.dims();
     let spectra = EmbeddedSpectra::new(kernels, w, h);
-    let mut out = Grid::new(w, h, C64::ZERO);
+    let mut out = Grid::new(w, h, Complex::<T>::ZERO);
     spectra.apply_window_into(k, mhat, &mut out);
     out
 }

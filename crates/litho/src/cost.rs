@@ -2,7 +2,7 @@
 //! (paper Eq. (7), (9), (11)–(14)).
 
 use crate::{LithoSimulator, ProcessCondition};
-use lsopc_grid::Grid;
+use lsopc_grid::{Grid, Scalar};
 use serde::{Deserialize, Serialize};
 
 /// Cost terms of one evaluation: `L = L_nom + w_pvb·L_pvb` (Eq. (13)).
@@ -59,12 +59,12 @@ impl CostReport {
 /// # Ok(())
 /// # }
 /// ```
-pub fn cost_and_gradient(
-    sim: &LithoSimulator,
-    mask: &Grid<f64>,
-    target: &Grid<f64>,
+pub fn cost_and_gradient<T: Scalar>(
+    sim: &LithoSimulator<T>,
+    mask: &Grid<T>,
+    target: &Grid<T>,
     w_pvb: f64,
-) -> (CostReport, Grid<f64>) {
+) -> (CostReport, Grid<T>) {
     assert!(w_pvb >= 0.0, "w_pvb must be non-negative");
     assert_eq!(
         mask.dims(),
@@ -78,7 +78,7 @@ pub fn cost_and_gradient(
         (corners.outer, w_pvb, false),
     ];
     let n = sim.grid_px();
-    let mut gradient = Grid::new(n, n, 0.0);
+    let mut gradient = Grid::new(n, n, T::ZERO);
     let mut report = CostReport {
         w_pvb,
         ..CostReport::default()
@@ -108,10 +108,10 @@ pub fn cost_and_gradient(
 /// # Panics
 ///
 /// Panics under the same conditions as [`cost_and_gradient`].
-pub fn cost_only(
-    sim: &LithoSimulator,
-    mask: &Grid<f64>,
-    target: &Grid<f64>,
+pub fn cost_only<T: Scalar>(
+    sim: &LithoSimulator<T>,
+    mask: &Grid<T>,
+    target: &Grid<T>,
     w_pvb: f64,
 ) -> CostReport {
     assert!(w_pvb >= 0.0, "w_pvb must be non-negative");
@@ -137,12 +137,15 @@ pub fn cost_only(
         let kernels = sim.kernels_for(condition.defocus_nm);
         let aerial = sim.backend().aerial_image(&kernels, mask);
         let printed = resist.print_soft(&aerial, condition.dose);
-        let cost: f64 = printed
+        // Accumulate the residual in `T` (at `f64` this is today's exact
+        // sum); the report itself always stores `f64`.
+        let cost = printed
             .as_slice()
             .iter()
             .zip(target.as_slice())
-            .map(|(r, t)| (r - t) * (r - t))
-            .sum();
+            .map(|(&r, &t)| (r - t) * (r - t))
+            .sum::<T>()
+            .to_f64();
         if is_nominal {
             report.nominal = cost;
         } else {
@@ -163,13 +166,13 @@ pub fn cost_only(
 ///
 /// Panics if `mask` and `target` dimensions differ or do not match the
 /// simulator, or if `weight` is not positive.
-pub fn corner_cost_and_gradient(
-    sim: &LithoSimulator,
-    mask: &Grid<f64>,
-    target: &Grid<f64>,
+pub fn corner_cost_and_gradient<T: Scalar>(
+    sim: &LithoSimulator<T>,
+    mask: &Grid<T>,
+    target: &Grid<T>,
     condition: ProcessCondition,
     weight: f64,
-) -> (f64, Grid<f64>) {
+) -> (f64, Grid<T>) {
     assert!(weight > 0.0, "weight must be positive");
     assert_eq!(
         mask.dims(),
@@ -180,16 +183,18 @@ pub fn corner_cost_and_gradient(
     let kernels = sim.kernels_for(condition.defocus_nm);
     let aerial = sim.backend().aerial_image(&kernels, mask);
     let printed = resist.print_soft(&aerial, condition.dose);
-    let cost: f64 = weight
+    let cost = weight
         * printed
             .as_slice()
             .iter()
             .zip(target.as_slice())
-            .map(|(r, t)| (r - t) * (r - t))
-            .sum::<f64>();
+            .map(|(&r, &t)| (r - t) * (r - t))
+            .sum::<T>()
+            .to_f64();
     // z = ∂(w·‖R − R*‖²)/∂I = 2w·(R − R*)·dR/dI.
+    let two_w = T::from_f64(2.0 * weight);
     let z = printed.zip_map(target, |&r, &t| {
-        2.0 * weight * (r - t) * resist.soft_derivative(r, condition.dose)
+        two_w * (r - t) * resist.soft_derivative_t(r, condition.dose)
     });
     let gradient = sim.backend().gradient(&kernels, mask, &z);
     (cost, gradient)

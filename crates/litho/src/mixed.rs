@@ -1,0 +1,262 @@
+//! Mixed-precision simulation backend: f32 transforms, f64 accumulation.
+//!
+//! The expensive part of every forward/adjoint pass is the FFT work and
+//! the per-kernel band windows — all streaming, round-off-tolerant
+//! arithmetic that f32 handles at half the memory traffic. The numerically
+//! delicate part is the *reduction over kernels*: summing K weighted
+//! intensities (or adjoint spectra) loses significance when the partial
+//! sums are themselves rounded to f32. [`MixedBackend`] splits the pass
+//! accordingly, following the master-weights pattern of mixed-precision
+//! training:
+//!
+//! * per-kernel fields are computed entirely in f32 (f32 FFT plans, f32
+//!   embedded spectra from the shared caches — both keyed by scalar type,
+//!   so nothing aliases the f64 entries);
+//! * every weighted accumulation across kernels happens in f64, using the
+//!   *original* f64 kernel weights (the "master weights") — each f32
+//!   sample is widened exactly, multiplied by the f64 weight and summed
+//!   in f64;
+//! * the gradient's single full-size inverse FFT runs at f64 on the
+//!   f64-accumulated spectrum, so the finishing transform adds no f32
+//!   round-off on top of the band arithmetic.
+//!
+//! The backend implements [`SimBackend<f64>`]: callers hand it f64 masks
+//! and get f64 results, and the optimizer state above it stays f64
+//! throughout. Accuracy sits between the pure-f32 and pure-f64 paths (see
+//! `DESIGN.md` §11); throughput tracks the f32 path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::backend::{fold_kernel_grids, kernel_field_into, SimBackend};
+use crate::spectra::SpectrumCache;
+use lsopc_grid::{Complex, Grid, C64};
+use lsopc_optics::KernelSet;
+use lsopc_parallel::ParallelContext;
+use parking_lot::RwLock;
+
+/// Largest number of distinct kernel sets whose f32 casts are kept.
+/// Mirrors the spectrum cache's policy: ids are never reused, so
+/// long-running sweeps would otherwise grow the map without bound, and
+/// re-casting is cheap (one pass over K·S² values).
+const CAST_CACHE_CAPACITY: usize = 16;
+
+/// Mixed-precision backend: f32 convolutions and spectra with f64
+/// weighted accumulation and an f64 finishing transform on the adjoint.
+///
+/// Implements [`SimBackend<f64>`] — drop it into an f64
+/// [`LithoSimulator`](crate::LithoSimulator) (or use
+/// [`LithoSimulator::with_mixed_backend`](crate::LithoSimulator::with_mixed_backend))
+/// and the optimizer above keeps its f64 state while the transform-heavy
+/// inner loops run at f32.
+///
+/// # Example
+///
+/// ```
+/// use lsopc_litho::{FftBackend, MixedBackend, SimBackend};
+/// use lsopc_grid::Grid;
+/// use lsopc_optics::OpticsConfig;
+///
+/// let kernels = OpticsConfig::iccad2013()
+///     .with_field_nm(256.0)
+///     .with_kernel_count(4)
+///     .kernels(0.0);
+/// let mask = Grid::from_fn(64, 64, |x, y| if x > 20 && y > 30 { 1.0 } else { 0.0 });
+/// let mixed = MixedBackend::new().aerial_image(&kernels, &mask);
+/// let exact = FftBackend::new().aerial_image(&kernels, &mask);
+/// let diff = mixed
+///     .as_slice()
+///     .iter()
+///     .zip(exact.as_slice())
+///     .map(|(a, b)| (a - b).abs())
+///     .fold(0.0, f64::max);
+/// assert!(diff < 1e-4, "f32 transforms stay near the f64 result");
+/// ```
+#[derive(Debug, Default)]
+pub struct MixedBackend {
+    /// `None` → [`ParallelContext::global`].
+    ctx: Option<ParallelContext>,
+    /// f32 casts of the f64 kernel sets seen so far, keyed by
+    /// [`KernelSet::id`] (sound: sets are immutable after construction).
+    casts: RwLock<HashMap<u64, Arc<KernelSet<f32>>>>,
+}
+
+impl MixedBackend {
+    /// Creates the backend on the process-global [`ParallelContext`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the backend on an explicit context (tests and thread-count
+    /// sweeps).
+    pub fn with_context(ctx: ParallelContext) -> Self {
+        Self {
+            ctx: Some(ctx),
+            casts: RwLock::default(),
+        }
+    }
+
+    fn ctx(&self) -> &ParallelContext {
+        self.ctx
+            .as_ref()
+            .unwrap_or_else(|| ParallelContext::global())
+    }
+
+    /// The f32 cast of `kernels`, cached per kernel-set id.
+    fn kernels32(&self, kernels: &KernelSet<f64>) -> Arc<KernelSet<f32>> {
+        let id = kernels.id();
+        if let Some(k32) = self.casts.read().get(&id) {
+            return Arc::clone(k32);
+        }
+        let mut casts = self.casts.write();
+        if !casts.contains_key(&id) && casts.len() >= CAST_CACHE_CAPACITY {
+            casts.clear();
+        }
+        casts
+            .entry(id)
+            .or_insert_with(|| Arc::new(kernels.cast::<f32>()))
+            .clone()
+    }
+}
+
+impl SimBackend<f64> for MixedBackend {
+    fn name(&self) -> &'static str {
+        "mixed"
+    }
+
+    fn aerial_image(&self, kernels: &KernelSet<f64>, mask: &Grid<f64>) -> Grid<f64> {
+        let (w, h) = mask.dims();
+        let kernels32 = self.kernels32(kernels);
+        let fft32 = lsopc_fft::plan_t::<f32>(w, h);
+        let spectra32 = SpectrumCache::global().embedded(&kernels32, w, h);
+        let mask32 = mask.map(|&v| v as f32);
+        let mhat = fft32.forward_real(&mask32);
+        let empty = Grid::new(w, h, 0.0_f64);
+        fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, intensity| {
+            let mut field = Grid::new(w, h, Complex::<f32>::ZERO);
+            for k in range {
+                kernel_field_into(&fft32, &spectra32, k, &mhat, &mut field);
+                // Master-weight accumulation: widen each f32 intensity
+                // sample exactly and sum with the f64 weight.
+                let wk = kernels.weight(k);
+                for (d, e) in intensity.as_mut_slice().iter_mut().zip(field.as_slice()) {
+                    *d += wk * f64::from(e.norm_sqr());
+                }
+            }
+        })
+    }
+
+    fn gradient(&self, kernels: &KernelSet<f64>, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
+        assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
+        let (w, h) = mask.dims();
+        let kernels32 = self.kernels32(kernels);
+        let fft32 = lsopc_fft::plan_t::<f32>(w, h);
+        let spectra32 = SpectrumCache::global().embedded(&kernels32, w, h);
+        let mask32 = mask.map(|&v| v as f32);
+        let z32 = z.map(|&v| v as f32);
+        let mhat = fft32.forward_real(&mask32);
+        let empty: Grid<C64> = Grid::new(w, h, C64::ZERO);
+        let mut acc = fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, acc| {
+            let mut field = Grid::new(w, h, Complex::<f32>::ZERO);
+            for k in range {
+                // e_k = h_k ⊗ M and Ŵ = FFT(z ⊙ e_k), both at f32.
+                kernel_field_into(&fft32, &spectra32, k, &mhat, &mut field);
+                for (fv, &zv) in field.as_mut_slice().iter_mut().zip(z32.as_slice()) {
+                    *fv = fv.scale(zv);
+                }
+                fft32.forward_band(&mut field, spectra32.cols(k));
+                // acc += μ_k · conj(Ŝ_k) ⊙ Ŵ, accumulated at f64 with the
+                // f64 master weight.
+                spectra32.accumulate_adjoint_upcast(k, &field, kernels.weight(k), acc);
+            }
+        });
+        // Finish with one full-size inverse FFT at f64 on the
+        // f64-accumulated band spectrum.
+        let fft64 = lsopc_fft::plan_t::<f64>(w, h);
+        fft64.inverse_band_with(self.ctx(), &mut acc, spectra32.all_cols());
+        acc.map(|v| 2.0 * v.re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FftBackend;
+    use lsopc_optics::OpticsConfig;
+
+    fn kernels(count: usize) -> KernelSet {
+        OpticsConfig::iccad2013()
+            .with_field_nm(512.0)
+            .with_kernel_count(count)
+            .kernels(0.0)
+    }
+
+    fn test_mask(n: usize) -> Grid<f64> {
+        Grid::from_fn(n, n, |x, y| {
+            if (n / 4..n / 2).contains(&x) && (n / 8..3 * n / 4).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn max_diff(a: &Grid<f64>, b: &Grid<f64>) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn aerial_tracks_f64_within_f32_tolerance() {
+        let ks = kernels(8);
+        let mask = test_mask(128);
+        let mixed = MixedBackend::new().aerial_image(&ks, &mask);
+        let exact = FftBackend::new().aerial_image(&ks, &mask);
+        let d = max_diff(&mixed, &exact);
+        assert!(d < 1e-4, "aerial diff {d}");
+        assert!(d > 0.0, "premise: the paths really differ in precision");
+    }
+
+    #[test]
+    fn gradient_tracks_f64_within_f32_tolerance() {
+        let ks = kernels(8);
+        let mask = test_mask(128);
+        let z = Grid::from_fn(128, 128, |x, y| {
+            0.02 * ((x as f64 * 0.21).sin() + (y as f64 * 0.13).cos())
+        });
+        let mixed = MixedBackend::new().gradient(&ks, &mask, &z);
+        let exact = FftBackend::new().gradient(&ks, &mask, &z);
+        let d = max_diff(&mixed, &exact);
+        assert!(d < 1e-5, "gradient diff {d}");
+    }
+
+    #[test]
+    fn threaded_results_are_identical_to_serial() {
+        let ks = kernels(9);
+        let mask = test_mask(64);
+        let serial = MixedBackend::with_context(lsopc_parallel::ParallelContext::new(1));
+        let threaded = MixedBackend::with_context(lsopc_parallel::ParallelContext::new(3));
+        assert_eq!(
+            serial.aerial_image(&ks, &mask).as_slice(),
+            threaded.aerial_image(&ks, &mask).as_slice(),
+        );
+        let z = Grid::from_fn(64, 64, |x, _| 0.01 * x as f64);
+        assert_eq!(
+            serial.gradient(&ks, &mask, &z).as_slice(),
+            threaded.gradient(&ks, &mask, &z).as_slice(),
+        );
+    }
+
+    #[test]
+    fn cast_cache_reuses_one_cast_per_kernel_set() {
+        let ks = kernels(4);
+        let backend = MixedBackend::new();
+        let a = backend.kernels32(&ks);
+        let b = backend.kernels32(&ks);
+        assert!(Arc::ptr_eq(&a, &b), "same set → same cached cast");
+        assert_eq!(a.id(), ks.id(), "cast preserves the id");
+    }
+}

@@ -1,6 +1,6 @@
 //! Photoresist models.
 
-use lsopc_grid::Grid;
+use lsopc_grid::{Grid, Scalar};
 use serde::{Deserialize, Serialize};
 
 /// The constant-threshold resist model with its sigmoid relaxation.
@@ -76,34 +76,56 @@ impl ResistModel {
     /// with the dose multiplier applied to the intensity.
     #[inline]
     pub fn develop(&self, intensity: f64, dose: f64) -> f64 {
-        if dose * intensity >= self.threshold {
-            1.0
-        } else {
-            0.0
-        }
+        self.develop_t(intensity, dose)
     }
 
     /// Sigmoid development of one intensity sample (Eq. (8)).
     #[inline]
     pub fn develop_soft(&self, intensity: f64, dose: f64) -> f64 {
-        1.0 / (1.0 + (-self.steepness * (dose * intensity - self.threshold)).exp())
+        self.develop_soft_t(intensity, dose)
+    }
+
+    /// [`ResistModel::develop`] at scalar precision `T` (the model
+    /// parameters are stored in `f64` and rounded into `T` per call; at
+    /// `T = f64` the rounding is the identity).
+    #[inline]
+    pub fn develop_t<T: Scalar>(&self, intensity: T, dose: f64) -> T {
+        if T::from_f64(dose) * intensity >= T::from_f64(self.threshold) {
+            T::ONE
+        } else {
+            T::ZERO
+        }
+    }
+
+    /// [`ResistModel::develop_soft`] at scalar precision `T`.
+    #[inline]
+    pub fn develop_soft_t<T: Scalar>(&self, intensity: T, dose: f64) -> T {
+        let s = T::from_f64(self.steepness);
+        let th = T::from_f64(self.threshold);
+        T::ONE / (T::ONE + (-(s * (T::from_f64(dose) * intensity - th))).exp())
     }
 
     /// Hard-threshold development of a whole aerial image.
-    pub fn print(&self, aerial: &Grid<f64>, dose: f64) -> Grid<f64> {
-        aerial.map(|&i| self.develop(i, dose))
+    pub fn print<T: Scalar>(&self, aerial: &Grid<T>, dose: f64) -> Grid<T> {
+        aerial.map(|&i| self.develop_t(i, dose))
     }
 
     /// Sigmoid development of a whole aerial image.
-    pub fn print_soft(&self, aerial: &Grid<f64>, dose: f64) -> Grid<f64> {
-        aerial.map(|&i| self.develop_soft(i, dose))
+    pub fn print_soft<T: Scalar>(&self, aerial: &Grid<T>, dose: f64) -> Grid<T> {
+        aerial.map(|&i| self.develop_soft_t(i, dose))
     }
 
     /// Derivative of the sigmoid output with respect to the (undosed)
     /// intensity: `dR/dI = s·dose·R·(1−R)`.
     #[inline]
     pub fn soft_derivative(&self, r: f64, dose: f64) -> f64 {
-        self.steepness * dose * r * (1.0 - r)
+        self.soft_derivative_t(r, dose)
+    }
+
+    /// [`ResistModel::soft_derivative`] at scalar precision `T`.
+    #[inline]
+    pub fn soft_derivative_t<T: Scalar>(&self, r: T, dose: f64) -> T {
+        T::from_f64(self.steepness) * T::from_f64(dose) * r * (T::ONE - r)
     }
 }
 

@@ -1,7 +1,7 @@
 //! The forward lithography simulator facade.
 
 use crate::{AcceleratedBackend, FftBackend, ResistModel, SimBackend};
-use lsopc_grid::Grid;
+use lsopc_grid::{Grid, Scalar};
 use lsopc_optics::{KernelSet, OpticsConfig, ProcessCondition, ProcessCorners};
 use lsopc_parallel::ParallelContext;
 use parking_lot::RwLock;
@@ -49,13 +49,13 @@ impl Error for BuildSimulatorError {}
 
 /// Hard-threshold prints at the three process corners.
 #[derive(Clone, Debug, PartialEq)]
-pub struct PrintedCorners {
+pub struct PrintedCorners<T: Scalar = f64> {
     /// Print at the nominal condition.
-    pub nominal: Grid<f64>,
+    pub nominal: Grid<T>,
     /// Innermost print (defocused, under-dosed).
-    pub inner: Grid<f64>,
+    pub inner: Grid<T>,
     /// Outermost print (in focus, over-dosed).
-    pub outer: Grid<f64>,
+    pub outer: Grid<T>,
 }
 
 /// Forward lithography simulator: optics + resist + backend + corners.
@@ -63,6 +63,12 @@ pub struct PrintedCorners {
 /// Kernel sets are generated lazily per defocus value and cached, so
 /// repeated simulation at the three process corners only pays kernel
 /// generation once per corner.
+///
+/// The simulator is generic over the scalar precision `T` its forward
+/// and adjoint passes run at (`f64` default; select `f32` with
+/// `LithoSimulator::<f32>::from_optics`). Kernel generation always runs
+/// in `f64` and is cast once at construction of each cached set — see
+/// [`OpticsConfig::kernels_t`](lsopc_optics::OpticsConfig::kernels_t).
 ///
 /// # Example
 ///
@@ -72,7 +78,7 @@ pub struct PrintedCorners {
 /// use lsopc_litho::{LithoSimulator, ProcessCondition};
 /// use lsopc_optics::OpticsConfig;
 ///
-/// let sim = LithoSimulator::from_optics(
+/// let sim = LithoSimulator::<f64>::from_optics(
 ///     &OpticsConfig::iccad2013().with_kernel_count(4),
 ///     64,
 ///     4.0,
@@ -85,14 +91,14 @@ pub struct PrintedCorners {
 /// # Ok(())
 /// # }
 /// ```
-pub struct LithoSimulator {
+pub struct LithoSimulator<T: Scalar = f64> {
     optics: OpticsConfig,
     grid_px: usize,
     pixel_nm: f64,
     resist: ResistModel,
     corners: ProcessCorners,
-    backend: Box<dyn SimBackend>,
-    kernel_cache: RwLock<HashMap<i64, Arc<KernelSet>>>,
+    backend: Box<dyn SimBackend<T>>,
+    kernel_cache: RwLock<HashMap<i64, Arc<KernelSet<T>>>>,
     #[cfg(feature = "fault-injection")]
     fault: Option<FaultHook>,
 }
@@ -105,7 +111,7 @@ struct FaultHook {
     calls: std::sync::atomic::AtomicUsize,
 }
 
-impl fmt::Debug for LithoSimulator {
+impl<T: Scalar> fmt::Debug for LithoSimulator<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LithoSimulator")
             .field("grid_px", &self.grid_px)
@@ -116,7 +122,7 @@ impl fmt::Debug for LithoSimulator {
     }
 }
 
-impl LithoSimulator {
+impl<T: Scalar> LithoSimulator<T> {
     /// Builds a simulator over a `grid_px x grid_px` field with square
     /// pixels of `pixel_nm`. The optics' field period is set to
     /// `grid_px · pixel_nm`. Uses the [`FftBackend`] by default.
@@ -145,7 +151,7 @@ impl LithoSimulator {
         // Pre-warm the process-wide FFT plan cache for this grid size so
         // the first simulation call pays no planning; the backends fetch
         // the same shared plan on every pass.
-        let _ = lsopc_fft::plan(grid_px, grid_px);
+        let _ = lsopc_fft::plan_t::<T>(grid_px, grid_px);
         Ok(Self {
             optics,
             grid_px,
@@ -177,12 +183,17 @@ impl LithoSimulator {
     /// Runs the installed fault injector (if any) against one evaluation.
     /// Called by [`cost_and_gradient`](crate::cost_and_gradient).
     #[cfg(feature = "fault-injection")]
-    pub(crate) fn apply_fault(&self, report: &mut crate::CostReport, gradient: &mut Grid<f64>) {
+    pub(crate) fn apply_fault(&self, report: &mut crate::CostReport, gradient: &mut Grid<T>) {
         if let Some(hook) = &self.fault {
             let call = hook
                 .calls
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            hook.injector.inject(call, report, gradient);
+            // The injector API is `f64` (object-safe); round-trip the
+            // gradient through `f64`. At `T = f64` both casts are the
+            // identity, so the hook sees and writes the exact values.
+            let mut g64 = gradient.map(|v| v.to_f64());
+            hook.injector.inject(call, report, &mut g64);
+            *gradient = g64.map(|&v| T::from_f64(v));
         }
     }
 
@@ -196,7 +207,7 @@ impl LithoSimulator {
     }
 
     /// Replaces the compute backend.
-    pub fn with_backend(mut self, backend: Box<dyn SimBackend>) -> Self {
+    pub fn with_backend(mut self, backend: Box<dyn SimBackend<T>>) -> Self {
         self.backend = backend;
         self
     }
@@ -259,18 +270,18 @@ impl LithoSimulator {
     }
 
     /// The active backend.
-    pub fn backend(&self) -> &dyn SimBackend {
+    pub fn backend(&self) -> &dyn SimBackend<T> {
         self.backend.as_ref()
     }
 
     /// The kernel set for a defocus value (cached; keyed at 1/1000 nm
     /// resolution).
-    pub fn kernels_for(&self, defocus_nm: f64) -> Arc<KernelSet> {
+    pub fn kernels_for(&self, defocus_nm: f64) -> Arc<KernelSet<T>> {
         let key = (defocus_nm * 1000.0).round() as i64;
         if let Some(k) = self.kernel_cache.read().get(&key) {
             return Arc::clone(k);
         }
-        let generated = Arc::new(self.optics.kernels(defocus_nm));
+        let generated = Arc::new(self.optics.kernels_t::<T>(defocus_nm));
         self.kernel_cache
             .write()
             .entry(key)
@@ -278,7 +289,7 @@ impl LithoSimulator {
             .clone()
     }
 
-    fn check_mask(&self, mask: &Grid<f64>) {
+    fn check_mask(&self, mask: &Grid<T>) {
         assert_eq!(
             mask.dims(),
             (self.grid_px, self.grid_px),
@@ -293,7 +304,7 @@ impl LithoSimulator {
     /// # Panics
     ///
     /// Panics if the mask dimensions do not match the simulator grid.
-    pub fn aerial(&self, mask: &Grid<f64>, condition: ProcessCondition) -> Grid<f64> {
+    pub fn aerial(&self, mask: &Grid<T>, condition: ProcessCondition) -> Grid<T> {
         self.check_mask(mask);
         let kernels = self.kernels_for(condition.defocus_nm);
         self.backend.aerial_image(&kernels, mask)
@@ -304,7 +315,7 @@ impl LithoSimulator {
     /// # Panics
     ///
     /// Panics if the mask dimensions do not match the simulator grid.
-    pub fn print(&self, mask: &Grid<f64>, condition: ProcessCondition) -> Grid<f64> {
+    pub fn print(&self, mask: &Grid<T>, condition: ProcessCondition) -> Grid<T> {
         let aerial = self.aerial(mask, condition);
         self.resist.print(&aerial, condition.dose)
     }
@@ -314,7 +325,7 @@ impl LithoSimulator {
     /// # Panics
     ///
     /// Panics if the mask dimensions do not match the simulator grid.
-    pub fn print_soft(&self, mask: &Grid<f64>, condition: ProcessCondition) -> Grid<f64> {
+    pub fn print_soft(&self, mask: &Grid<T>, condition: ProcessCondition) -> Grid<T> {
         let aerial = self.aerial(mask, condition);
         self.resist.print_soft(&aerial, condition.dose)
     }
@@ -328,12 +339,12 @@ impl LithoSimulator {
     /// # Panics
     ///
     /// Panics if the mask dimensions do not match the simulator grid.
-    pub fn print_corners(&self, mask: &Grid<f64>) -> PrintedCorners {
+    pub fn print_corners(&self, mask: &Grid<T>) -> PrintedCorners<T> {
         self.print_corners_with(ParallelContext::global(), mask)
     }
 
     /// [`Self::print_corners`] on an explicit [`ParallelContext`].
-    pub fn print_corners_with(&self, ctx: &ParallelContext, mask: &Grid<f64>) -> PrintedCorners {
+    pub fn print_corners_with(&self, ctx: &ParallelContext, mask: &Grid<T>) -> PrintedCorners<T> {
         self.check_mask(mask);
         let corners = [self.corners.nominal, self.corners.inner, self.corners.outer];
         // Pre-warm the kernel cache serially: concurrent misses on the
@@ -350,6 +361,16 @@ impl LithoSimulator {
             inner,
             outer,
         }
+    }
+}
+
+impl LithoSimulator<f64> {
+    /// Convenience: use the mixed-precision backend (f32 transforms,
+    /// `f64` accumulation and optimizer state). Only meaningful at the
+    /// `f64` facade precision — the backend's contract is
+    /// `SimBackend<f64>`.
+    pub fn with_mixed_backend(self) -> Self {
+        self.with_backend(Box::new(crate::MixedBackend::new()))
     }
 }
 
@@ -377,16 +398,16 @@ mod tests {
     fn builder_validation() {
         let cfg = OpticsConfig::iccad2013();
         assert!(matches!(
-            LithoSimulator::from_optics(&cfg, 60, 4.0),
+            LithoSimulator::<f64>::from_optics(&cfg, 60, 4.0),
             Err(BuildSimulatorError::GridNotPowerOfTwo { grid_px: 60 })
         ));
         assert!(matches!(
-            LithoSimulator::from_optics(&cfg, 64, 0.0),
+            LithoSimulator::<f64>::from_optics(&cfg, 64, 0.0),
             Err(BuildSimulatorError::InvalidPixelSize)
         ));
         // 2048nm field on a 16px grid: band larger than the grid.
         assert!(matches!(
-            LithoSimulator::from_optics(&cfg, 16, 128.0),
+            LithoSimulator::<f64>::from_optics(&cfg, 16, 128.0),
             Err(BuildSimulatorError::GridTooSmall { .. })
         ));
     }

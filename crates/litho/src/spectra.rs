@@ -11,8 +11,13 @@
 //!   columns the band touches (the input to [`Fft2d::inverse_band`] /
 //!   [`Fft2d::forward_band`]);
 //! * [`SpectrumCache`] — a process-global map keyed by
-//!   `(KernelSet::id(), w, h)`. Kernel spectra are immutable after
-//!   construction (see [`KernelSet::id`]), so the id is a sound key.
+//!   `(KernelSet::id(), w, h, scalar type)`. Kernel spectra are immutable
+//!   after construction (see [`KernelSet::id`]), so the id is a sound
+//!   key; the scalar `TypeId` keeps f32 and f64 embeddings apart —
+//!   [`KernelSet::cast`] preserves the id, so without the type in the
+//!   key a cache warmed at f64 could serve an f32 run.
+//!
+//! [`KernelSet::cast`]: lsopc_optics::KernelSet::cast
 //!
 //! All band-window application and adjoint accumulation in this crate
 //! goes through [`EmbeddedSpectra::apply_window_into`] and
@@ -23,42 +28,43 @@
 //! [`Fft2d::forward_band`]: lsopc_fft::Fft2d::forward_band
 //! [`KernelSet::id`]: lsopc_optics::KernelSet::id
 
+use std::any::{Any, TypeId};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use lsopc_fft::wrap_index;
-use lsopc_grid::{Grid, C64};
+use lsopc_grid::{Complex, Grid, Scalar};
 use lsopc_optics::KernelSet;
 use parking_lot::RwLock;
 
 /// One kernel's band window in full DFT layout, stored sparsely.
 #[derive(Debug)]
-struct SparseKernel {
+struct SparseKernel<T: Scalar> {
     /// `(y * width + x, value)` for every non-zero window sample.
-    entries: Vec<(usize, C64)>,
+    entries: Vec<(usize, Complex<T>)>,
     /// Sorted, deduplicated full-grid columns holding those samples.
     cols: Vec<usize>,
 }
 
 /// The spectra of one [`KernelSet`] embedded on one grid size.
 #[derive(Debug)]
-pub(crate) struct EmbeddedSpectra {
+pub(crate) struct EmbeddedSpectra<T: Scalar = f64> {
     width: usize,
     height: usize,
-    kernels: Vec<SparseKernel>,
+    kernels: Vec<SparseKernel<T>>,
     /// Union of all kernels' columns (for band transforms of accumulated
     /// spectra such as the gradient's).
     all_cols: Vec<usize>,
 }
 
-impl EmbeddedSpectra {
+impl<T: Scalar> EmbeddedSpectra<T> {
     /// Embeds every kernel of `kernels` into `width x height` DFT layout.
     ///
     /// # Panics
     ///
     /// Panics if the grid is too small to hold the band
     /// (`min(width, height) < kernels.support()`).
-    pub(crate) fn new(kernels: &KernelSet, width: usize, height: usize) -> Self {
+    pub(crate) fn new(kernels: &KernelSet<T>, width: usize, height: usize) -> Self {
         let s = kernels.support();
         assert!(
             width >= s && height >= s,
@@ -66,13 +72,13 @@ impl EmbeddedSpectra {
         );
         let c = kernels.center() as i64;
         let mut all_cols = BTreeSet::new();
-        let sparse: Vec<SparseKernel> = (0..kernels.len())
+        let sparse: Vec<SparseKernel<T>> = (0..kernels.len())
             .map(|k| {
                 let window = kernels.spectrum(k);
                 let mut entries = Vec::new();
                 let mut cols = BTreeSet::new();
                 for (i, j, &v) in window.iter_coords() {
-                    if v == C64::ZERO {
+                    if v == Complex::<T>::ZERO {
                         continue;
                     }
                     let fx = wrap_index(i as i64 - c, width);
@@ -116,10 +122,15 @@ impl EmbeddedSpectra {
     /// # Panics
     ///
     /// Panics if `mhat` or `out` does not match the embedded grid size.
-    pub(crate) fn apply_window_into(&self, k: usize, mhat: &Grid<C64>, out: &mut Grid<C64>) {
+    pub(crate) fn apply_window_into(
+        &self,
+        k: usize,
+        mhat: &Grid<Complex<T>>,
+        out: &mut Grid<Complex<T>>,
+    ) {
         assert_eq!(mhat.dims(), self.dims(), "spectrum dimensions must match");
         assert_eq!(out.dims(), self.dims(), "output dimensions must match");
-        out.as_mut_slice().fill(C64::ZERO);
+        out.as_mut_slice().fill(Complex::<T>::ZERO);
         let m = mhat.as_slice();
         let o = out.as_mut_slice();
         for &(idx, s) in &self.kernels[k].entries {
@@ -140,9 +151,9 @@ impl EmbeddedSpectra {
     pub(crate) fn accumulate_adjoint(
         &self,
         k: usize,
-        field: &Grid<C64>,
-        weight: f64,
-        acc: &mut Grid<C64>,
+        field: &Grid<Complex<T>>,
+        weight: T,
+        acc: &mut Grid<Complex<T>>,
     ) {
         assert_eq!(field.dims(), self.dims(), "field dimensions must match");
         assert_eq!(acc.dims(), self.dims(), "accumulator dimensions must match");
@@ -150,6 +161,31 @@ impl EmbeddedSpectra {
         let a = acc.as_mut_slice();
         for &(idx, s) in &self.kernels[k].entries {
             a[idx] += s.conj() * f[idx].scale(weight);
+        }
+    }
+
+    /// Mixed-precision adjoint accumulation: each band sample's product
+    /// `conj(Ŝ_k[κ]) · field[κ]` is computed at the transform precision
+    /// `T`, widened to `f64`, scaled by the `f64` master weight and summed
+    /// into an `f64` accumulator — so the sum over kernels never loses
+    /// significance to `T`'s round-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` or `acc` does not match the embedded grid size.
+    pub(crate) fn accumulate_adjoint_upcast(
+        &self,
+        k: usize,
+        field: &Grid<Complex<T>>,
+        weight: f64,
+        acc: &mut Grid<Complex<f64>>,
+    ) {
+        assert_eq!(field.dims(), self.dims(), "field dimensions must match");
+        assert_eq!(acc.dims(), self.dims(), "accumulator dimensions must match");
+        let f = field.as_slice();
+        let a = acc.as_mut_slice();
+        for &(idx, s) in &self.kernels[k].entries {
+            a[idx] += (s.conj() * f[idx]).cast::<f64>().scale(weight);
         }
     }
 }
@@ -162,12 +198,17 @@ impl EmbeddedSpectra {
 const SPECTRUM_CACHE_CAPACITY: usize = 64;
 
 /// Process-global cache of [`EmbeddedSpectra`] keyed by
-/// `(KernelSet::id(), width, height)`.
+/// `(KernelSet::id(), width, height, scalar type)`.
+///
+/// Values are type-erased (`Arc<dyn Any>`) because one map serves every
+/// scalar precision; the `TypeId` in the key guarantees each entry
+/// downcasts back to the precision it was built at.
 ///
 /// [`KernelSet::id`]: lsopc_optics::KernelSet::id
 #[derive(Debug, Default)]
 pub(crate) struct SpectrumCache {
-    map: RwLock<HashMap<(u64, usize, usize), Arc<EmbeddedSpectra>>>,
+    #[allow(clippy::type_complexity)]
+    map: RwLock<HashMap<(u64, usize, usize, TypeId), Arc<dyn Any + Send + Sync>>>,
 }
 
 impl SpectrumCache {
@@ -184,36 +225,45 @@ impl SpectrumCache {
     /// # Panics
     ///
     /// Panics if the grid is too small for the kernel band.
-    pub(crate) fn embedded(
+    pub(crate) fn embedded<T: Scalar>(
         &self,
-        kernels: &KernelSet,
+        kernels: &KernelSet<T>,
         width: usize,
         height: usize,
-    ) -> Arc<EmbeddedSpectra> {
-        let key = (kernels.id(), width, height);
+    ) -> Arc<EmbeddedSpectra<T>> {
+        let key = (kernels.id(), width, height, TypeId::of::<T>());
         if let Some(spectra) = self.map.read().get(&key) {
-            return Arc::clone(spectra);
+            return downcast_spectra(spectra);
         }
         let mut map = self.map.write();
         if !map.contains_key(&key) && map.len() >= SPECTRUM_CACHE_CAPACITY {
             map.clear();
         }
-        Arc::clone(
-            map.entry(key)
-                .or_insert_with(|| Arc::new(EmbeddedSpectra::new(kernels, width, height))),
-        )
+        let erased = map
+            .entry(key)
+            .or_insert_with(|| Arc::new(EmbeddedSpectra::new(kernels, width, height)));
+        downcast_spectra(erased)
     }
 
-    /// Number of cached `(kernel set, grid size)` combinations.
+    /// Number of cached `(kernel set, grid size, precision)` combinations.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.map.read().len()
     }
 }
 
+/// Recovers the typed `Arc<EmbeddedSpectra<T>>` from a cache entry. The
+/// key's `TypeId` guarantees the downcast succeeds.
+fn downcast_spectra<T: Scalar>(erased: &Arc<dyn Any + Send + Sync>) -> Arc<EmbeddedSpectra<T>> {
+    Arc::clone(erased)
+        .downcast::<EmbeddedSpectra<T>>()
+        .unwrap_or_else(|_| unreachable!("spectrum cache entry keyed by TypeId has that type"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsopc_grid::C64;
     use lsopc_optics::OpticsConfig;
 
     fn kernels() -> KernelSet {
@@ -286,6 +336,38 @@ mod tests {
         // A truncated set has fresh spectra, hence a fresh entry.
         let e = cache.embedded(&ks.truncated(2), 32, 32);
         assert!(!Arc::ptr_eq(&a, &e));
+    }
+
+    #[test]
+    fn cache_keys_on_precision_so_f64_never_serves_f32() {
+        // Regression: `KernelSet::cast` keeps the id, so an f32 run on a
+        // cast of an f64-warmed set must get its own embedding, not a
+        // type-confused reuse of the f64 one.
+        let ks = kernels();
+        let ks32 = ks.cast::<f32>();
+        assert_eq!(ks.id(), ks32.id(), "cast keeps the id (premise)");
+        let cache = SpectrumCache::default();
+        let warm64 = cache.embedded(&ks, 32, 32);
+        let cold32 = cache.embedded(&ks32, 32, 32);
+        assert_eq!(cache.len(), 2, "one entry per precision");
+        // Back-to-back lookups at both precisions keep returning their
+        // own entries.
+        assert!(Arc::ptr_eq(&warm64, &cache.embedded(&ks, 32, 32)));
+        assert!(Arc::ptr_eq(&cold32, &cache.embedded(&ks32, 32, 32)));
+        assert_eq!(cache.len(), 2);
+        // The f32 embedding is the rounded image of the f64 one.
+        for k in 0..ks.len() {
+            assert_eq!(warm64.cols(k), cold32.cols(k));
+            for (a, b) in warm64.kernels[k]
+                .entries
+                .iter()
+                .zip(&cold32.kernels[k].entries)
+            {
+                assert_eq!(a.0, b.0, "same sparse layout");
+                assert_eq!(a.1.re as f32, b.1.re);
+                assert_eq!(a.1.im as f32, b.1.im);
+            }
+        }
     }
 
     #[test]

@@ -196,6 +196,17 @@ impl OpticsConfig {
     pub fn kernels_tcc(&self, defocus_nm: f64) -> KernelSet {
         tcc_kernels(self, defocus_nm)
     }
+
+    /// Generates the kernel set at `defocus_nm` in scalar precision `T`.
+    ///
+    /// Generation itself (source discretization, pupil sampling, SOCS
+    /// decomposition) always runs in `f64` — the decomposition is
+    /// numerically delicate and cheap relative to simulation — and the
+    /// result is rounded once at this seam via [`KernelSet::cast`]. At
+    /// `T = f64` the cast is the identity on every value.
+    pub fn kernels_t<T: lsopc_grid::Scalar>(&self, defocus_nm: f64) -> KernelSet<T> {
+        abbe_kernels(self, defocus_nm).cast()
+    }
 }
 
 impl Default for OpticsConfig {

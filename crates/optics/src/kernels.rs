@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lsopc_fft::wrap_index;
-use lsopc_grid::{Grid, C64};
+use lsopc_grid::{Complex, Grid, Scalar};
 
 /// Source of unique [`KernelSet`] identities (see [`KernelSet::id`]).
 static NEXT_KERNEL_SET_ID: AtomicU64 = AtomicU64::new(1);
@@ -18,17 +18,23 @@ static NEXT_KERNEL_SET_ID: AtomicU64 = AtomicU64::new(1);
 ///
 /// Index `(i, j)` of a spectrum corresponds to the spatial frequency
 /// `((i − S/2)/L, (j − S/2)/L)` cycles/nm, with `L` the field period.
+///
+/// The set is generic over the scalar precision of its spectra and
+/// weights; `f64` is the default and the precision kernels are generated
+/// at ([`crate::OpticsConfig::kernels`] always computes in `f64` and
+/// casts down via [`KernelSet::cast`], so an `f32` set is the rounded
+/// image of the reference set, not an independently generated one).
 #[derive(Clone, Debug)]
-pub struct KernelSet {
+pub struct KernelSet<T: Scalar = f64> {
     id: u64,
     support: usize,
     period_nm: f64,
     defocus_nm: f64,
-    spectra: Vec<Grid<C64>>,
-    weights: Vec<f64>,
+    spectra: Vec<Grid<Complex<T>>>,
+    weights: Vec<T>,
 }
 
-impl KernelSet {
+impl<T: Scalar> KernelSet<T> {
     /// Creates a kernel set.
     ///
     /// # Panics
@@ -37,8 +43,8 @@ impl KernelSet {
     /// the spectra dimensions, weights and spectra differ in length, a
     /// weight is negative, or the period is not positive.
     pub fn new(
-        spectra: Vec<Grid<C64>>,
-        weights: Vec<f64>,
+        spectra: Vec<Grid<Complex<T>>>,
+        weights: Vec<T>,
         period_nm: f64,
         defocus_nm: f64,
     ) -> Self {
@@ -58,7 +64,7 @@ impl KernelSet {
             assert_eq!(s.dims(), (support, support), "all spectra must be S x S");
         }
         assert!(
-            weights.iter().all(|&w| w >= 0.0),
+            weights.iter().all(|&w| w >= T::ZERO),
             "kernel weights must be non-negative"
         );
         Self {
@@ -123,7 +129,7 @@ impl KernelSet {
     /// # Panics
     ///
     /// Panics if `k >= len()`.
-    pub fn weight(&self, k: usize) -> f64 {
+    pub fn weight(&self, k: usize) -> T {
         self.weights[k]
     }
 
@@ -132,7 +138,7 @@ impl KernelSet {
     /// # Panics
     ///
     /// Panics if `k >= len()`.
-    pub fn spectrum(&self, k: usize) -> &Grid<C64> {
+    pub fn spectrum(&self, k: usize) -> &Grid<Complex<T>> {
         &self.spectra[k]
     }
 
@@ -143,7 +149,7 @@ impl KernelSet {
     ///
     /// Panics if the grid is too small to hold the band (`min(w, h) <
     /// support`) or `k` is out of range.
-    pub fn embed_full(&self, k: usize, w: usize, h: usize) -> Grid<C64> {
+    pub fn embed_full(&self, k: usize, w: usize, h: usize) -> Grid<Complex<T>> {
         assert!(
             w >= self.support && h >= self.support,
             "grid {w}x{h} too small for kernel support {}",
@@ -151,7 +157,7 @@ impl KernelSet {
         );
         let window = &self.spectra[k];
         let c = self.center() as i64;
-        let mut full = Grid::new(w, h, C64::ZERO);
+        let mut full = Grid::new(w, h, Complex::<T>::ZERO);
         for (i, j, &v) in window.iter_coords() {
             let fx = i as i64 - c;
             let fy = j as i64 - c;
@@ -168,15 +174,15 @@ impl KernelSet {
     ///
     /// Panics under the same conditions as [`KernelSet::embed_full`], or if
     /// `w`/`h` is not a power of two.
-    pub fn spatial_kernel(&self, k: usize, w: usize, h: usize) -> Grid<C64> {
+    pub fn spatial_kernel(&self, k: usize, w: usize, h: usize) -> Grid<Complex<T>> {
         let mut full = self.embed_full(k, w, h);
-        lsopc_fft::plan(w, h).inverse(&mut full);
+        lsopc_fft::plan_t::<T>(w, h).inverse(&mut full);
         full
     }
 
     /// Intensity a fully transparent mask would print (`Σ μ_k |ĥ_k(0)|²`
     /// for unit-DC masks). Used for normalization.
-    pub fn clear_field_intensity(&self) -> f64 {
+    pub fn clear_field_intensity(&self) -> T {
         let c = self.center();
         self.spectra
             .iter()
@@ -186,7 +192,7 @@ impl KernelSet {
     }
 
     /// Rescales all weights by `scale`.
-    pub fn scale_weights(&mut self, scale: f64) {
+    pub fn scale_weights(&mut self, scale: T) {
         for w in &mut self.weights {
             *w *= scale;
         }
@@ -199,8 +205,11 @@ impl KernelSet {
     /// Panics if the clear-field intensity is zero (degenerate kernels).
     pub fn normalized(mut self) -> Self {
         let clear = self.clear_field_intensity();
-        assert!(clear > 0.0, "cannot normalize: zero clear-field intensity");
-        self.scale_weights(1.0 / clear);
+        assert!(
+            clear > T::ZERO,
+            "cannot normalize: zero clear-field intensity"
+        );
+        self.scale_weights(T::ONE / clear);
         self
     }
 
@@ -211,7 +220,7 @@ impl KernelSet {
     /// # Panics
     ///
     /// Panics if `rank == 0`.
-    pub fn truncated(&self, rank: usize) -> KernelSet {
+    pub fn truncated(&self, rank: usize) -> KernelSet<T> {
         assert!(rank > 0, "rank must be positive");
         let rank = rank.min(self.len());
         let mut order: Vec<usize> = (0..self.len()).collect();
@@ -229,11 +238,36 @@ impl KernelSet {
         );
         set.normalized()
     }
+
+    /// Converts the set to another scalar precision, keeping the [`id`].
+    ///
+    /// The id is preserved deliberately: a cast set holds the *same*
+    /// spectra (rounded), and every cache derived from kernel spectra
+    /// keys on the scalar type in addition to the id, so an `f32` cast
+    /// never collides with its `f64` source. Casting to the same
+    /// precision is the identity on every value.
+    ///
+    /// [`id`]: KernelSet::id
+    pub fn cast<U: Scalar>(&self) -> KernelSet<U> {
+        KernelSet {
+            id: self.id,
+            support: self.support,
+            period_nm: self.period_nm,
+            defocus_nm: self.defocus_nm,
+            spectra: self.spectra.iter().map(|s| s.map(|v| v.cast())).collect(),
+            weights: self
+                .weights
+                .iter()
+                .map(|w| U::from_f64(w.to_f64()))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsopc_grid::C64;
 
     fn delta_set(support: usize, weight: f64) -> KernelSet {
         // A single kernel passing only DC.
@@ -295,6 +329,30 @@ mod tests {
         let t = set.truncated(1);
         assert_eq!(t.len(), 1);
         assert!((t.clear_field_intensity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cast_preserves_id_and_is_identity_at_same_precision() {
+        let set = delta_set(5, 2.0);
+        let same = set.cast::<f64>();
+        assert_eq!(same.id(), set.id(), "cast keeps the spectra identity");
+        assert_eq!(same.weight(0).to_bits(), set.weight(0).to_bits());
+        for (a, b) in same
+            .spectrum(0)
+            .as_slice()
+            .iter()
+            .zip(set.spectrum(0).as_slice())
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        let low = set.cast::<f32>();
+        assert_eq!(low.id(), set.id());
+        assert_eq!(low.support(), 5);
+        assert_eq!(low.weight(0), 2.0_f32);
+        // Round-tripping f64 → f32 → f64 rounds to f32 precision.
+        let back = low.cast::<f64>();
+        assert_eq!(back.weight(0), 2.0);
     }
 
     #[test]

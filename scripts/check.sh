@@ -24,6 +24,32 @@ LSOPC_THREADS=4 cargo test -q --workspace
 echo "==> cargo test -p lsopc-core --features fault-injection"
 LSOPC_THREADS=4 cargo test -q -p lsopc-core --features fault-injection
 
+echo "==> precision suite (f32/mixed tolerances + thread determinism)"
+# The f32 and mixed paths must be deterministic per thread count; run the
+# dedicated suite at both pool sizes on top of the workspace runs above.
+LSOPC_THREADS=1 cargo test -q --test precision_tolerance
+LSOPC_THREADS=4 cargo test -q --test precision_tolerance
+LSOPC_THREADS=1 cargo test -q -p lsopc-litho mixed
+LSOPC_THREADS=4 cargo test -q -p lsopc-litho mixed
+
+echo "==> bare f64 literal gate (generic precision paths)"
+# Code generic over Scalar must route constants through T::from_f64;
+# a suffixed f64 literal pins the precision silently. Deliberate
+# f64-internal passes (e.g. the EDT) carry an `allow-f64` marker.
+bad=$(awk '
+  FNR == 1 { in_tests = 0 }
+  /^#\[cfg\(test\)\]/ { in_tests = 1 }
+  !in_tests && /[0-9]_?f64/ && !/allow-f64/ { print FILENAME ":" FNR ": " $0 }
+' crates/litho/src/backend.rs crates/litho/src/accelerated.rs \
+  crates/litho/src/spectra.rs crates/litho/src/resist.rs \
+  crates/litho/src/cost.rs crates/levelset/src/*.rs crates/core/src/cg.rs)
+if [ -n "$bad" ]; then
+  echo "error: bare f64 literal in precision-generic code (use T::from_f64," >&2
+  echo "or mark deliberate f64 internals with an allow-f64 comment):" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+
 echo "==> CLI unwrap/expect gate"
 # No unwrap()/expect( reachable from main on bad input: reject them in
 # crates/cli/src non-test code (everything before the first #[cfg(test)]).

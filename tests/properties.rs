@@ -45,7 +45,7 @@ proptest! {
     /// magnitude is at least half a pixel everywhere.
     #[test]
     fn sdf_threshold_roundtrip(bits in prop::collection::vec(any::<bool>(), 24 * 24)) {
-        let mask = Grid::from_fn(24, 24, |x, y| if bits[y * 24 + x] { 1.0 } else { 0.0 });
+        let mask = Grid::from_fn(24, 24, |x, y| if bits[y * 24 + x] { 1.0_f64 } else { 0.0 });
         let psi = signed_distance(&mask);
         prop_assert_eq!(mask_from_levelset(&psi), mask);
         prop_assert!(psi.as_slice().iter().all(|&v| v.abs() >= 0.5 - 1e-9));
