@@ -252,6 +252,7 @@ pub fn run_suite(methods: &[Method], cfg: &ExperimentConfig) -> Vec<CaseOutcome>
     for case in &cases {
         let layout = suite.layout(case);
         for &method in methods {
+            // allow-print: deliberate stderr progress reporting (fn docs).
             eprintln!(
                 "[suite] {} / {} (grid {} px, K = {})",
                 case.name,

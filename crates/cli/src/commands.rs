@@ -11,6 +11,8 @@ use lsopc_grid::Grid;
 use lsopc_litho::LithoSimulator;
 use lsopc_metrics::{evaluate_mask, render_report, MaskComplexity, MrcReport};
 use lsopc_optics::OpticsConfig;
+use lsopc_trace::{FanoutSink, JsonlSink, MemorySink, TraceSink};
+use std::sync::Arc;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -21,6 +23,7 @@ USAGE:
                  [--grid 512] [--iters 30] [--kernels 24] [--pvb-weight 1.0]
                  [--threads N] [--recover on|off|strict]
                  [--precision f64|f32|mixed]
+                 [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc evaluate --glp <design.glp> --mask <mask.glp>
                  [--grid 512] [--kernels 24] [--threads N]
   lsopc report   --glp <design.glp> --mask <mask.glp>
@@ -29,6 +32,10 @@ USAGE:
   lsopc suite    [--cases 1,2,...] [--grid 256] [--iters 20] [--kernels 24]
                  [--threads N] [--recover on|off|strict]
                  [--precision f64|f32|mixed]
+                 [--trace <out.jsonl>] [--metrics <out.json>]
+  lsopc profile  [--pattern wire|dense|contacts] [--grid 256] [--iters 10]
+                 [--kernels 24] [--threads N] [--recover on|off|strict]
+                 [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc help
 
 The field is 2048nm; --grid sets the pixels per side (power of two).
@@ -42,6 +49,12 @@ to the last healthy checkpoint and halves the step on numerical trouble,
 arithmetic, reproduced on CPU), `mixed` runs f32 convolutions/spectra
 under f64 accumulation and optimizer state (the master-weights pattern).
 Scoring and reporting always run at f64 (see DESIGN.md §11).
+--trace streams every span/counter/iteration/warning event to the given
+file, one JSON object per line (event schema v1, see DESIGN.md §12);
+--metrics writes the aggregated per-span profile and counter totals as
+one JSON document when the run finishes. `profile` optimizes a built-in
+synthetic pattern and prints the aggregate table (calls, self and total
+time per span, sorted by self time) directly.
 
 EXIT CODES:
   0 success    2 usage    3 I/O    4 layout parse
@@ -157,6 +170,64 @@ fn run_ilt(
     }
 }
 
+/// Sinks installed for one command run, per `--trace` / `--metrics`.
+///
+/// The trace layer is process-global; [`TraceSession::finish`] must run
+/// even when the command fails so a later in-process caller does not
+/// inherit the sinks.
+struct TraceSession {
+    memory: Option<Arc<MemorySink>>,
+    metrics_path: Option<String>,
+}
+
+impl TraceSession {
+    /// Installs the sinks the flags ask for; `None` when neither
+    /// `--trace` nor `--metrics` is present.
+    fn start(flags: &Flags) -> Result<Option<Self>, CliError> {
+        let trace_path = flags.get("trace").filter(|v| !v.is_empty());
+        let metrics_path = flags.get("metrics").filter(|v| !v.is_empty());
+        if trace_path.is_none() && metrics_path.is_none() {
+            return Ok(None);
+        }
+        let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+        if let Some(path) = trace_path {
+            let sink = JsonlSink::create(std::path::Path::new(path))
+                .map_err(|e| CliError::io(format!("cannot create {path}: {e}")))?;
+            sinks.push(Arc::new(sink));
+        }
+        let memory = metrics_path.map(|_| Arc::new(MemorySink::new()));
+        if let Some(mem) = &memory {
+            sinks.push(mem.clone());
+        }
+        lsopc_trace::install(Arc::new(FanoutSink::new(sinks)));
+        Ok(Some(Self {
+            memory,
+            metrics_path: metrics_path.map(str::to_string),
+        }))
+    }
+
+    /// Flushes the event stream, writes the `--metrics` document and
+    /// removes the sinks.
+    fn finish(self) -> Result<(), CliError> {
+        lsopc_trace::flush();
+        lsopc_trace::uninstall();
+        if let (Some(mem), Some(path)) = (&self.memory, &self.metrics_path) {
+            std::fs::write(path, mem.report().to_json())
+                .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Ends a trace session without masking the command's own error: the
+/// command outcome wins, then any sink teardown failure surfaces.
+fn finish_trace(session: Option<TraceSession>, outcome: CliResult) -> CliResult {
+    match session {
+        Some(s) => outcome.and(s.finish()),
+        None => outcome,
+    }
+}
+
 fn load_layout(path: &str) -> Result<Layout, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
@@ -166,16 +237,21 @@ fn load_layout(path: &str) -> Result<Layout, CliError> {
 /// `lsopc optimize`: design in, optimized mask out.
 pub fn optimize(args: &[String]) -> CliResult {
     let flags = Flags::parse(args)?;
+    let session = TraceSession::start(&flags)?;
+    finish_trace(session, optimize_run(&flags))
+}
+
+fn optimize_run(flags: &Flags) -> CliResult {
     // Validate all flags before touching the filesystem so misuse is
     // reported as such even when the input path is also bad.
     let glp_path = flags.require("glp")?.to_string();
     let out_path = flags.require("out")?.to_string();
     let iters: usize = flags.num("iters", 30)?;
     let w_pvb: f64 = flags.num("pvb-weight", 1.0)?;
-    let recovery = recovery_policy(&flags)?;
-    let precision = precision(&flags)?;
+    let recovery = recovery_policy(flags)?;
+    let precision = precision(flags)?;
     let design = load_layout(&glp_path)?;
-    let setup = build_sim(&flags, 512)?;
+    let setup = build_sim(flags, 512)?;
     let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
 
     let target = rasterize(&design, grid, grid, pixel_nm);
@@ -289,11 +365,16 @@ pub fn report(args: &[String]) -> CliResult {
 /// `lsopc suite`: run the level-set method over the built-in benchmarks.
 pub fn suite(args: &[String]) -> CliResult {
     let flags = Flags::parse(args)?;
+    let session = TraceSession::start(&flags)?;
+    finish_trace(session, suite_run(&flags))
+}
+
+fn suite_run(flags: &Flags) -> CliResult {
     let case_filter = flags.index_list("cases")?;
     let iters: usize = flags.num("iters", 20)?;
-    let recovery = recovery_policy(&flags)?;
-    let precision = precision(&flags)?;
-    let first = build_sim(&flags, 256)?;
+    let recovery = recovery_policy(flags)?;
+    let precision = precision(flags)?;
+    let first = build_sim(flags, 256)?;
     let (grid, pixel_nm) = (first.grid, first.pixel_nm);
 
     let suite = Iccad2013Suite::new();
@@ -309,7 +390,7 @@ pub fn suite(args: &[String]) -> CliResult {
         }
         let layout = suite.layout(case);
         // Fresh simulator per case keeps kernel caches bounded.
-        let setup = build_sim(&flags, 256)?;
+        let setup = build_sim(flags, 256)?;
         let target = rasterize(&layout, grid, grid, pixel_nm);
         let ilt = LevelSetIlt::builder()
             .max_iterations(iters)
@@ -333,6 +414,84 @@ pub fn suite(args: &[String]) -> CliResult {
     }
     if ran > 0 {
         println!("{:<6}{:>62}{:>12.0}", "avg", "", total / ran as f64);
+    }
+    Ok(())
+}
+
+/// One built-in synthetic design for `lsopc profile`, as GLP text so it
+/// goes through the same parse/rasterize path as user layouts.
+fn synthetic_layout(pattern: &str) -> Result<Layout, CliError> {
+    let glp = match pattern {
+        "wire" => "BEGIN\nCELL wire\nRECT 832 480 384 1088 ;\nEND\n",
+        "dense" => {
+            "BEGIN\nCELL dense\n\
+             RECT 384 384 192 1280 ;\n\
+             RECT 928 384 192 1280 ;\n\
+             RECT 1472 384 192 1280 ;\nEND\n"
+        }
+        "contacts" => {
+            "BEGIN\nCELL contacts\n\
+             RECT 512 512 256 256 ;\n\
+             RECT 1280 512 256 256 ;\n\
+             RECT 512 1280 256 256 ;\n\
+             RECT 1280 1280 256 256 ;\nEND\n"
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown --pattern `{other}` (expected wire, dense or contacts)"
+            )))
+        }
+    };
+    parse_glp(glp).map_err(|e| CliError::parse(format!("synthetic pattern {pattern}: {e}")))
+}
+
+/// `lsopc profile`: optimize a built-in synthetic pattern under the
+/// in-memory aggregator and print the per-span self/total-time table.
+pub fn profile(args: &[String]) -> CliResult {
+    let flags = Flags::parse(args)?;
+    let pattern = flags
+        .get("pattern")
+        .filter(|v| !v.is_empty())
+        .unwrap_or("wire")
+        .to_string();
+    let iters: usize = flags.num("iters", 10)?;
+    let kernels: usize = flags.num("kernels", 24)?;
+    let recovery = recovery_policy(&flags)?;
+    let design = synthetic_layout(&pattern)?;
+    let setup = build_sim(&flags, 256)?;
+    let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
+    let target = rasterize(&design, grid, grid, pixel_nm);
+
+    // `profile` always aggregates in memory; --trace/--metrics add the
+    // event stream and the JSON document on top.
+    let memory = Arc::new(MemorySink::new());
+    let mut sinks: Vec<Arc<dyn TraceSink>> = vec![memory.clone()];
+    if let Some(path) = flags.get("trace").filter(|v| !v.is_empty()) {
+        let sink = JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| CliError::io(format!("cannot create {path}: {e}")))?;
+        sinks.push(Arc::new(sink));
+    }
+    lsopc_trace::install(Arc::new(FanoutSink::new(sinks)));
+    let ilt = LevelSetIlt::builder()
+        .max_iterations(iters)
+        .recovery(recovery)
+        .build();
+    let outcome = ilt
+        .optimize(&setup.sim, &target)
+        .map_err(CliError::from_optimize);
+    lsopc_trace::flush();
+    lsopc_trace::uninstall();
+    let result = outcome?;
+
+    let report = memory.report();
+    println!(
+        "profile: pattern `{pattern}`, {grid} px, K = {kernels}, {} iterations, {} threads, {:.2}s",
+        result.iterations, setup.pool_threads, result.runtime_s
+    );
+    print!("{}", report.render_text());
+    if let Some(path) = flags.get("metrics").filter(|v| !v.is_empty()) {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
     }
     Ok(())
 }
@@ -530,6 +689,44 @@ mod tests {
         assert_eq!(err.category(), Category::Optimize);
         assert_eq!(err.exit_code(), 6);
         std::fs::remove_file(design).ok();
+    }
+
+    #[test]
+    fn profile_writes_trace_and_metrics() {
+        let trace_path = tmpfile("profile.jsonl");
+        let metrics_path = tmpfile("profile.json");
+        profile(&to_args(&[
+            "--pattern",
+            "wire",
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+            "--iters",
+            "2",
+            "--trace",
+            trace_path.to_str().expect("utf8"),
+            "--metrics",
+            metrics_path.to_str().expect("utf8"),
+        ]))
+        .expect("profile runs");
+
+        let jsonl = std::fs::read_to_string(&trace_path).expect("trace file");
+        assert!(jsonl.lines().count() > 10, "events were streamed");
+        assert!(jsonl.contains("\"kind\": \"span\""));
+        assert!(jsonl.contains("\"kind\": \"iter\""));
+        let json = std::fs::read_to_string(&metrics_path).expect("metrics file");
+        assert!(json.contains("fft2d."), "profile saw FFT spans");
+        std::fs::remove_file(trace_path).ok();
+        std::fs::remove_file(metrics_path).ok();
+    }
+
+    #[test]
+    fn profile_rejects_unknown_pattern() {
+        use crate::error::Category;
+        let err = profile(&to_args(&["--pattern", "nonsense"])).expect_err("bad pattern");
+        assert_eq!(err.category(), Category::Usage);
+        assert!(err.to_string().contains("--pattern"));
     }
 
     #[test]

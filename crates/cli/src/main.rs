@@ -4,6 +4,7 @@
 //! lsopc optimize --glp design.glp --out mask.glp [--grid 512] [--iters 30]
 //! lsopc evaluate --glp design.glp --mask mask.glp [--grid 512]
 //! lsopc suite [--cases 1,2] [--grid 256] [--iters 20]
+//! lsopc profile [--pattern wire] [--iters 10]
 //! lsopc help
 //! ```
 //!
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(rest),
         "report" => commands::report(rest),
         "suite" => commands::suite(rest),
+        "profile" => commands::profile(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -424,8 +424,11 @@ impl HealthGuard {
         scan_non_finite(psi).then_some(GuardEventKind::NonFiniteLevelSet)
     }
 
-    /// Records an observation without acting on it.
+    /// Records an observation without acting on it. The single choke
+    /// point every guard observation flows through, so it also feeds the
+    /// trace layer's `guard.*` counters.
     pub(crate) fn note_event(&mut self, iteration: usize, kind: GuardEventKind) {
+        lsopc_trace::count(guard_counter(&kind), 1);
         self.diagnostics.events.push(GuardEvent { iteration, kind });
     }
 
@@ -457,6 +460,25 @@ impl HealthGuard {
 /// True when any cell is NaN or ±∞.
 fn scan_non_finite<T: Scalar>(grid: &Grid<T>) -> bool {
     grid.as_slice().iter().any(|v| !v.is_finite())
+}
+
+/// Trace counter name for one guard observation. A checkpoint-restoring
+/// backoff counts as `guard.rollback` — the name trace consumers key on.
+fn guard_counter(kind: &GuardEventKind) -> &'static str {
+    match kind {
+        GuardEventKind::NonFiniteCost => "guard.non_finite_cost",
+        GuardEventKind::NonFiniteGradient => "guard.non_finite_gradient",
+        GuardEventKind::NonFiniteVelocity => "guard.non_finite_velocity",
+        GuardEventKind::NonFiniteLevelSet => "guard.non_finite_levelset",
+        GuardEventKind::CostDivergence { .. } => "guard.cost_divergence",
+        GuardEventKind::CostSpike { .. } => "guard.cost_spike",
+        GuardEventKind::GradientSpike { .. } => "guard.gradient_spike",
+        GuardEventKind::Stall { .. } => "guard.stall",
+        GuardEventKind::WorkerPanic { .. } => "guard.worker_panic",
+        GuardEventKind::Backoff { .. } => "guard.rollback",
+        GuardEventKind::Recovered => "guard.recovered",
+        GuardEventKind::GaveUp => "guard.gave_up",
+    }
 }
 
 /// Best-effort text from a caught panic payload.

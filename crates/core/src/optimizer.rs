@@ -116,6 +116,28 @@ impl<T: Scalar> IltResult<T> {
     }
 }
 
+/// Mirrors one just-pushed [`IterationRecord`] to the trace layer (the
+/// per-iteration telemetry event). No-op when tracing is disabled or the
+/// history is empty.
+fn emit_iter(record: Option<&IterationRecord>) {
+    if !lsopc_trace::enabled() {
+        return;
+    }
+    if let Some(rec) = record {
+        lsopc_trace::iter(&lsopc_trace::IterRecord {
+            iteration: rec.iteration,
+            cost_total: rec.cost_total,
+            cost_nominal: rec.cost_nominal,
+            cost_pvb: rec.cost_pvb,
+            lambda_scale: rec.lambda_scale,
+            beta: rec.cg_beta,
+            time_step: rec.time_step,
+            max_velocity: rec.max_velocity,
+            rolled_back: rec.rolled_back,
+        });
+    }
+}
+
 impl LevelSetIlt {
     /// Runs Algorithm 1: optimizes a mask for `target` on the given
     /// simulator.
@@ -170,6 +192,7 @@ impl LevelSetIlt {
         let mut checkpoint: Option<Grid<T>> = None;
 
         'iterate: for i in 0..self.max_iterations {
+            let _iter_span = lsopc_trace::span!("optimize.iter");
             iterations = i + 1;
             // Line 7 (Eq. (6)): current binary mask from ψ.
             let mask = mask_from_levelset(&psi);
@@ -234,6 +257,7 @@ impl LevelSetIlt {
                         backoffs: g.diagnostics.backoffs,
                         lambda_scale: g.lambda_scale(),
                     });
+                    emit_iter(history.last());
                     match outcome {
                         BackoffOutcome::Retry => {
                             // With no checkpoint yet, ψ is still the
@@ -353,6 +377,7 @@ impl LevelSetIlt {
                         backoffs: g.diagnostics.backoffs,
                         lambda_scale: g.lambda_scale(),
                     });
+                    emit_iter(history.last());
                     match outcome {
                         BackoffOutcome::Retry => {
                             if let Some(cp) = &checkpoint {
@@ -393,6 +418,7 @@ impl LevelSetIlt {
                 backoffs: guard.as_ref().map_or(0, |g| g.diagnostics.backoffs),
                 lambda_scale,
             });
+            emit_iter(history.last());
 
             // Stall: healthy values but no cost progress for the window.
             // Backing off cannot unstall a frozen run, so stop early.
@@ -419,6 +445,7 @@ impl LevelSetIlt {
             // Lines 5–6: CFL step and evolution, optionally guarded by a
             // backtracking line search on the total cost.
             if self.line_search {
+                let _ls_span = lsopc_trace::span!("optimize.line_search");
                 let mut trial_dt = dt;
                 let mut accepted = false;
                 for _ in 0..3 {

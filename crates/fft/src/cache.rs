@@ -82,8 +82,10 @@ impl PlanCache {
     pub fn plan_t<T: Scalar>(&self, width: usize, height: usize) -> Arc<Fft2d<T>> {
         let key = (TypeId::of::<T>(), width, height);
         if let Some(plan) = self.plans.read().get(&key) {
+            lsopc_trace::count("cache.plan.hit", 1);
             return downcast_plan(plan);
         }
+        lsopc_trace::count("cache.plan.miss", 1);
         let mut plans = self.plans.write();
         // Re-check under the write lock: another thread may have built
         // the plan between our read and write acquisitions, and every

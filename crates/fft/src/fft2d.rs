@@ -105,6 +105,11 @@ impl<T: Scalar> Fft2d<T> {
             self.width,
             self.height
         );
+        let _span = lsopc_trace::span!(if inverse {
+            "fft2d.inverse"
+        } else {
+            "fft2d.forward"
+        });
         // The separable transform runs rows-then-columns forward and
         // columns-then-rows inverse. The order is load-bearing: the
         // band-limited paths ([`Self::inverse_band`], [`Self::forward_band`])
@@ -123,6 +128,7 @@ impl<T: Scalar> Fft2d<T> {
     /// Transforms every row in parallel. Rows are disjoint slices of the
     /// row-major storage, so scheduling never affects the result.
     fn row_pass(&self, ctx: &ParallelContext, g: &mut Grid<Complex<T>>, inverse: bool) {
+        let _span = lsopc_trace::span!("fft2d.row_pass");
         let plan = &self.row_plan;
         let rows_per_chunk = rows_per_chunk(self.height, ctx.threads());
         ctx.par_chunks_mut(g.as_mut_slice(), self.width * rows_per_chunk, |_, band| {
@@ -138,6 +144,7 @@ impl<T: Scalar> Fft2d<T> {
 
     /// Column pass via transpose so each 1-D FFT is contiguous.
     fn column_pass(&self, ctx: &ParallelContext, g: &mut Grid<Complex<T>>, inverse: bool) {
+        let _span = lsopc_trace::span!("fft2d.col_pass");
         let mut t = transpose(ctx, g);
         let plan = &self.col_plan;
         let rows_per_chunk = rows_per_chunk(self.width, ctx.threads());
@@ -167,6 +174,7 @@ impl<T: Scalar> Fft2d<T> {
         if cols.is_empty() {
             return;
         }
+        let _span = lsopc_trace::span!("fft2d.band_col_pass");
         for &x in cols {
             assert!(x < self.width, "band column {x} out of range");
         }
@@ -230,6 +238,7 @@ impl<T: Scalar> Fft2d<T> {
             self.width,
             self.height
         );
+        let _span = lsopc_trace::span!("fft2d.inverse_band");
         self.band_column_pass(ctx, g, cols, true);
         self.row_pass(ctx, g, true);
     }
@@ -265,6 +274,7 @@ impl<T: Scalar> Fft2d<T> {
             self.width,
             self.height
         );
+        let _span = lsopc_trace::span!("fft2d.forward_band");
         self.row_pass(ctx, g, false);
         self.band_column_pass(ctx, g, cols, false);
     }
@@ -293,6 +303,7 @@ fn rows_per_chunk(rows: usize, threads: usize) -> usize {
 const B: usize = 32;
 
 fn transpose<T: Scalar>(ctx: &ParallelContext, g: &Grid<Complex<T>>) -> Grid<Complex<T>> {
+    let _span = lsopc_trace::span!("fft2d.transpose");
     let (w, h) = g.dims();
     let mut t = Grid::new(h, w, Complex::ZERO);
     let src = g.as_slice();
@@ -318,6 +329,7 @@ fn transpose_into<T: Scalar>(
     t: &Grid<Complex<T>>,
     g: &mut Grid<Complex<T>>,
 ) {
+    let _span = lsopc_trace::span!("fft2d.transpose");
     let (w, h) = g.dims();
     let src = t.as_slice();
     ctx.par_chunks_mut(g.as_mut_slice(), w * B, |ci, band| {

@@ -29,6 +29,7 @@ use lsopc_grid::{Grid, Scalar};
 /// assert_eq!(cfl_time_step(&v, 1.0), 0.5);
 /// ```
 pub fn cfl_time_step<T: Scalar>(velocity: &Grid<T>, lambda_t: f64) -> f64 {
+    let _span = lsopc_trace::span!("levelset.cfl");
     assert!(lambda_t > 0.0, "lambda_t must be positive");
     let mut vmax = T::ZERO;
     for &v in velocity.as_slice() {
@@ -52,6 +53,7 @@ pub fn cfl_time_step<T: Scalar>(velocity: &Grid<T>, lambda_t: f64) -> f64 {
 ///
 /// Panics if the grids differ in shape.
 pub fn evolve<T: Scalar>(psi: &mut Grid<T>, velocity: &Grid<T>, dt: f64) {
+    let _span = lsopc_trace::span!("levelset.evolve");
     assert_eq!(psi.dims(), velocity.dims(), "grid dimensions must match");
     let dt = T::from_f64(dt);
     for (p, &v) in psi.as_mut_slice().iter_mut().zip(velocity.as_slice()) {
@@ -67,6 +69,7 @@ pub fn evolve<T: Scalar>(psi: &mut Grid<T>, velocity: &Grid<T>, dt: f64) {
 /// estimate and the velocity extension; periodic reinitialization is
 /// standard practice in level-set methods.
 pub fn reinitialize<T: Scalar>(psi: &Grid<T>) -> Grid<T> {
+    let _span = lsopc_trace::span!("levelset.reinit");
     signed_distance(&mask_from_levelset(psi))
 }
 

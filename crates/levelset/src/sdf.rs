@@ -101,6 +101,7 @@ fn edt_sq(feature: impl Fn(usize, usize) -> bool, w: usize, h: usize) -> Grid<f6
 /// the pass is cheap next to the FFT work — and each distance is rounded
 /// to `T` once on output. At `T = f64` that is the identity.
 pub fn signed_distance<T: Scalar>(mask: &Grid<T>) -> Grid<T> {
+    let _span = lsopc_trace::span!("levelset.sdf");
     let (w, h) = mask.dims();
     let clamp = (w + h) as f64;
     let half = T::from_f64(0.5);

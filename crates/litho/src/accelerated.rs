@@ -142,6 +142,7 @@ impl<T: Scalar> SimBackend<T> for AcceleratedBackend {
     }
 
     fn aerial_image(&self, kernels: &KernelSet<T>, mask: &Grid<T>) -> Grid<T> {
+        let _span = lsopc_trace::span!("backend.accel.aerial");
         let (w, h) = mask.dims();
         let s = kernels.support();
         assert!(
@@ -196,6 +197,7 @@ impl<T: Scalar> SimBackend<T> for AcceleratedBackend {
     }
 
     fn gradient(&self, kernels: &KernelSet<T>, mask: &Grid<T>, z: &Grid<T>) -> Grid<T> {
+        let _span = lsopc_trace::span!("backend.accel.gradient");
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
         let s = kernels.support();

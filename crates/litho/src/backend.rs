@@ -24,6 +24,7 @@ pub(crate) fn fold_kernel_grids<V>(
 where
     V: Copy + std::ops::AddAssign + Send + Sync,
 {
+    let _span = lsopc_trace::span!("litho.kernel_fold");
     ctx.par_map_reduce(
         count,
         |range| {
@@ -116,6 +117,7 @@ impl<T: Scalar> SimBackend<T> for ReferenceBackend {
     }
 
     fn aerial_image(&self, kernels: &KernelSet<T>, mask: &Grid<T>) -> Grid<T> {
+        let _span = lsopc_trace::span!("backend.reference.aerial");
         let (w, h) = mask.dims();
         let empty = Grid::new(w, h, T::ZERO);
         fold_kernel_grids(
@@ -133,6 +135,7 @@ impl<T: Scalar> SimBackend<T> for ReferenceBackend {
     }
 
     fn gradient(&self, kernels: &KernelSet<T>, mask: &Grid<T>, z: &Grid<T>) -> Grid<T> {
+        let _span = lsopc_trace::span!("backend.reference.gradient");
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
         let empty = Grid::new(w, h, T::ZERO);
@@ -246,6 +249,7 @@ impl<T: Scalar> SimBackend<T> for FftBackend {
     }
 
     fn aerial_image(&self, kernels: &KernelSet<T>, mask: &Grid<T>) -> Grid<T> {
+        let _span = lsopc_trace::span!("backend.fft.aerial");
         let (w, h) = mask.dims();
         let fft = lsopc_fft::plan_t::<T>(w, h);
         let spectra = SpectrumCache::global().embedded(kernels, w, h);
@@ -263,6 +267,7 @@ impl<T: Scalar> SimBackend<T> for FftBackend {
     }
 
     fn gradient(&self, kernels: &KernelSet<T>, mask: &Grid<T>, z: &Grid<T>) -> Grid<T> {
+        let _span = lsopc_trace::span!("backend.fft.gradient");
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
         let fft = lsopc_fft::plan_t::<T>(w, h);

@@ -65,6 +65,7 @@ pub fn cost_and_gradient<T: Scalar>(
     target: &Grid<T>,
     w_pvb: f64,
 ) -> (CostReport, Grid<T>) {
+    let _span = lsopc_trace::span!("litho.cost_and_gradient");
     assert!(w_pvb >= 0.0, "w_pvb must be non-negative");
     assert_eq!(
         mask.dims(),
@@ -114,6 +115,7 @@ pub fn cost_only<T: Scalar>(
     target: &Grid<T>,
     w_pvb: f64,
 ) -> CostReport {
+    let _span = lsopc_trace::span!("litho.cost_only");
     assert!(w_pvb >= 0.0, "w_pvb must be non-negative");
     assert_eq!(
         mask.dims(),
@@ -173,6 +175,7 @@ pub fn corner_cost_and_gradient<T: Scalar>(
     condition: ProcessCondition,
     weight: f64,
 ) -> (f64, Grid<T>) {
+    let _span = lsopc_trace::span!("litho.corner_cost");
     assert!(weight > 0.0, "weight must be positive");
     assert_eq!(
         mask.dims(),

@@ -125,6 +125,7 @@ impl SimBackend<f64> for MixedBackend {
     }
 
     fn aerial_image(&self, kernels: &KernelSet<f64>, mask: &Grid<f64>) -> Grid<f64> {
+        let _span = lsopc_trace::span!("backend.mixed.aerial");
         let (w, h) = mask.dims();
         let kernels32 = self.kernels32(kernels);
         let fft32 = lsopc_fft::plan_t::<f32>(w, h);
@@ -147,6 +148,7 @@ impl SimBackend<f64> for MixedBackend {
     }
 
     fn gradient(&self, kernels: &KernelSet<f64>, mask: &Grid<f64>, z: &Grid<f64>) -> Grid<f64> {
+        let _span = lsopc_trace::span!("backend.mixed.gradient");
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
         let kernels32 = self.kernels32(kernels);

@@ -188,6 +188,7 @@ impl<T: Scalar> LithoSimulator<T> {
             let call = hook
                 .calls
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            lsopc_trace::count("fault.hook_calls", 1);
             // The injector API is `f64` (object-safe); round-trip the
             // gradient through `f64`. At `T = f64` both casts are the
             // identity, so the hook sees and writes the exact values.
@@ -279,8 +280,10 @@ impl<T: Scalar> LithoSimulator<T> {
     pub fn kernels_for(&self, defocus_nm: f64) -> Arc<KernelSet<T>> {
         let key = (defocus_nm * 1000.0).round() as i64;
         if let Some(k) = self.kernel_cache.read().get(&key) {
+            lsopc_trace::count("cache.kernels.hit", 1);
             return Arc::clone(k);
         }
+        lsopc_trace::count("cache.kernels.miss", 1);
         let generated = Arc::new(self.optics.kernels_t::<T>(defocus_nm));
         self.kernel_cache
             .write()
@@ -345,6 +348,7 @@ impl<T: Scalar> LithoSimulator<T> {
 
     /// [`Self::print_corners`] on an explicit [`ParallelContext`].
     pub fn print_corners_with(&self, ctx: &ParallelContext, mask: &Grid<T>) -> PrintedCorners<T> {
+        let _span = lsopc_trace::span!("litho.print_corners");
         self.check_mask(mask);
         let corners = [self.corners.nominal, self.corners.inner, self.corners.outer];
         // Pre-warm the kernel cache serially: concurrent misses on the

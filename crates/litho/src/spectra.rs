@@ -233,8 +233,10 @@ impl SpectrumCache {
     ) -> Arc<EmbeddedSpectra<T>> {
         let key = (kernels.id(), width, height, TypeId::of::<T>());
         if let Some(spectra) = self.map.read().get(&key) {
+            lsopc_trace::count("cache.spectra.hit", 1);
             return downcast_spectra(spectra);
         }
+        lsopc_trace::count("cache.spectra.miss", 1);
         let mut map = self.map.write();
         if !map.contains_key(&key) && map.len() >= SPECTRUM_CACHE_CAPACITY {
             map.clear();

@@ -48,6 +48,7 @@ pub fn evaluate_mask(
     target_layout: &Layout,
     target_grid: &Grid<f64>,
 ) -> MaskEvaluation {
+    let _span = lsopc_trace::span!("metrics.evaluate");
     let corners = sim.print_corners(mask);
     let pixel_nm = sim.pixel_nm();
     let epe = EpeChecker::iccad2013().check(target_layout, &corners.nominal, pixel_nm);

@@ -69,6 +69,7 @@ impl PvBand {
 
     /// [`Self::simulate`] on an explicit [`ParallelContext`].
     pub fn simulate_with(ctx: &ParallelContext, sim: &LithoSimulator, mask: &Grid<f64>) -> Self {
+        let _span = lsopc_trace::span!("pvband.simulate");
         let corners = [sim.corners().inner, sim.corners().outer];
         // Warm the kernel cache serially so concurrent corners don't
         // both generate the same defocus kernels on a cache miss.

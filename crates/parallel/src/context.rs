@@ -98,7 +98,7 @@ impl ParallelContext {
             let env = std::env::var("LSOPC_THREADS").ok();
             let (threads, warning) = resolve_threads(env.as_deref(), hardware);
             if let Some(msg) = warning {
-                eprintln!("lsopc-parallel: {msg}");
+                lsopc_trace::warn("parallel", &msg);
             }
             ParallelContext::new(threads)
         })
@@ -216,11 +216,15 @@ pub fn init_global_threads(threads: usize) -> bool {
     global_cell().set(ParallelContext::new(threads)).is_ok()
 }
 
-/// Clamps a requested thread count to at least 1, warning on stderr when
-/// a caller asked for 0 instead of panicking.
+/// Clamps a requested thread count to at least 1, warning (through the
+/// active trace sink, stderr otherwise) when a caller asked for 0
+/// instead of panicking.
 pub fn sanitize_thread_count(requested: usize, origin: &str) -> usize {
     if requested == 0 {
-        eprintln!("lsopc-parallel: {origin} requested 0 threads; degrading to 1");
+        lsopc_trace::warn(
+            "parallel",
+            &format!("{origin} requested 0 threads; degrading to 1"),
+        );
         1
     } else {
         requested

@@ -76,6 +76,10 @@ struct Job {
     remaining: Arc<AtomicUsize>,
     /// First panic payload raised by any chunk, re-thrown by the caller.
     panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
+    /// Span path of the submitting caller at dispatch time, so worker
+    /// threads report their spans nested under it (`None` when tracing
+    /// is disabled or no span was open).
+    trace_base: Option<Arc<str>>,
 }
 
 impl Job {
@@ -83,11 +87,13 @@ impl Job {
     /// unclaimed chunk remains (other threads may still be finishing
     /// theirs).
     fn run_chunks(&self, shared: &Shared) {
+        let mut claimed = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.chunks {
-                return;
+                break;
             }
+            claimed += 1;
             // SAFETY: `remaining > 0` until this chunk's call returns, and
             // the submitting caller blocks until `remaining == 0`, so the
             // erased closure is alive for the whole call.
@@ -104,6 +110,9 @@ impl Job {
                 let _guard = shared.state.lock();
                 shared.job_done.notify_all();
             }
+        }
+        if claimed > 0 {
+            lsopc_trace::count("pool.chunks", claimed);
         }
     }
 }
@@ -216,6 +225,7 @@ impl ThreadPool {
         }
         let nested = IN_POOL_TASK.with(Cell::get);
         if self.workers.is_empty() || max_threads <= 1 || chunks == 1 || nested {
+            lsopc_trace::count("pool.jobs_inline", 1);
             with_task_flag(|| {
                 for i in 0..chunks {
                     task(i);
@@ -223,6 +233,7 @@ impl ThreadPool {
             });
             return;
         }
+        lsopc_trace::count("pool.jobs", 1);
 
         // SAFETY: the fat reference only needs to outlive this call, and
         // we block below until every chunk has finished; the 'static
@@ -238,6 +249,7 @@ impl ThreadPool {
             )),
             remaining: Arc::new(AtomicUsize::new(chunks)),
             panic: Arc::new(Mutex::new(None)),
+            trace_base: lsopc_trace::current_path_token(),
         };
 
         {
@@ -305,7 +317,11 @@ fn worker_loop(shared: &Shared) {
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| s.checked_sub(1))
             .is_ok();
         if seated {
-            with_task_flag(|| job.run_chunks(shared));
+            // Root this worker's spans under the submitting caller's
+            // path so pool-side work shows up in the right subtree.
+            lsopc_trace::with_base_path(job.trace_base.clone(), || {
+                with_task_flag(|| job.run_chunks(shared));
+            });
         }
     }
 }

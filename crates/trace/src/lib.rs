@@ -1,0 +1,528 @@
+//! Zero-dependency tracing and metrics for the lsopc workspace.
+//!
+//! The workspace needs per-stage timing (FFT passes, kernel folds, the
+//! optimizer phases), cache/pool counters, and per-iteration optimizer
+//! telemetry — without pulling in external `tracing`/`log` crates and
+//! without perturbing the bit-for-bit determinism contract. This crate
+//! provides exactly that substrate:
+//!
+//! - [`span!`] — an RAII scope timer. Guards push onto a thread-local
+//!   span stack, so nested spans produce hierarchical `/`-joined paths
+//!   (`optimize.iter/litho.cost_and_gradient/fft2d.forward`). Worker
+//!   threads of the `lsopc-parallel` pool inherit the submitting
+//!   caller's path via [`current_path_token`]/[`with_base_path`], so
+//!   pool-side work nests under the span that dispatched it.
+//! - [`count`]/[`gauge`] — monotonic counters and last-value gauges
+//!   (cache hits/misses, pool jobs, chunks claimed, guard rollbacks).
+//! - [`warn`] — structured warnings that route through the active sink,
+//!   falling back to stderr when no sink is installed.
+//! - [`iter`] — one structured record per optimizer iteration.
+//!
+//! Events flow to a process-global [`TraceSink`] installed with
+//! [`install`]. With no sink installed every instrumentation point is a
+//! single relaxed atomic load and a branch — no clock read, no
+//! allocation, no locking — which is what makes it safe to leave the
+//! instrumentation compiled into the hot paths unconditionally.
+//!
+//! Determinism: the layer only *observes*. It never changes chunking,
+//! iteration order, or arithmetic, so enabling any sink leaves optimizer
+//! output bit-identical (covered by `trace_determinism` tests in
+//! `lsopc-core`).
+
+mod jsonl;
+mod memory;
+
+pub use jsonl::JsonlSink;
+pub use memory::{MemorySink, ProfileReport, SpanStat};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Version of the event schema emitted by [`JsonlSink`]. Bump when the
+/// shape of serialized events changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One telemetry event. Sinks receive events by reference and must not
+/// block for long: span exits on hot paths call straight into the sink.
+///
+/// Events carry no timestamp; a sink that needs one (e.g. the JSONL
+/// stream) assigns it at write time under its own lock, which also makes
+/// the written timestamps monotonically non-decreasing across threads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event<'a> {
+    /// A span closed: `path` is the full `/`-joined hierarchy including
+    /// the span's own name; `dur_ns` is its wall-clock duration.
+    Span {
+        /// Leaf name as written at the instrumentation point.
+        name: &'static str,
+        /// Full hierarchical path, `/`-joined, including `name`.
+        path: &'a str,
+        /// Wall-clock duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A monotonic counter increment.
+    Count {
+        /// Counter name, e.g. `cache.spectra.hit`.
+        name: &'static str,
+        /// Increment (usually 1).
+        delta: u64,
+    },
+    /// A last-value-wins gauge sample.
+    Gauge {
+        /// Gauge name, e.g. `pool.threads`.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+    },
+    /// A structured warning.
+    Warn {
+        /// Subsystem that raised it, e.g. `parallel`.
+        origin: &'static str,
+        /// Human-readable message.
+        message: &'a str,
+    },
+    /// Per-iteration optimizer telemetry.
+    Iter(&'a IterRecord),
+}
+
+/// One optimizer iteration, as reported by `lsopc-core`.
+///
+/// Mirrors the fields of `IterationRecord` that matter for telemetry;
+/// kept dependency-free here so `lsopc-core` can depend on this crate
+/// and not the other way around.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterRecord {
+    /// Iteration index, 0-based.
+    pub iteration: usize,
+    /// Total cost `nominal + pvb` driving descent.
+    pub cost_total: f64,
+    /// Nominal-dose term of the cost.
+    pub cost_nominal: f64,
+    /// Process-variation-band term of the cost.
+    pub cost_pvb: f64,
+    /// Effective `λ_t` multiplier (1.0 until the guard backs off).
+    pub lambda_scale: f64,
+    /// Conjugate-gradient β (0.0 on restarts).
+    pub beta: f64,
+    /// CFL time step Δt taken this iteration.
+    pub time_step: f64,
+    /// Peak |velocity| before the CFL clamp.
+    pub max_velocity: f64,
+    /// True when the health guard rolled this iteration back.
+    pub rolled_back: bool,
+}
+
+/// Receives every event emitted while installed. Implementations must be
+/// thread-safe: spans close concurrently from pool workers.
+pub trait TraceSink: Send + Sync {
+    /// Handles one event. Called from arbitrary threads.
+    fn event(&self, event: &Event<'_>);
+
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Broadcasts every event to each inner sink in order. Lets `--trace`
+/// (JSONL stream) and `--metrics` (in-memory aggregate) run in the same
+/// process off a single instrumentation pass.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// Builds a fan-out over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn event(&self, event: &Event<'_>) {
+        for sink in &self.sinks {
+            sink.event(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// Fast-path switch: true iff a sink is installed. Every instrumentation
+/// point loads this (Relaxed) before doing any other work.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed sink. Only read when `ENABLED` is true, so the lock is
+/// never touched on the disabled path.
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+thread_local! {
+    /// Names of the spans currently open on this thread, oldest first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Path prefix inherited from another thread (pool workers), if any.
+    static BASE: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// True when a sink is installed. One relaxed atomic load; this is the
+/// disabled-path cost of every instrumentation point.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the process-global event receiver and enables all
+/// instrumentation points. Replaces any previously installed sink.
+pub fn install(sink: Arc<dyn TraceSink>) {
+    let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed sink (flushing it) and disables all
+/// instrumentation points. No-op when nothing is installed.
+pub fn uninstall() {
+    let sink = {
+        let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
+        ENABLED.store(false, Ordering::Release);
+        slot.take()
+    };
+    if let Some(sink) = sink {
+        sink.flush();
+    }
+}
+
+/// Flushes the installed sink, if any.
+pub fn flush() {
+    if let Some(sink) = current_sink() {
+        sink.flush();
+    }
+}
+
+fn current_sink() -> Option<Arc<dyn TraceSink>> {
+    if !enabled() {
+        return None;
+    }
+    SINK.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Emits one event to the installed sink. Cheap no-op when disabled.
+#[inline]
+pub fn emit(event: &Event<'_>) {
+    if !enabled() {
+        return;
+    }
+    if let Some(sink) = current_sink() {
+        sink.event(event);
+    }
+}
+
+/// Increments the monotonic counter `name` by `delta`.
+#[inline]
+pub fn count(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(&Event::Count { name, delta });
+}
+
+/// Samples the gauge `name` at `value` (last value wins in aggregates).
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    emit(&Event::Gauge { name, value });
+}
+
+/// Reports one optimizer iteration.
+#[inline]
+pub fn iter(record: &IterRecord) {
+    if !enabled() {
+        return;
+    }
+    emit(&Event::Iter(record));
+}
+
+/// Raises a structured warning. Routed through the installed sink when
+/// one is present; otherwise printed to stderr so operational warnings
+/// (invalid `LSOPC_THREADS`, …) are never silently dropped.
+pub fn warn(origin: &'static str, message: &str) {
+    if let Some(sink) = current_sink() {
+        sink.event(&Event::Warn { origin, message });
+    } else {
+        // allow-print: stderr fallback when no trace sink is installed.
+        eprintln!("warning: [{origin}] {message}");
+    }
+}
+
+/// Opens a timed span; the span closes (and reports) when the returned
+/// guard drops. Prefer `let _span = span!("name");` — binding to `_`
+/// would drop immediately.
+///
+/// `$name` must be a `&'static str` literal; hierarchy comes from
+/// nesting at runtime, not from the name.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+/// RAII guard for one open span. Created by [`span!`].
+///
+/// Guards must drop in LIFO order on a given thread (the natural order
+/// for scope-based usage); out-of-order drops would mis-attribute paths.
+#[must_use = "a span guard times the scope it lives in; binding to `_` drops it immediately"]
+pub struct SpanGuard {
+    /// `None` when tracing was disabled at entry: the drop is then free.
+    start: Option<Instant>,
+    name: &'static str,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` if tracing is enabled.
+    #[inline]
+    pub fn enter(name: &'static str) -> Self {
+        if !enabled() {
+            return Self { start: None, name };
+        }
+        STACK.with(|stack| stack.borrow_mut().push(name));
+        Self {
+            start: Some(Instant::now()),
+            name,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            debug_assert_eq!(
+                stack.last(),
+                Some(&self.name),
+                "span guards dropped out of order"
+            );
+            stack.pop();
+            joined_path(&stack, Some(self.name))
+        });
+        emit(&Event::Span {
+            name: self.name,
+            path: &path,
+            dur_ns,
+        });
+    }
+}
+
+/// Joins the inherited base path, the open-span stack, and an optional
+/// leaf into one `/`-separated path.
+fn joined_path(stack: &[&'static str], leaf: Option<&'static str>) -> String {
+    let base = BASE.with(|b| b.borrow().clone());
+    let mut path = String::new();
+    if let Some(base) = &base {
+        path.push_str(base);
+    }
+    for name in stack.iter().copied().chain(leaf) {
+        if !path.is_empty() {
+            path.push('/');
+        }
+        path.push_str(name);
+    }
+    path
+}
+
+/// Captures the calling thread's current span path as a cheap clonable
+/// token, or `None` when tracing is disabled or no span is open. The
+/// `lsopc-parallel` pool stores this on each job so worker threads can
+/// nest their spans under the submitting caller's path.
+pub fn current_path_token() -> Option<Arc<str>> {
+    if !enabled() {
+        return None;
+    }
+    let path = STACK.with(|stack| joined_path(&stack.borrow(), None));
+    if path.is_empty() {
+        None
+    } else {
+        Some(Arc::from(path.as_str()))
+    }
+}
+
+/// Runs `f` with this thread's span paths rooted under `base` (a token
+/// from [`current_path_token`] on another thread). The previous base is
+/// restored afterwards, including on panic. `None` runs `f` unchanged.
+pub fn with_base_path<R>(base: Option<Arc<str>>, f: impl FnOnce() -> R) -> R {
+    let Some(base) = base else { return f() };
+    struct Restore(Option<Arc<str>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BASE.with(|b| *b.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(BASE.with(|b| b.borrow_mut().replace(base)));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the process-global sink.
+    static GLOBAL: Mutex<()> = Mutex::new(());
+
+    fn with_memory_sink(f: impl FnOnce()) -> Arc<MemorySink> {
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        f();
+        uninstall();
+        sink
+    }
+
+    #[test]
+    fn disabled_span_reports_nothing() {
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        assert!(!enabled());
+        let _span = span!("quiet");
+        drop(_span);
+        assert!(current_path_token().is_none());
+    }
+
+    #[test]
+    fn nested_spans_produce_hierarchical_paths() {
+        let sink = with_memory_sink(|| {
+            let _outer = span!("outer");
+            {
+                let _inner = span!("inner");
+            }
+        });
+        let report = sink.report();
+        let paths: Vec<&str> = report.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"outer"), "paths: {paths:?}");
+        assert!(paths.contains(&"outer/inner"), "paths: {paths:?}");
+    }
+
+    #[test]
+    fn repeated_spans_aggregate_counts() {
+        let sink = with_memory_sink(|| {
+            for _ in 0..5 {
+                let _span = span!("work");
+            }
+        });
+        let report = sink.report();
+        let stat = report.spans.iter().find(|s| s.path == "work").unwrap();
+        assert_eq!(stat.calls, 5);
+    }
+
+    #[test]
+    fn base_path_roots_worker_spans() {
+        let sink = with_memory_sink(|| {
+            {
+                let _outer = span!("submit");
+            }
+            assert!(
+                current_path_token().is_none(),
+                "token must capture only open spans"
+            );
+            let _outer = span!("submit");
+            let token = current_path_token();
+            assert_eq!(token.as_deref(), Some("submit"));
+            std::thread::scope(|scope| {
+                let token = token.clone();
+                scope.spawn(move || {
+                    with_base_path(token, || {
+                        let _span = span!("chunk");
+                    });
+                });
+            });
+        });
+        let report = sink.report();
+        let paths: Vec<&str> = report.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"submit/chunk"), "paths: {paths:?}");
+    }
+
+    #[test]
+    fn base_path_restored_after_scope() {
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        install(Arc::new(MemorySink::new()));
+        with_base_path(Some(Arc::from("root")), || {
+            with_base_path(Some(Arc::from("deeper")), || {
+                let _span = span!("x");
+            });
+            // Outer base must be back in force.
+            let _outer = span!("y");
+            assert_eq!(current_path_token().as_deref(), Some("root/y"));
+        });
+        assert!(current_path_token().is_none());
+        uninstall();
+    }
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let sink = with_memory_sink(|| {
+            count("cache.hit", 1);
+            count("cache.hit", 2);
+            gauge("threads", 4.0);
+            gauge("threads", 8.0);
+        });
+        let report = sink.report();
+        assert_eq!(report.counters.get("cache.hit"), Some(&3));
+        assert_eq!(report.gauges.get("threads"), Some(&8.0));
+    }
+
+    #[test]
+    fn warn_routes_to_sink_when_installed() {
+        let sink = with_memory_sink(|| {
+            warn("parallel", "requested 0 threads");
+        });
+        let warns = sink.warnings();
+        assert_eq!(warns.len(), 1);
+        assert_eq!(
+            warns[0],
+            ("parallel".to_string(), "requested 0 threads".to_string())
+        );
+    }
+
+    #[test]
+    fn iter_records_collect_in_order() {
+        let sink = with_memory_sink(|| {
+            for i in 0..3 {
+                iter(&IterRecord {
+                    iteration: i,
+                    cost_total: 10.0 - i as f64,
+                    cost_nominal: 8.0,
+                    cost_pvb: 2.0,
+                    lambda_scale: 1.0,
+                    beta: 0.5,
+                    time_step: 0.1,
+                    max_velocity: 3.0,
+                    rolled_back: false,
+                });
+            }
+        });
+        let iters = sink.iterations();
+        assert_eq!(iters.len(), 3);
+        assert_eq!(iters[2].iteration, 2);
+        assert_eq!(iters[0].cost_total, 10.0);
+    }
+
+    #[test]
+    fn fanout_reaches_all_sinks() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let fanout = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fanout.event(&Event::Count {
+            name: "n",
+            delta: 2,
+        });
+        assert_eq!(a.report().counters.get("n"), Some(&2));
+        assert_eq!(b.report().counters.get("n"), Some(&2));
+    }
+}

@@ -1,0 +1,364 @@
+//! In-memory aggregating sink and the profile report built from it.
+
+use crate::{Event, IterRecord, TraceSink};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct State {
+    /// path → (calls, total ns). BTreeMap so reports are deterministic.
+    spans: BTreeMap<String, (u64, u64)>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    warnings: Vec<(String, String)>,
+    iterations: Vec<IterRecord>,
+}
+
+/// Aggregates every event in memory. Backs `--metrics` and the
+/// `lsopc profile` subcommand; also the workhorse of the trace tests.
+#[derive(Default)]
+pub struct MemorySink {
+    state: Mutex<State>,
+}
+
+impl MemorySink {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything aggregated so far.
+    pub fn report(&self) -> ProfileReport {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut spans: Vec<SpanStat> = state
+            .spans
+            .iter()
+            .map(|(path, &(calls, total_ns))| SpanStat {
+                path: path.clone(),
+                calls,
+                total_ns,
+                self_ns: total_ns,
+            })
+            .collect();
+        // Self time = total − Σ direct children, clamped at 0 (children
+        // running concurrently on pool workers can overlap the parent).
+        let totals: BTreeMap<&str, u64> = spans
+            .iter()
+            .map(|s| (s.path.as_str(), s.total_ns))
+            .collect();
+        let mut child_sums: BTreeMap<String, u64> = BTreeMap::new();
+        for stat in &spans {
+            if let Some(idx) = stat.path.rfind('/') {
+                let parent = &stat.path[..idx];
+                if totals.contains_key(parent) {
+                    *child_sums.entry(parent.to_string()).or_insert(0) += stat.total_ns;
+                }
+            }
+        }
+        for stat in &mut spans {
+            let children = child_sums.get(&stat.path).copied().unwrap_or(0);
+            stat.self_ns = stat.total_ns.saturating_sub(children);
+        }
+        spans.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.path.cmp(&b.path)));
+        ProfileReport {
+            spans,
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+            iterations: state.iterations.clone(),
+            warnings: state.warnings.clone(),
+        }
+    }
+
+    /// Warnings received so far, `(origin, message)` in arrival order.
+    pub fn warnings(&self) -> Vec<(String, String)> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .warnings
+            .clone()
+    }
+
+    /// Optimizer iteration records received so far, in arrival order.
+    pub fn iterations(&self) -> Vec<IterRecord> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iterations
+            .clone()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn event(&self, event: &Event<'_>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match event {
+            Event::Span { path, dur_ns, .. } => {
+                let entry = state.spans.entry((*path).to_string()).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += dur_ns;
+            }
+            Event::Count { name, delta } => {
+                *state.counters.entry((*name).to_string()).or_insert(0) += delta;
+            }
+            Event::Gauge { name, value } => {
+                state.gauges.insert((*name).to_string(), *value);
+            }
+            Event::Warn { origin, message } => {
+                state
+                    .warnings
+                    .push(((*origin).to_string(), (*message).to_string()));
+            }
+            Event::Iter(record) => state.iterations.push((*record).clone()),
+        }
+    }
+}
+
+/// Aggregated timing for one span path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStat {
+    /// Full hierarchical `/`-joined path.
+    pub path: String,
+    /// Number of times the span closed.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across all calls.
+    pub total_ns: u64,
+    /// Total minus the summed totals of direct children, clamped at 0.
+    pub self_ns: u64,
+}
+
+/// Snapshot of a [`MemorySink`]: span table (sorted by self time,
+/// descending), counter totals, gauge last-values, and per-iteration
+/// optimizer records.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileReport {
+    /// Span stats, sorted by `self_ns` descending.
+    pub spans: Vec<SpanStat>,
+    /// Counter name → total.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → last sampled value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Optimizer iterations in order.
+    pub iterations: Vec<IterRecord>,
+    /// Warnings `(origin, message)` in order.
+    pub warnings: Vec<(String, String)>,
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+impl ProfileReport {
+    /// Renders the flamegraph-style self/total table plus counter and
+    /// gauge totals as plain text (the `lsopc profile` output).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let path_width = self
+            .spans
+            .iter()
+            .map(|s| s.path.len())
+            .chain(["span".len()])
+            .max()
+            .unwrap_or(4);
+        let _ = writeln!(
+            out,
+            "{:<path_width$}  {:>8}  {:>12}  {:>12}  {:>12}",
+            "span", "calls", "self (ms)", "total (ms)", "ms/call"
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(path_width + 2 + 8 + 2 + 12 + 2 + 12 + 2 + 12)
+        );
+        for stat in &self.spans {
+            let per_call = if stat.calls > 0 {
+                ms(stat.total_ns) / stat.calls as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<path_width$}  {:>8}  {:>12.3}  {:>12.3}  {:>12.4}",
+                stat.path,
+                stat.calls,
+                ms(stat.self_ns),
+                ms(stat.total_ns),
+                per_call
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, total) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {total:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges:");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<40} {value:>12.3}");
+            }
+        }
+        if !self.warnings.is_empty() {
+            let _ = writeln!(out, "\nwarnings:");
+            for (origin, message) in &self.warnings {
+                let _ = writeln!(out, "  [{origin}] {message}");
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as a single JSON object (the `--metrics`
+    /// artifact). Hand-rolled: the workspace has no JSON dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"v\": {},", crate::SCHEMA_VERSION);
+        out.push_str("  \"spans\": [\n");
+        for (i, stat) in self.spans.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"path\": {}, \"calls\": {}, \"total_ns\": {}, \"self_ns\": {}}}",
+                crate::jsonl::json_string(&stat.path),
+                stat.calls,
+                stat.total_ns,
+                stat.self_ns
+            );
+            out.push_str(if i + 1 < self.spans.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"counters\": {");
+        for (i, (name, total)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", crate::jsonl::json_string(name), total);
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {}",
+                crate::jsonl::json_string(name),
+                crate::jsonl::json_f64(*value)
+            );
+        }
+        out.push_str("\n  },\n  \"iterations\": [\n");
+        for (i, rec) in self.iterations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"iteration\": {}, \"cost_total\": {}, \"cost_nominal\": {}, \"cost_pvb\": {}, \"lambda_scale\": {}, \"beta\": {}, \"time_step\": {}, \"max_velocity\": {}, \"rolled_back\": {}}}",
+                rec.iteration,
+                crate::jsonl::json_f64(rec.cost_total),
+                crate::jsonl::json_f64(rec.cost_nominal),
+                crate::jsonl::json_f64(rec.cost_pvb),
+                crate::jsonl::json_f64(rec.lambda_scale),
+                crate::jsonl::json_f64(rec.beta),
+                crate::jsonl::json_f64(rec.time_step),
+                crate::jsonl::json_f64(rec.max_velocity),
+                rec.rolled_back
+            );
+            out.push_str(if i + 1 < self.iterations.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_event(path: &str, dur_ns: u64) -> Event<'_> {
+        Event::Span {
+            name: "leaf",
+            path,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let sink = MemorySink::new();
+        sink.event(&span_event("a", 100));
+        sink.event(&span_event("a/b", 30));
+        sink.event(&span_event("a/b/c", 10));
+        let report = sink.report();
+        let get = |p: &str| report.spans.iter().find(|s| s.path == p).unwrap();
+        assert_eq!(get("a").self_ns, 70); // 100 − 30, grandchild untouched
+        assert_eq!(get("a/b").self_ns, 20);
+        assert_eq!(get("a/b/c").self_ns, 10);
+    }
+
+    #[test]
+    fn overlapping_children_clamp_self_time_at_zero() {
+        // Parallel children can sum past the parent's wall clock.
+        let sink = MemorySink::new();
+        sink.event(&span_event("p", 100));
+        sink.event(&span_event("p/w", 80));
+        sink.event(&span_event("p/w", 80));
+        let report = sink.report();
+        let parent = report.spans.iter().find(|s| s.path == "p").unwrap();
+        assert_eq!(parent.self_ns, 0);
+    }
+
+    #[test]
+    fn orphan_child_keeps_full_self_time() {
+        // A child whose parent never closed must not be subtracted from
+        // a nonexistent row (or panic).
+        let sink = MemorySink::new();
+        sink.event(&span_event("lost/child", 40));
+        let report = sink.report();
+        assert_eq!(report.spans[0].self_ns, 40);
+    }
+
+    #[test]
+    fn report_sorted_by_self_time_descending() {
+        let sink = MemorySink::new();
+        sink.event(&span_event("small", 10));
+        sink.event(&span_event("big", 500));
+        sink.event(&span_event("mid", 50));
+        let order: Vec<String> = sink.report().spans.into_iter().map(|s| s.path).collect();
+        assert_eq!(order, ["big", "mid", "small"]);
+    }
+
+    #[test]
+    fn text_render_lists_spans_and_counters() {
+        let sink = MemorySink::new();
+        sink.event(&span_event("fft2d.forward", 2_000_000));
+        sink.event(&Event::Count {
+            name: "cache.plan.hit",
+            delta: 7,
+        });
+        let text = sink.report().render_text();
+        assert!(text.contains("fft2d.forward"));
+        assert!(text.contains("cache.plan.hit"));
+        assert!(text.contains('7'));
+    }
+
+    #[test]
+    fn json_report_is_balanced_and_contains_fields() {
+        let sink = MemorySink::new();
+        sink.event(&span_event("a", 5));
+        sink.event(&Event::Gauge {
+            name: "pool.threads",
+            value: 4.0,
+        });
+        let json = sink.report().to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert!(json.contains("\"v\": 1"));
+        assert!(json.contains("\"pool.threads\": 4"));
+    }
+}

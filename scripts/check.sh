@@ -32,6 +32,12 @@ LSOPC_THREADS=4 cargo test -q --test precision_tolerance
 LSOPC_THREADS=1 cargo test -q -p lsopc-litho mixed
 LSOPC_THREADS=4 cargo test -q -p lsopc-litho mixed
 
+echo "==> trace suite (overhead + determinism at both pool sizes)"
+# The trace layer must only observe: tracing on leaves the optimizer
+# bit-identical, and the disabled path costs < 1% of an evaluation.
+LSOPC_THREADS=1 cargo test -q -p lsopc-core --test trace_determinism --test trace_overhead
+LSOPC_THREADS=4 cargo test -q -p lsopc-core --test trace_determinism --test trace_overhead
+
 echo "==> bare f64 literal gate (generic precision paths)"
 # Code generic over Scalar must route constants through T::from_f64;
 # a suffixed f64 literal pins the precision silently. Deliberate
@@ -46,6 +52,29 @@ bad=$(awk '
 if [ -n "$bad" ]; then
   echo "error: bare f64 literal in precision-generic code (use T::from_f64," >&2
   echo "or mark deliberate f64 internals with an allow-f64 comment):" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+
+echo "==> library print gate (report via lsopc-trace, not bare prints)"
+# Library crates must report through lsopc_trace::warn (structured, sink-
+# routable) rather than bare println!/eprintln!. Exempt: the CLI front
+# end (main.rs/commands.rs), the bench report binaries (src/bin/),
+# #[cfg(test)] blocks, and deliberate sites carrying an `allow-print`
+# marker on the same or the preceding line.
+bad=$(find crates/*/src -name '*.rs' \
+        ! -path 'crates/cli/src/main.rs' ! -path 'crates/cli/src/commands.rs' \
+        ! -path 'crates/bench/src/bin/*' -print0 |
+  xargs -0 awk '
+    FNR == 1 { in_tests = 0; exempt = 0 }
+    /^#\[cfg\(test\)\]/ { in_tests = 1 }
+    /allow-print/ { exempt = 2 }
+    !in_tests && exempt == 0 && /(^|[^a-zA-Z_"])e?print(ln)?!/ { print FILENAME ":" FNR ": " $0 }
+    { if (exempt > 0) exempt-- }
+  ')
+if [ -n "$bad" ]; then
+  echo "error: bare print in library code (use lsopc_trace::warn, or mark" >&2
+  echo "a deliberate site with an allow-print comment):" >&2
   echo "$bad" >&2
   exit 1
 fi
