@@ -22,7 +22,7 @@ USAGE:
   lsopc optimize --glp <design.glp> --out <mask.glp>
                  [--grid 512] [--iters 30] [--kernels 24] [--pvb-weight 1.0]
                  [--threads N] [--recover on|off|strict]
-                 [--precision f64|f32|mixed]
+                 [--precision f64|f32|mixed] [--rfft on|off]
                  [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc evaluate --glp <design.glp> --mask <mask.glp>
                  [--grid 512] [--kernels 24] [--threads N]
@@ -31,10 +31,11 @@ USAGE:
                  [--threads N]
   lsopc suite    [--cases 1,2,...] [--grid 256] [--iters 20] [--kernels 24]
                  [--threads N] [--recover on|off|strict]
-                 [--precision f64|f32|mixed]
+                 [--precision f64|f32|mixed] [--rfft on|off]
                  [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc profile  [--pattern wire|dense|contacts] [--grid 256] [--iters 10]
                  [--kernels 24] [--threads N] [--recover on|off|strict]
+                 [--rfft on|off]
                  [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc help
 
@@ -49,6 +50,10 @@ to the last healthy checkpoint and halves the step on numerical trouble,
 arithmetic, reproduced on CPU), `mixed` runs f32 convolutions/spectra
 under f64 accumulation and optimizer state (the master-weights pattern).
 Scoring and reporting always run at f64 (see DESIGN.md §11).
+--rfft on routes the backends' real-input transforms through the
+half-spectrum fast path (DESIGN.md §13); results deviate from the dense
+default only at round-off level. A bare --rfft means on; the default is
+off (or the LSOPC_RFFT environment variable when set).
 --trace streams every span/counter/iteration/warning event to the given
 file, one JSON object per line (event schema v1, see DESIGN.md §12);
 --metrics writes the aggregated per-span profile and counter totals as
@@ -103,6 +108,27 @@ fn precision(flags: &Flags) -> Result<Precision, CliError> {
     }
 }
 
+/// Applies `--rfft` to the process-wide routing default
+/// ([`lsopc_fft::set_rfft_default`]); every backend built afterwards
+/// (including the precision variants) picks it up. Absent flag → leave
+/// the default (off, or `LSOPC_RFFT` when set) untouched.
+fn apply_rfft_flag(flags: &Flags) -> Result<(), CliError> {
+    match flags.get("rfft") {
+        None => Ok(()),
+        Some("" | "on" | "1" | "true") => {
+            lsopc_fft::set_rfft_default(true);
+            Ok(())
+        }
+        Some("off" | "0" | "false") => {
+            lsopc_fft::set_rfft_default(false);
+            Ok(())
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "invalid value `{other}` for --rfft: expected on or off"
+        ))),
+    }
+}
+
 /// Everything `build_sim` derives from the flags: the (f64, accelerated)
 /// scoring simulator plus the pieces needed to build precision variants
 /// of it for the optimization loop.
@@ -124,6 +150,7 @@ fn build_sim(flags: &Flags, default_grid: usize) -> Result<SimSetup, CliError> {
     if threads > 0 {
         lsopc_parallel::init_global_threads(threads);
     }
+    apply_rfft_flag(flags)?;
     let pool_threads = lsopc_parallel::ParallelContext::global().threads();
     let pixel_nm = 2048.0 / grid as f64;
     let optics = OpticsConfig::iccad2013().with_kernel_count(kernels);
@@ -577,6 +604,61 @@ mod tests {
             assert!(mask_path.exists(), "--precision {prec} wrote a mask");
             std::fs::remove_file(mask_path).ok();
         }
+        std::fs::remove_file(design_path).ok();
+    }
+
+    #[test]
+    fn optimize_accepts_rfft_flag() {
+        let design_path = tmpfile("rfft_design.glp");
+        let mask_path = tmpfile("rfft_mask.glp");
+        std::fs::write(
+            &design_path,
+            "BEGIN\nCELL rfft_test\nRECT 832 480 384 1088 ;\nEND\n",
+        )
+        .expect("write design");
+        optimize(&to_args(&[
+            "--glp",
+            design_path.to_str().expect("utf8"),
+            "--out",
+            mask_path.to_str().expect("utf8"),
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+            "--iters",
+            "3",
+            "--rfft",
+            "on",
+        ]))
+        .expect("--rfft on runs");
+        assert!(mask_path.exists(), "--rfft on wrote a mask");
+        // The flag sets a process-wide default; restore it for the other
+        // tests in this binary.
+        lsopc_fft::set_rfft_default(false);
+        std::fs::remove_file(design_path).ok();
+        std::fs::remove_file(mask_path).ok();
+    }
+
+    #[test]
+    fn invalid_rfft_is_a_usage_error() {
+        use crate::error::Category;
+        let design_path = tmpfile("rfft_bad_design.glp");
+        std::fs::write(
+            &design_path,
+            "BEGIN\nCELL rfft_bad\nRECT 832 480 384 1088 ;\nEND\n",
+        )
+        .expect("write design");
+        let err = optimize(&to_args(&[
+            "--glp",
+            design_path.to_str().expect("utf8"),
+            "--out",
+            "y.glp",
+            "--rfft",
+            "maybe",
+        ]))
+        .expect_err("bad rfft value");
+        assert_eq!(err.category(), Category::Usage);
+        assert!(err.to_string().contains("--rfft"));
         std::fs::remove_file(design_path).ok();
     }
 

@@ -28,7 +28,7 @@ use std::sync::Arc;
 use lsopc_grid::Scalar;
 use parking_lot::RwLock;
 
-use crate::Fft2d;
+use crate::{Fft2d, RfftPlan};
 
 /// Plans stored by the cache, keyed by `(scalar type, width, height)`.
 /// Values are type-erased `Arc<Fft2d<T>>` (generic statics are illegal in
@@ -44,6 +44,10 @@ type PlanMap = HashMap<(TypeId, usize, usize), Arc<dyn Any + Send + Sync>>;
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: RwLock<PlanMap>,
+    /// Real-input ([`RfftPlan`]) plans, cached separately: the two plan
+    /// kinds have different twiddle tables and a caller asking for one
+    /// never wants the other.
+    rplans: RwLock<PlanMap>,
 }
 
 impl PlanCache {
@@ -96,20 +100,56 @@ impl PlanCache {
         downcast_plan(erased)
     }
 
-    /// Number of distinct `(scalar type, size)` plans currently cached.
+    /// Returns the shared `f64` real-input plan for `width` x `height`
+    /// grids, building it on first use. See [`PlanCache::rplan_t`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or not a power of two (same
+    /// contract as [`RfftPlan::new`]).
+    pub fn rplan(&self, width: usize, height: usize) -> Arc<RfftPlan<f64>> {
+        self.rplan_t::<f64>(width, height)
+    }
+
+    /// Returns the shared real-input ([`RfftPlan`]) plan of scalar type
+    /// `T` for `width` x `height` grids, building it on first use. Cached
+    /// independently of the dense [`Fft2d`] plans and per scalar type,
+    /// with the same `Arc`-sharing guarantees as [`PlanCache::plan_t`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or not a power of two (same
+    /// contract as [`RfftPlan::new`]).
+    pub fn rplan_t<T: Scalar>(&self, width: usize, height: usize) -> Arc<RfftPlan<T>> {
+        let key = (TypeId::of::<T>(), width, height);
+        if let Some(plan) = self.rplans.read().get(&key) {
+            lsopc_trace::count("cache.rplan.hit", 1);
+            return downcast_rplan(plan);
+        }
+        lsopc_trace::count("cache.rplan.miss", 1);
+        let mut rplans = self.rplans.write();
+        let erased = rplans
+            .entry(key)
+            .or_insert_with(|| Arc::new(RfftPlan::<T>::new(width, height)));
+        downcast_rplan(erased)
+    }
+
+    /// Number of distinct `(scalar type, size)` plans currently cached
+    /// (dense and real-input combined).
     pub fn len(&self) -> usize {
-        self.plans.read().len()
+        self.plans.read().len() + self.rplans.read().len()
     }
 
     /// Whether the cache holds no plans.
     pub fn is_empty(&self) -> bool {
-        self.plans.read().is_empty()
+        self.plans.read().is_empty() && self.rplans.read().is_empty()
     }
 
     /// Drops all cached plans. Outstanding `Arc`s stay valid; subsequent
     /// lookups rebuild.
     pub fn clear(&self) {
         self.plans.write().clear();
+        self.rplans.write().clear();
     }
 }
 
@@ -119,6 +159,14 @@ fn downcast_plan<T: Scalar>(erased: &Arc<dyn Any + Send + Sync>) -> Arc<Fft2d<T>
     Arc::clone(erased)
         .downcast::<Fft2d<T>>()
         .unwrap_or_else(|_| unreachable!("plan cache entry keyed by TypeId has that type"))
+}
+
+/// Recovers the typed `Arc<RfftPlan<T>>` from a cache entry. The key's
+/// `TypeId` guarantees the downcast succeeds.
+fn downcast_rplan<T: Scalar>(erased: &Arc<dyn Any + Send + Sync>) -> Arc<RfftPlan<T>> {
+    Arc::clone(erased)
+        .downcast::<RfftPlan<T>>()
+        .unwrap_or_else(|_| unreachable!("rfft plan cache entry keyed by TypeId has that type"))
 }
 
 /// Shared `f64` plan for `width` x `height` grids from the process-global
@@ -139,6 +187,26 @@ pub fn plan(width: usize, height: usize) -> Arc<Fft2d<f64>> {
 /// Panics if either dimension is zero or not a power of two.
 pub fn plan_t<T: Scalar>(width: usize, height: usize) -> Arc<Fft2d<T>> {
     PlanCache::global().plan_t::<T>(width, height)
+}
+
+/// Shared `f64` real-input plan for `width` x `height` grids from the
+/// process-global cache. See [`PlanCache::rplan`].
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or not a power of two.
+pub fn rplan(width: usize, height: usize) -> Arc<RfftPlan<f64>> {
+    PlanCache::global().rplan(width, height)
+}
+
+/// Shared real-input plan of scalar type `T` for `width` x `height` grids
+/// from the process-global cache. See [`PlanCache::rplan_t`].
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or not a power of two.
+pub fn rplan_t<T: Scalar>(width: usize, height: usize) -> Arc<RfftPlan<T>> {
+    PlanCache::global().rplan_t::<T>(width, height)
 }
 
 #[cfg(test)]
@@ -194,6 +262,27 @@ mod tests {
         assert_eq!(cache.len(), 2, "one entry per scalar type");
         assert_eq!((a64.width(), a64.height()), (16, 16));
         assert_eq!((a32.width(), a32.height()), (16, 16));
+    }
+
+    #[test]
+    fn rplans_are_cached_separately_from_dense_plans() {
+        let cache = PlanCache::new();
+        let dense = cache.plan(16, 8);
+        let r1 = cache.rplan(16, 8);
+        let r2 = cache.rplan(16, 8);
+        assert!(Arc::ptr_eq(&r1, &r2), "rfft plans are cached");
+        assert_eq!(cache.len(), 2, "dense and rfft entries are distinct");
+        assert_eq!((dense.width(), dense.height()), (16, 8));
+        let r32 = cache.rplan_t::<f32>(16, 8);
+        assert_eq!((r32.width(), r32.height()), (16, 8));
+        assert_eq!(cache.len(), 3, "per-scalar rfft entries");
+        cache.clear();
+        assert!(cache.is_empty());
+        // Outstanding Arcs stay valid after clear.
+        use lsopc_grid::Grid;
+        let g = Grid::new(16, 8, 1.0_f64);
+        let spec = r1.forward(&g);
+        assert_eq!(spec.dims(), (16, 8));
     }
 
     #[test]

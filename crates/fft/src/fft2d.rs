@@ -279,8 +279,16 @@ impl<T: Scalar> Fft2d<T> {
         self.band_column_pass(ctx, g, cols, false);
     }
 
-    /// Computes the forward transform of a real grid, returning a fresh
-    /// complex grid. Convenience wrapper for the common mask → spectrum step.
+    /// Widens a real grid to complex and runs the **dense** forward
+    /// transform, returning a fresh full-layout complex grid.
+    ///
+    /// This is a convenience wrapper, *not* a real-input fast path: it
+    /// performs exactly the arithmetic of [`Self::forward`] and is
+    /// bit-identical to widening manually. Callers that want the ~2×
+    /// Hermitian-symmetry saving should use [`crate::RfftPlan`], which
+    /// returns a [`crate::HalfSpectrum`] and never materializes the
+    /// redundant mirror half (close to, but not bit-identical with, this
+    /// path).
     ///
     /// # Panics
     ///
@@ -290,12 +298,148 @@ impl<T: Scalar> Fft2d<T> {
         self.forward(&mut c);
         c
     }
+
+    /// Batched [`Self::inverse_band`] over several spectra at once:
+    /// `grids[i]` is inverse-transformed assuming it is nonzero only on
+    /// `cols[i]`. All listed columns across all grids are gathered into
+    /// one buffer and transformed in a single parallel pass, so the pool
+    /// is fed `Σ|cols[i]|` independent column FFTs instead of `len(grids)`
+    /// separate fan-outs — better load balancing when each kernel's band
+    /// alone is narrower than the pool.
+    ///
+    /// **Bit-identical** to calling [`Self::inverse_band`] on each grid in
+    /// order: every column FFT runs the same arithmetic on the same
+    /// values, and writes stay per-grid disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grids` and `cols` lengths differ, any grid's dimensions
+    /// differ from the planned size, or any column index is out of range.
+    pub fn inverse_band_batch(&self, grids: &mut [Grid<Complex<T>>], cols: &[&[usize]]) {
+        self.inverse_band_batch_with(ParallelContext::global(), grids, cols);
+    }
+
+    /// [`Self::inverse_band_batch`] on an explicit [`ParallelContext`].
+    pub fn inverse_band_batch_with(
+        &self,
+        ctx: &ParallelContext,
+        grids: &mut [Grid<Complex<T>>],
+        cols: &[&[usize]],
+    ) {
+        self.check_batch(grids, cols);
+        let _span = lsopc_trace::span!("fft2d.inverse_band_batch");
+        self.batched_band_column_pass(ctx, grids, cols, true);
+        for g in grids.iter_mut() {
+            self.row_pass(ctx, g, true);
+        }
+    }
+
+    /// Batched [`Self::forward_band`] over several grids at once:
+    /// `grids[i]` gets its dense row pass, then only the spectrum columns
+    /// in `cols[i]` get the column pass (off-band columns are left
+    /// **unspecified**, exactly as in [`Self::forward_band`]).
+    ///
+    /// **Bit-identical** to calling [`Self::forward_band`] on each grid in
+    /// order, for the same reason as [`Self::inverse_band_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grids` and `cols` lengths differ, any grid's dimensions
+    /// differ from the planned size, or any column index is out of range.
+    pub fn forward_band_batch(&self, grids: &mut [Grid<Complex<T>>], cols: &[&[usize]]) {
+        self.forward_band_batch_with(ParallelContext::global(), grids, cols);
+    }
+
+    /// [`Self::forward_band_batch`] on an explicit [`ParallelContext`].
+    pub fn forward_band_batch_with(
+        &self,
+        ctx: &ParallelContext,
+        grids: &mut [Grid<Complex<T>>],
+        cols: &[&[usize]],
+    ) {
+        self.check_batch(grids, cols);
+        let _span = lsopc_trace::span!("fft2d.forward_band_batch");
+        for g in grids.iter_mut() {
+            self.row_pass(ctx, g, false);
+        }
+        self.batched_band_column_pass(ctx, grids, cols, false);
+    }
+
+    fn check_batch(&self, grids: &[Grid<Complex<T>>], cols: &[&[usize]]) {
+        assert_eq!(
+            grids.len(),
+            cols.len(),
+            "one column list per grid ({} grids, {} lists)",
+            grids.len(),
+            cols.len()
+        );
+        for g in grids {
+            assert_eq!(
+                g.dims(),
+                (self.width, self.height),
+                "grid dimensions must match plan ({}x{})",
+                self.width,
+                self.height
+            );
+        }
+    }
+
+    /// The strided multi-grid column pass behind the `*_band_batch`
+    /// methods: flatten every `(grid, column)` pair into one work list,
+    /// gather/transform the columns in a single parallel pass, and scatter
+    /// each back to its grid. Identical per-column arithmetic to
+    /// [`Self::band_column_pass`], so batching never changes a bit.
+    fn batched_band_column_pass(
+        &self,
+        ctx: &ParallelContext,
+        grids: &mut [Grid<Complex<T>>],
+        cols: &[&[usize]],
+        inverse: bool,
+    ) {
+        let pairs: Vec<(usize, usize)> = cols
+            .iter()
+            .enumerate()
+            .flat_map(|(gi, cs)| cs.iter().map(move |&x| (gi, x)))
+            .collect();
+        if pairs.is_empty() {
+            return;
+        }
+        let _span = lsopc_trace::span!("fft2d.band_col_pass");
+        for &(_, x) in &pairs {
+            assert!(x < self.width, "band column {x} out of range");
+        }
+        let w = self.width;
+        let h = self.height;
+        let mut buf = vec![Complex::ZERO; pairs.len() * h];
+        {
+            let srcs: Vec<&[Complex<T>]> = grids.iter().map(|g| g.as_slice()).collect();
+            ctx.par_chunks_mut(&mut buf, h, |i, col| {
+                let (gi, x) = pairs[i];
+                let src = srcs[gi];
+                for (y, c) in col.iter_mut().enumerate() {
+                    *c = src[y * w + x];
+                }
+                if inverse {
+                    self.col_plan.inverse(col);
+                } else {
+                    self.col_plan.forward(col);
+                }
+            });
+        }
+        for (i, col) in buf.chunks_exact(h).enumerate() {
+            let (gi, x) = pairs[i];
+            let dst = grids[gi].as_mut_slice();
+            for (y, c) in col.iter().enumerate() {
+                dst[y * w + x] = *c;
+            }
+        }
+    }
 }
 
 /// Rows of work per pool chunk: over-decompose ~4× the lane count for
 /// load balancing. Chunk size only partitions disjoint writes, so it can
 /// depend on the thread count without affecting results.
-fn rows_per_chunk(rows: usize, threads: usize) -> usize {
+pub(crate) fn rows_per_chunk(rows: usize, threads: usize) -> usize {
     rows.div_ceil((threads * 4).max(1)).max(1)
 }
 
@@ -491,5 +635,106 @@ mod tests {
                 assert!((field[(x, y)] - spectrum[(x, y)]).norm() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn degenerate_sizes_roundtrip() {
+        // 1×N and N×1 grids: rows_per_chunk and both passes must neither
+        // panic nor skip work. Pins the current (correct) behavior.
+        for &(w, h) in &[(1usize, 16usize), (16, 1), (1, 1), (2, 1), (1, 2)] {
+            let fft = Fft2d::<f64>::new(w, h);
+            let g = rand_grid(w, h, (w * 17 + h) as u64);
+            let expected = naive_dft2d(&g, false);
+            let mut got = g.clone();
+            fft.forward(&mut got);
+            assert!(max_err(&got, &expected) < 1e-12, "forward at {w}x{h}");
+            fft.inverse(&mut got);
+            assert!(max_err(&got, &g) < 1e-12, "roundtrip at {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn band_passes_handle_degenerate_inputs() {
+        // Empty column list: the column pass is a no-op (the caller
+        // asserts the spectrum is zero on unlisted columns), but the row
+        // pass must still run — the pinned contract, not a silent skip of
+        // the whole transform.
+        let fft = Fft2d::<f64>::new(8, 8);
+        let mut g = rand_grid(8, 8, 3);
+        fft.inverse_band(&mut g, &[]);
+        // Row pass ran: rows are transformed even with no columns listed.
+        let mut rows_only = rand_grid(8, 8, 3);
+        fft.row_pass(ParallelContext::global(), &mut rows_only, true);
+        for (a, b) in g.as_slice().iter().zip(rows_only.as_slice()) {
+            assert_eq!(a.re, b.re);
+            assert_eq!(a.im, b.im);
+        }
+
+        // Single column on a 1-wide grid: the only column is 0.
+        let fft = Fft2d::<f64>::new(1, 8);
+        let spectrum = rand_grid(1, 8, 5);
+        let mut full = spectrum.clone();
+        fft.inverse(&mut full);
+        let mut banded = spectrum;
+        fft.inverse_band(&mut banded, &[0]);
+        for (a, b) in full.as_slice().iter().zip(banded.as_slice()) {
+            assert_eq!(a.re, b.re);
+            assert_eq!(a.im, b.im);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn band_column_out_of_range_panics() {
+        let fft = Fft2d::<f64>::new(8, 8);
+        let mut g = rand_grid(8, 8, 1);
+        fft.inverse_band(&mut g, &[8]);
+    }
+
+    #[test]
+    fn batched_band_passes_are_bit_identical_to_sequential() {
+        let (w, h) = (32, 16);
+        let fft = Fft2d::<f64>::new(w, h);
+        let col_sets: [&[usize]; 4] = [&[0, 1, 30, 31], &[2, 7], &[], &[0, 15, 16]];
+        let grids: Vec<Grid<C64>> = (0..4).map(|i| rand_grid(w, h, 100 + i)).collect();
+
+        let mut seq = grids.clone();
+        for (g, cols) in seq.iter_mut().zip(&col_sets) {
+            fft.inverse_band(g, cols);
+        }
+        let mut batch = grids.clone();
+        fft.inverse_band_batch(&mut batch, &col_sets);
+        for (a, b) in seq.iter().zip(&batch) {
+            assert_eq!(a.as_slice(), b.as_slice(), "inverse batch differs");
+        }
+
+        let mut seq = grids.clone();
+        for (g, cols) in seq.iter_mut().zip(&col_sets) {
+            fft.forward_band(g, cols);
+        }
+        let mut batch = grids;
+        fft.forward_band_batch(&mut batch, &col_sets);
+        // Compare only the specified (listed) columns plus the row-pass
+        // intermediate — which is also deterministic, so full equality
+        // holds here too.
+        for (a, b) in seq.iter().zip(&batch) {
+            assert_eq!(a.as_slice(), b.as_slice(), "forward batch differs");
+        }
+    }
+
+    #[test]
+    fn batched_band_pass_with_empty_batch_is_noop() {
+        let fft = Fft2d::<f64>::new(8, 8);
+        let mut grids: Vec<Grid<C64>> = Vec::new();
+        fft.inverse_band_batch(&mut grids, &[]);
+        fft.forward_band_batch(&mut grids, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one column list per grid")]
+    fn batched_band_pass_length_mismatch_panics() {
+        let fft = Fft2d::<f64>::new(8, 8);
+        let mut grids = vec![rand_grid(8, 8, 1)];
+        fft.inverse_band_batch(&mut grids, &[]);
     }
 }

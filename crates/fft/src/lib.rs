@@ -9,7 +9,14 @@
 //!   with precomputed twiddle factors and bit-reversal tables;
 //! * [`Fft2d`] — row-column 2-D transforms over [`lsopc_grid::Grid`],
 //!   including band-limited variants ([`Fft2d::inverse_band`],
-//!   [`Fft2d::forward_band`]) that skip zero spectrum columns;
+//!   [`Fft2d::forward_band`]) that skip zero spectrum columns, plus
+//!   batched multi-grid variants ([`Fft2d::inverse_band_batch`],
+//!   [`Fft2d::forward_band_batch`]) that share one strided column pass
+//!   across several band-limited spectra;
+//! * [`RfftPlan`]/[`HalfSpectrum`] — a true real-input 2-D transform that
+//!   stores only the non-redundant `(w/2 + 1) × h` Hermitian half and
+//!   reconstructs real output directly (opt-in for the simulation
+//!   backends — see [`rfft_default`]);
 //! * [`PlanCache`]/[`plan`] — a process-wide cache handing out shared
 //!   `Arc<Fft2d>` plans so hot paths never rebuild twiddle tables;
 //! * [`naive_dft`]/[`naive_dft2d`] — O(n²) reference transforms used by the
@@ -47,12 +54,14 @@ mod fft2d;
 mod plan;
 mod reference;
 mod resample;
+mod rfft;
 mod shift;
 
-pub use cache::{plan, plan_t, PlanCache};
+pub use cache::{plan, plan_t, rplan, rplan_t, PlanCache};
 pub use conv::{convolve_cyclic, spectrum_accumulate, spectrum_multiply};
 pub use fft2d::Fft2d;
 pub use plan::FftPlan;
 pub use reference::{naive_dft, naive_dft2d};
 pub use resample::upsample_spectral;
+pub use rfft::{rfft_default, set_rfft_default, HalfSpectrum, RfftPlan};
 pub use shift::{fftshift, ifftshift, wrap_index};

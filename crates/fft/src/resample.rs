@@ -7,7 +7,7 @@
 //! writing 1 nm/px figures from an 8 nm/px simulation).
 
 use crate::wrap_index;
-use lsopc_grid::{Grid, C64};
+use lsopc_grid::{Complex, Grid, Scalar};
 
 /// Upsamples a real periodic field by an integer factor via spectral
 /// zero-padding.
@@ -18,10 +18,16 @@ use lsopc_grid::{Grid, C64};
 /// Non-band-limited inputs (e.g. binary masks) will show Gibbs ringing —
 /// that is the correct spectral interpolation, not an error.
 ///
+/// Generic over the scalar precision `T` (`f32`/`f64`); both the small
+/// and the upsampled transform run at `T` through the shared plan cache.
+/// The dense complex path is used deliberately — this is a one-shot
+/// utility, not a hot loop — so the `f64` instantiation is bit-identical
+/// to what it produced before the precision genericization.
+///
 /// # Panics
 ///
-/// Panics if `factor` is zero, or a dimension is not a power of two (FFT
-/// requirement).
+/// Panics if `factor` is zero, a dimension is not a power of two (FFT
+/// requirement), or `dimension * factor` overflows `usize`.
 ///
 /// # Example
 ///
@@ -39,41 +45,47 @@ use lsopc_grid::{Grid, C64};
 /// // The original samples are reproduced exactly.
 /// assert!((up[(4 * 3, 0)] - g[(3, 0)]).abs() < 1e-12);
 /// ```
-pub fn upsample_spectral(g: &Grid<f64>, factor: usize) -> Grid<f64> {
+pub fn upsample_spectral<T: Scalar>(g: &Grid<T>, factor: usize) -> Grid<T> {
     assert!(factor > 0, "factor must be positive");
     if factor == 1 {
         return g.clone();
     }
     let (w, h) = g.dims();
-    let (big_w, big_h) = (w * factor, h * factor);
-    let fft_small = crate::plan(w, h);
-    let fft_big = crate::plan(big_w, big_h);
+    let big_w = w
+        .checked_mul(factor)
+        .unwrap_or_else(|| panic!("upsampled width {w} * {factor} overflows usize"));
+    let big_h = h
+        .checked_mul(factor)
+        .unwrap_or_else(|| panic!("upsampled height {h} * {factor} overflows usize"));
+    let fft_small = crate::plan_t::<T>(w, h);
+    let fft_big = crate::plan_t::<T>(big_w, big_h);
     let spectrum = fft_small.forward_real(g);
 
-    let mut big = Grid::new(big_w, big_h, C64::ZERO);
+    let mut big = Grid::new(big_w, big_h, Complex::<T>::ZERO);
     // Copy centred frequencies; split the Nyquist row/column so the
     // padded spectrum keeps Hermitian symmetry (real output).
     let half_w = w as i64 / 2;
     let half_h = h as i64 / 2;
+    let half = T::from_f64(0.5);
     for ky in -half_h..=half_h {
         for kx in -half_w..=half_w {
             let src = (wrap_index(kx, w), wrap_index(ky, h));
             let mut v = spectrum[src];
-            let mut weight = 1.0;
+            let mut weight = T::ONE;
             if kx.abs() == half_w && w % 2 == 0 {
-                weight *= 0.5;
+                weight *= half;
             }
             if ky.abs() == half_h && h % 2 == 0 {
-                weight *= 0.5;
+                weight *= half;
             }
-            if weight != 1.0 {
+            if weight != T::ONE {
                 v = v.scale(weight);
             }
             let dst = (wrap_index(kx, big_w), wrap_index(ky, big_h));
             big[dst] += v;
         }
     }
-    let scale = (factor * factor) as f64;
+    let scale = T::from_usize(factor * factor);
     for v in big.as_mut_slice() {
         *v = v.scale(scale);
     }
@@ -152,5 +164,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_factor_panics() {
         let _ = upsample_spectral(&Grid::new(4, 4, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn pathological_factor_overflow_panics_cleanly() {
+        let _ = upsample_spectral(&Grid::new(8, 8, 0.0), usize::MAX / 2);
+    }
+
+    #[test]
+    fn f32_instantiation_tracks_f64() {
+        let n = 16;
+        let g64 = Grid::from_fn(n, n, |x, _| {
+            (2.0 * std::f64::consts::PI * x as f64 / n as f64).cos()
+        });
+        let g32 = g64.map(|&v| v as f32);
+        let up64 = upsample_spectral(&g64, 2);
+        let up32 = upsample_spectral(&g32, 2);
+        assert_eq!(up32.dims(), up64.dims());
+        for (a, b) in up64.as_slice().iter().zip(up32.as_slice()) {
+            assert!((a - f64::from(*b)).abs() < 1e-5);
+        }
     }
 }

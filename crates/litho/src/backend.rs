@@ -54,6 +54,69 @@ pub(crate) fn add_weighted_intensity<T: Scalar>(
     }
 }
 
+/// The mask spectrum in whichever layout the backend's transform path
+/// produced: full dense DFT layout (default, byte-for-byte reproducible)
+/// or the rfft half layout (opt-in, ~2× cheaper to produce).
+#[derive(Debug)]
+pub(crate) enum MaskSpectrum<T: Scalar> {
+    /// Full `w × h` layout from [`lsopc_fft::Fft2d::forward_real`].
+    Dense(Grid<Complex<T>>),
+    /// Hermitian `(w/2 + 1) × h` layout from [`lsopc_fft::RfftPlan`].
+    Half(lsopc_fft::HalfSpectrum<T>),
+}
+
+/// Transforms a real mask into its spectrum, routing through the rfft
+/// fast path when `use_rfft` is set (the plan comes from the shared
+/// [`lsopc_fft::rplan_t`] cache).
+pub(crate) fn mask_spectrum<T: Scalar>(
+    fft: &lsopc_fft::Fft2d<T>,
+    mask: &Grid<T>,
+    use_rfft: bool,
+) -> MaskSpectrum<T> {
+    if use_rfft {
+        let (w, h) = mask.dims();
+        MaskSpectrum::Half(lsopc_fft::rplan_t::<T>(w, h).forward(mask))
+    } else {
+        MaskSpectrum::Dense(fft.forward_real(mask))
+    }
+}
+
+/// `fields[i] ← h_{k_i} ⊗ M` for one chunk of kernels: per-kernel window
+/// application (from either spectrum layout) followed by **one** batched
+/// band inverse over the whole chunk, so the pool sees every column FFT
+/// of the chunk at once instead of one narrow fan-out per kernel.
+/// Bit-identical to the sequential per-kernel transforms (see
+/// [`lsopc_fft::Fft2d::inverse_band_batch`]), so the default dense path
+/// stays byte-for-byte reproducible.
+///
+/// Returns the chunk's kernel indices with their fields, in ascending
+/// kernel order — callers accumulate in that order, preserving the
+/// [`fold_kernel_grids`] determinism contract.
+pub(crate) fn batched_kernel_fields<T: Scalar>(
+    ctx: &ParallelContext,
+    fft: &lsopc_fft::Fft2d<T>,
+    spectra: &EmbeddedSpectra<T>,
+    range: Range<usize>,
+    mhat: &MaskSpectrum<T>,
+) -> (Vec<usize>, Vec<Grid<Complex<T>>>) {
+    let (w, h) = spectra.dims();
+    let ks: Vec<usize> = range.collect();
+    let mut fields: Vec<Grid<Complex<T>>> = ks
+        .iter()
+        .map(|&k| {
+            let mut f = Grid::new(w, h, Complex::<T>::ZERO);
+            match mhat {
+                MaskSpectrum::Dense(m) => spectra.apply_window_into(k, m, &mut f),
+                MaskSpectrum::Half(m) => spectra.apply_window_into_half(k, m, &mut f),
+            }
+            f
+        })
+        .collect();
+    let cols: Vec<&[usize]> = ks.iter().map(|&k| spectra.cols(k)).collect();
+    fft.inverse_band_batch_with(ctx, &mut fields, &cols);
+    (ks, fields)
+}
+
 /// A compute backend for the Hopkins imaging sum and its adjoint.
 ///
 /// Implementations must produce identical results up to floating-point
@@ -208,18 +271,33 @@ fn convolve_direct<T: Scalar>(kernel: &Grid<Complex<T>>, mask: &Grid<T>) -> Grid
 pub struct FftBackend {
     /// `None` → [`ParallelContext::global`].
     ctx: Option<ParallelContext>,
+    /// `None` → the process default ([`lsopc_fft::rfft_default`]).
+    rfft: Option<bool>,
 }
 
 impl FftBackend {
     /// Creates the FFT backend on the process-global [`ParallelContext`].
     pub fn new() -> Self {
-        Self { ctx: None }
+        Self::default()
     }
 
     /// Creates the FFT backend on an explicit context (tests and
     /// thread-count sweeps).
     pub fn with_context(ctx: ParallelContext) -> Self {
-        Self { ctx: Some(ctx) }
+        Self {
+            ctx: Some(ctx),
+            rfft: None,
+        }
+    }
+
+    /// Overrides the rfft routing for this backend instance: `true` runs
+    /// the mask → spectrum step through the real-input fast path
+    /// ([`lsopc_fft::RfftPlan`], close to but not bit-identical with the
+    /// dense path), `false` forces the dense path. Without an override
+    /// the process default ([`lsopc_fft::rfft_default`]) decides.
+    pub fn with_rfft(mut self, enabled: bool) -> Self {
+        self.rfft = Some(enabled);
+        self
     }
 
     fn ctx(&self) -> &ParallelContext {
@@ -227,20 +305,10 @@ impl FftBackend {
             .as_ref()
             .unwrap_or_else(|| ParallelContext::global())
     }
-}
 
-/// `field ← h_k ⊗ M` from the mask spectrum, via the band-limited inverse
-/// transform — the per-kernel field computation shared by the aerial and
-/// gradient passes.
-pub(crate) fn kernel_field_into<T: Scalar>(
-    fft: &lsopc_fft::Fft2d<T>,
-    spectra: &EmbeddedSpectra<T>,
-    k: usize,
-    mhat: &Grid<Complex<T>>,
-    field: &mut Grid<Complex<T>>,
-) {
-    spectra.apply_window_into(k, mhat, field);
-    fft.inverse_band(field, spectra.cols(k));
+    fn rfft(&self) -> bool {
+        self.rfft.unwrap_or_else(lsopc_fft::rfft_default)
+    }
 }
 
 impl<T: Scalar> SimBackend<T> for FftBackend {
@@ -253,15 +321,16 @@ impl<T: Scalar> SimBackend<T> for FftBackend {
         let (w, h) = mask.dims();
         let fft = lsopc_fft::plan_t::<T>(w, h);
         let spectra = SpectrumCache::global().embedded(kernels, w, h);
-        let mhat = fft.forward_real(mask);
+        let mhat = mask_spectrum(&fft, mask, self.rfft());
+        let ctx = self.ctx();
         let empty = Grid::new(w, h, T::ZERO);
-        fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, intensity| {
-            // One scratch field reused across the chunk's kernels;
-            // apply_window_into re-zeroes it each pass.
-            let mut field = Grid::new(w, h, Complex::<T>::ZERO);
-            for k in range {
-                kernel_field_into(&fft, &spectra, k, &mhat, &mut field);
-                add_weighted_intensity(intensity, &field, kernels.weight(k));
+        fold_kernel_grids(ctx, kernels.len(), &empty, |range, intensity| {
+            // The chunk's fields come from one batched band inverse;
+            // accumulation stays in ascending-k order (bit-identical to
+            // the sequential per-kernel path).
+            let (ks, fields) = batched_kernel_fields(ctx, &fft, &spectra, range, &mhat);
+            for (&k, field) in ks.iter().zip(&fields) {
+                add_weighted_intensity(intensity, field, kernels.weight(k));
             }
         })
     }
@@ -272,23 +341,27 @@ impl<T: Scalar> SimBackend<T> for FftBackend {
         let (w, h) = mask.dims();
         let fft = lsopc_fft::plan_t::<T>(w, h);
         let spectra = SpectrumCache::global().embedded(kernels, w, h);
-        let mhat = fft.forward_real(mask);
+        let mhat = mask_spectrum(&fft, mask, self.rfft());
+        let ctx = self.ctx();
         let empty: Grid<Complex<T>> = Grid::new(w, h, Complex::<T>::ZERO);
-        let mut acc = fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, acc| {
-            let mut field = Grid::new(w, h, Complex::<T>::ZERO);
-            for k in range {
-                // e_k = h_k ⊗ M.
-                kernel_field_into(&fft, &spectra, k, &mhat, &mut field);
-                // W = z ⊙ e_k, then Ŵ (needed only on the band columns).
+        let mut acc = fold_kernel_grids(ctx, kernels.len(), &empty, |range, acc| {
+            // e_k = h_k ⊗ M for the whole chunk, one batched inverse.
+            let (ks, mut fields) = batched_kernel_fields(ctx, &fft, &spectra, range, &mhat);
+            // W = z ⊙ e_k, then Ŵ (needed only on the band columns) —
+            // again one batched forward across the chunk.
+            for field in fields.iter_mut() {
                 for (fv, &zv) in field.as_mut_slice().iter_mut().zip(z.as_slice()) {
                     *fv = fv.scale(zv);
                 }
-                fft.forward_band(&mut field, spectra.cols(k));
-                // acc += μ_k · conj(Ŝ_k) ⊙ Ŵ (only the band is non-zero).
-                spectra.accumulate_adjoint(k, &field, kernels.weight(k), acc);
+            }
+            let cols: Vec<&[usize]> = ks.iter().map(|&k| spectra.cols(k)).collect();
+            fft.forward_band_batch_with(ctx, &mut fields, &cols);
+            // acc += μ_k · conj(Ŝ_k) ⊙ Ŵ (only the band is non-zero).
+            for (&k, field) in ks.iter().zip(&fields) {
+                spectra.accumulate_adjoint(k, field, kernels.weight(k), acc);
             }
         });
-        fft.inverse_band_with(self.ctx(), &mut acc, spectra.all_cols());
+        fft.inverse_band_with(ctx, &mut acc, spectra.all_cols());
         let two = T::from_f64(2.0);
         acc.map(|v| two * v.re)
     }
@@ -423,5 +496,43 @@ mod tests {
         let mask = Grid::new(16, 16, 0.0);
         let z = Grid::new(32, 32, 0.0);
         let _ = FftBackend::new().gradient(&kernels, &mask, &z);
+    }
+
+    #[test]
+    fn rfft_path_matches_dense_path() {
+        let kernels = tiny_kernels();
+        let mask = test_mask(32);
+        let dense = FftBackend::new().with_rfft(false);
+        let rfft = FftBackend::new().with_rfft(true);
+        let da = max_diff(
+            &dense.aerial_image(&kernels, &mask),
+            &rfft.aerial_image(&kernels, &mask),
+        );
+        assert!(da < 1e-12, "aerial rfft-vs-dense diff {da}");
+        let z = Grid::from_fn(32, 32, |x, y| {
+            0.1 * ((x as f64 * 0.7).sin() + (y as f64 * 0.3).cos())
+        });
+        let dg = max_diff(
+            &dense.gradient(&kernels, &mask, &z),
+            &rfft.gradient(&kernels, &mask, &z),
+        );
+        assert!(dg < 1e-12, "gradient rfft-vs-dense diff {dg}");
+    }
+
+    #[test]
+    fn rfft_path_is_deterministic_across_thread_counts() {
+        let kernels = tiny_kernels();
+        let mask = test_mask(32);
+        let serial = FftBackend::with_context(ParallelContext::new(1)).with_rfft(true);
+        let threaded = FftBackend::with_context(ParallelContext::new(4)).with_rfft(true);
+        assert_eq!(
+            serial.aerial_image(&kernels, &mask).as_slice(),
+            threaded.aerial_image(&kernels, &mask).as_slice(),
+        );
+        let z = Grid::from_fn(32, 32, |x, _| 0.01 * x as f64);
+        assert_eq!(
+            serial.gradient(&kernels, &mask, &z).as_slice(),
+            threaded.gradient(&kernels, &mask, &z).as_slice(),
+        );
     }
 }

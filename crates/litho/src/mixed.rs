@@ -28,9 +28,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::backend::{fold_kernel_grids, kernel_field_into, SimBackend};
+use crate::backend::{batched_kernel_fields, fold_kernel_grids, mask_spectrum, SimBackend};
 use crate::spectra::SpectrumCache;
-use lsopc_grid::{Complex, Grid, C64};
+use lsopc_grid::{Grid, C64};
 use lsopc_optics::KernelSet;
 use lsopc_parallel::ParallelContext;
 use parking_lot::RwLock;
@@ -76,6 +76,8 @@ const CAST_CACHE_CAPACITY: usize = 16;
 pub struct MixedBackend {
     /// `None` → [`ParallelContext::global`].
     ctx: Option<ParallelContext>,
+    /// `None` → the process default ([`lsopc_fft::rfft_default`]).
+    rfft: Option<bool>,
     /// f32 casts of the f64 kernel sets seen so far, keyed by
     /// [`KernelSet::id`] (sound: sets are immutable after construction).
     casts: RwLock<HashMap<u64, Arc<KernelSet<f32>>>>,
@@ -92,8 +94,22 @@ impl MixedBackend {
     pub fn with_context(ctx: ParallelContext) -> Self {
         Self {
             ctx: Some(ctx),
+            rfft: None,
             casts: RwLock::default(),
         }
+    }
+
+    /// Overrides the rfft routing for this backend instance: `true` runs
+    /// the f32 mask → spectrum step through the real-input fast path.
+    /// Without an override the process default
+    /// ([`lsopc_fft::rfft_default`]) decides.
+    pub fn with_rfft(mut self, enabled: bool) -> Self {
+        self.rfft = Some(enabled);
+        self
+    }
+
+    fn rfft(&self) -> bool {
+        self.rfft.unwrap_or_else(lsopc_fft::rfft_default)
     }
 
     fn ctx(&self) -> &ParallelContext {
@@ -131,12 +147,12 @@ impl SimBackend<f64> for MixedBackend {
         let fft32 = lsopc_fft::plan_t::<f32>(w, h);
         let spectra32 = SpectrumCache::global().embedded(&kernels32, w, h);
         let mask32 = mask.map(|&v| v as f32);
-        let mhat = fft32.forward_real(&mask32);
+        let mhat = mask_spectrum(&fft32, &mask32, self.rfft());
+        let ctx = self.ctx();
         let empty = Grid::new(w, h, 0.0_f64);
-        fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, intensity| {
-            let mut field = Grid::new(w, h, Complex::<f32>::ZERO);
-            for k in range {
-                kernel_field_into(&fft32, &spectra32, k, &mhat, &mut field);
+        fold_kernel_grids(ctx, kernels.len(), &empty, |range, intensity| {
+            let (ks, fields) = batched_kernel_fields(ctx, &fft32, &spectra32, range, &mhat);
+            for (&k, field) in ks.iter().zip(&fields) {
                 // Master-weight accumulation: widen each f32 intensity
                 // sample exactly and sum with the f64 weight.
                 let wk = kernels.weight(k);
@@ -156,26 +172,30 @@ impl SimBackend<f64> for MixedBackend {
         let spectra32 = SpectrumCache::global().embedded(&kernels32, w, h);
         let mask32 = mask.map(|&v| v as f32);
         let z32 = z.map(|&v| v as f32);
-        let mhat = fft32.forward_real(&mask32);
+        let mhat = mask_spectrum(&fft32, &mask32, self.rfft());
+        let ctx = self.ctx();
         let empty: Grid<C64> = Grid::new(w, h, C64::ZERO);
-        let mut acc = fold_kernel_grids(self.ctx(), kernels.len(), &empty, |range, acc| {
-            let mut field = Grid::new(w, h, Complex::<f32>::ZERO);
-            for k in range {
-                // e_k = h_k ⊗ M and Ŵ = FFT(z ⊙ e_k), both at f32.
-                kernel_field_into(&fft32, &spectra32, k, &mhat, &mut field);
+        let mut acc = fold_kernel_grids(ctx, kernels.len(), &empty, |range, acc| {
+            // e_k = h_k ⊗ M and Ŵ = FFT(z ⊙ e_k), both at f32 with the
+            // chunk's band transforms batched.
+            let (ks, mut fields) = batched_kernel_fields(ctx, &fft32, &spectra32, range, &mhat);
+            for field in fields.iter_mut() {
                 for (fv, &zv) in field.as_mut_slice().iter_mut().zip(z32.as_slice()) {
                     *fv = fv.scale(zv);
                 }
-                fft32.forward_band(&mut field, spectra32.cols(k));
-                // acc += μ_k · conj(Ŝ_k) ⊙ Ŵ, accumulated at f64 with the
-                // f64 master weight.
-                spectra32.accumulate_adjoint_upcast(k, &field, kernels.weight(k), acc);
+            }
+            let cols: Vec<&[usize]> = ks.iter().map(|&k| spectra32.cols(k)).collect();
+            fft32.forward_band_batch_with(ctx, &mut fields, &cols);
+            // acc += μ_k · conj(Ŝ_k) ⊙ Ŵ, accumulated at f64 with the
+            // f64 master weight.
+            for (&k, field) in ks.iter().zip(&fields) {
+                spectra32.accumulate_adjoint_upcast(k, field, kernels.weight(k), acc);
             }
         });
         // Finish with one full-size inverse FFT at f64 on the
         // f64-accumulated band spectrum.
         let fft64 = lsopc_fft::plan_t::<f64>(w, h);
-        fft64.inverse_band_with(self.ctx(), &mut acc, spectra32.all_cols());
+        fft64.inverse_band_with(ctx, &mut acc, spectra32.all_cols());
         acc.map(|v| 2.0 * v.re)
     }
 }
@@ -250,6 +270,29 @@ mod tests {
             serial.gradient(&ks, &mask, &z).as_slice(),
             threaded.gradient(&ks, &mask, &z).as_slice(),
         );
+    }
+
+    #[test]
+    fn rfft_path_matches_dense_path_within_f32_rounding() {
+        // The rfft routing changes only the f32 mask → spectrum step, so
+        // the two paths agree to f32 rounding, not bit-exactly.
+        let ks = kernels(8);
+        let mask = test_mask(128);
+        let dense = MixedBackend::new().with_rfft(false);
+        let rfft = MixedBackend::new().with_rfft(true);
+        let da = max_diff(
+            &dense.aerial_image(&ks, &mask),
+            &rfft.aerial_image(&ks, &mask),
+        );
+        assert!(da < 1e-5, "aerial rfft-vs-dense diff {da}");
+        let z = Grid::from_fn(128, 128, |x, y| {
+            0.02 * ((x as f64 * 0.21).sin() + (y as f64 * 0.13).cos())
+        });
+        let dg = max_diff(
+            &dense.gradient(&ks, &mask, &z),
+            &rfft.gradient(&ks, &mask, &z),
+        );
+        assert!(dg < 1e-6, "gradient rfft-vs-dense diff {dg}");
     }
 
     #[test]

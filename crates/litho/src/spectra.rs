@@ -32,7 +32,7 @@ use std::any::{Any, TypeId};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use lsopc_fft::wrap_index;
+use lsopc_fft::{wrap_index, HalfSpectrum};
 use lsopc_grid::{Complex, Grid, Scalar};
 use lsopc_optics::KernelSet;
 use parking_lot::RwLock;
@@ -42,6 +42,12 @@ use parking_lot::RwLock;
 struct SparseKernel<T: Scalar> {
     /// `(y * width + x, value)` for every non-zero window sample.
     entries: Vec<(usize, Complex<T>)>,
+    /// Per entry: the linear index into a `(w/2 + 1) × h` half-spectrum
+    /// layout ([`lsopc_fft::HalfSpectrum`]) holding that sample's mask
+    /// value, and whether the stored value must be conjugated (the entry
+    /// sits in the mirrored half). Precomputed so the rfft path pays no
+    /// per-call wrap arithmetic.
+    half_entries: Vec<(usize, bool)>,
     /// Sorted, deduplicated full-grid columns holding those samples.
     cols: Vec<usize>,
 }
@@ -71,11 +77,13 @@ impl<T: Scalar> EmbeddedSpectra<T> {
             "grid {width}x{height} too small for kernel support {s}"
         );
         let c = kernels.center() as i64;
+        let hw = width / 2 + 1;
         let mut all_cols = BTreeSet::new();
         let sparse: Vec<SparseKernel<T>> = (0..kernels.len())
             .map(|k| {
                 let window = kernels.spectrum(k);
                 let mut entries = Vec::new();
+                let mut half_entries = Vec::new();
                 let mut cols = BTreeSet::new();
                 for (i, j, &v) in window.iter_coords() {
                     if v == Complex::<T>::ZERO {
@@ -84,11 +92,20 @@ impl<T: Scalar> EmbeddedSpectra<T> {
                     let fx = wrap_index(i as i64 - c, width);
                     let fy = wrap_index(j as i64 - c, height);
                     entries.push((fy * width + fx, v));
+                    // The half layout stores kx ≤ w/2; mirrored entries
+                    // read the conjugate of the stored sample.
+                    let (hx, hy, conj) = if fx <= width / 2 {
+                        (fx, fy, false)
+                    } else {
+                        (width - fx, (height - fy) % height, true)
+                    };
+                    half_entries.push((hy * hw + hx, conj));
                     cols.insert(fx);
                 }
                 all_cols.extend(cols.iter().copied());
                 SparseKernel {
                     entries,
+                    half_entries,
                     cols: cols.into_iter().collect(),
                 }
             })
@@ -135,6 +152,34 @@ impl<T: Scalar> EmbeddedSpectra<T> {
         let o = out.as_mut_slice();
         for &(idx, s) in &self.kernels[k].entries {
             o[idx] = s * m[idx];
+        }
+    }
+
+    /// [`Self::apply_window_into`] reading the mask spectrum from the
+    /// rfft half layout: `out := Ŝ_k ⊙ mhat` with mirrored samples
+    /// reconstructed by conjugate symmetry through the precomputed
+    /// `half_entries` table. `out` is still a full dense grid (the band
+    /// inverse transform wants full layout); only the *input* spectrum is
+    /// halved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhat` or `out` does not match the embedded grid size.
+    pub(crate) fn apply_window_into_half(
+        &self,
+        k: usize,
+        mhat: &HalfSpectrum<T>,
+        out: &mut Grid<Complex<T>>,
+    ) {
+        assert_eq!(mhat.dims(), self.dims(), "spectrum dimensions must match");
+        assert_eq!(out.dims(), self.dims(), "output dimensions must match");
+        out.as_mut_slice().fill(Complex::<T>::ZERO);
+        let m = mhat.as_slice();
+        let o = out.as_mut_slice();
+        let kern = &self.kernels[k];
+        for (&(idx, s), &(hidx, conj)) in kern.entries.iter().zip(&kern.half_entries) {
+            let mv = if conj { m[hidx].conj() } else { m[hidx] };
+            o[idx] = s * mv;
         }
     }
 
@@ -305,6 +350,58 @@ mod tests {
             assert!(spectra.cols(k).windows(2).all(|p| p[0] < p[1]));
         }
         assert!(spectra.all_cols().windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn half_window_application_matches_dense_on_real_masks() {
+        // The rfft path feeds apply_window_into_half a HalfSpectrum of a
+        // real mask; the result must match the dense-path application of
+        // the same spectrum to FFT rounding.
+        let ks = kernels();
+        let (w, h) = (32, 32);
+        let spectra = EmbeddedSpectra::new(&ks, w, h);
+        let mask = Grid::from_fn(w, h, |x, y| {
+            if (8..20).contains(&x) && (4..28).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let dense = lsopc_fft::plan(w, h).forward_real(&mask);
+        let half = lsopc_fft::rplan(w, h).forward(&mask);
+        let mut out_dense = Grid::new(w, h, C64::ZERO);
+        let mut out_half = Grid::new(w, h, C64::new(9.0, 9.0)); // scratch garbage
+        for k in 0..ks.len() {
+            spectra.apply_window_into(k, &dense, &mut out_dense);
+            spectra.apply_window_into_half(k, &half, &mut out_half);
+            let err = out_dense
+                .as_slice()
+                .iter()
+                .zip(out_half.as_slice())
+                .map(|(a, b)| (*a - *b).norm())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-12, "kernel {k}: dense vs half diff {err}");
+        }
+    }
+
+    #[test]
+    fn half_entries_mirror_positions_agree_with_hermitian_accessor() {
+        // Bit-exact check of the precomputed table: applying the window
+        // to a synthetic Hermitian-projected spectrum must equal applying
+        // the dense window to its full expansion, sample for sample.
+        let ks = kernels();
+        let (w, h) = (32, 32);
+        let spectra = EmbeddedSpectra::new(&ks, w, h);
+        let arbitrary = Grid::from_fn(w, h, |x, y| C64::new(x as f64 - 3.5, 0.25 * y as f64));
+        let half = lsopc_fft::HalfSpectrum::from_full_hermitian(&arbitrary);
+        let full = half.to_full();
+        let mut via_half = Grid::new(w, h, C64::ZERO);
+        let mut via_dense = Grid::new(w, h, C64::ZERO);
+        for k in 0..ks.len() {
+            spectra.apply_window_into_half(k, &half, &mut via_half);
+            spectra.apply_window_into(k, &full, &mut via_dense);
+            assert_eq!(via_half.as_slice(), via_dense.as_slice(), "kernel {k}");
+        }
     }
 
     #[test]

@@ -32,6 +32,16 @@ LSOPC_THREADS=4 cargo test -q --test precision_tolerance
 LSOPC_THREADS=1 cargo test -q -p lsopc-litho mixed
 LSOPC_THREADS=4 cargo test -q -p lsopc-litho mixed
 
+echo "==> rfft suite (half-spectrum path vs dense oracle + golden hashes)"
+# The opt-in rfft routing must track the dense path at every precision
+# and stay bit-identical across thread counts; the default dense path
+# must keep its golden f64 hashes with the routing code merely present.
+LSOPC_THREADS=1 cargo test -q -p lsopc-fft --test proptest_rfft
+LSOPC_THREADS=4 cargo test -q -p lsopc-fft --test proptest_rfft
+LSOPC_THREADS=1 cargo test -q --test rfft_path
+LSOPC_THREADS=4 cargo test -q --test rfft_path
+LSOPC_THREADS=4 cargo test -q -p lsopc-core --test golden_f64
+
 echo "==> trace suite (overhead + determinism at both pool sizes)"
 # The trace layer must only observe: tracing on leaves the optimizer
 # bit-identical, and the disabled path costs < 1% of an evaluation.

@@ -1,0 +1,158 @@
+//! Acceptance for the opt-in real-input FFT routing (`with_rfft(true)`).
+//!
+//! The rfft path reorders floating-point work, so it is *not* bit-identical
+//! to the dense complex path — but at f64 the deviation is pure round-off
+//! and must stay far inside the f32 tolerances of DESIGN.md §11, and the
+//! level-set optimizer must land on equivalent contest metrics. Every
+//! precision (f64, f32, mixed) runs the short synthetic suite with the
+//! routing enabled; thread-count determinism of the enabled path is pinned
+//! bitwise.
+
+use lsopc::prelude::*;
+use lsopc_core::IltResult;
+use lsopc_grid::Scalar;
+use lsopc_litho::{AcceleratedBackend, MixedBackend, SimBackend};
+use lsopc_metrics::evaluate_mask;
+use lsopc_parallel::ParallelContext;
+
+const GRID: usize = 128;
+const PIXEL_NM: f64 = 4.0;
+const ITERS: usize = 12;
+const KERNELS: usize = 8;
+
+fn layout() -> Layout {
+    let mut layout = Layout::new();
+    layout.push(Rect::new(152, 96, 232, 416).into());
+    layout.push(Rect::new(296, 96, 376, 416).into());
+    layout.push(Rect::new(96, 432, 416, 480).into());
+    layout
+}
+
+fn optics() -> OpticsConfig {
+    OpticsConfig::iccad2013().with_kernel_count(KERNELS)
+}
+
+fn ilt() -> LevelSetIlt {
+    LevelSetIlt::builder().max_iterations(ITERS).build()
+}
+
+fn sim_t<T: Scalar>(backend: Box<dyn SimBackend<T>>) -> LithoSimulator<T> {
+    LithoSimulator::<T>::from_optics(&optics(), GRID, PIXEL_NM)
+        .expect("valid configuration")
+        .with_backend(backend)
+}
+
+fn run_t<T: Scalar>(backend: Box<dyn SimBackend<T>>) -> IltResult<T> {
+    let sim = sim_t(backend);
+    let target = rasterize(&layout(), GRID, GRID, PIXEL_NM).map(|&v| T::from_f64(v));
+    ilt().optimize(&sim, &target).expect("run completes")
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+#[test]
+fn rfft_runs_match_dense_runs_within_tolerance_at_every_precision() {
+    let layout = layout();
+    let target = rasterize(&layout, GRID, GRID, PIXEL_NM);
+    let scoring_sim = LithoSimulator::<f64>::from_optics(&optics(), GRID, PIXEL_NM)
+        .expect("valid configuration")
+        .with_accelerated_backend(2);
+
+    let dense64 = run_t::<f64>(Box::new(AcceleratedBackend::new(2).with_rfft(false)));
+    let rfft64 = run_t::<f64>(Box::new(AcceleratedBackend::new(2).with_rfft(true)));
+    let rfft32 = run_t::<f32>(Box::new(AcceleratedBackend::new(2).with_rfft(true))).to_f64();
+    let rfft_mixed = run_t::<f64>(Box::new(
+        MixedBackend::with_context(ParallelContext::new(2)).with_rfft(true),
+    ));
+
+    // First-iteration cost: identical initial mask, pure forward-model
+    // deviation. f64 rfft is round-off-level; f32/mixed get the §11
+    // budgets, which the rfft reordering must not consume.
+    let c0 = dense64.history[0].cost_total;
+    assert!(
+        rel_diff(rfft64.history[0].cost_total, c0) < 1e-9,
+        "f64 rfft first cost {} vs dense {c0}",
+        rfft64.history[0].cost_total
+    );
+    assert!(
+        rel_diff(rfft32.history[0].cost_total, c0) < 1e-3,
+        "f32 rfft first cost {} vs dense {c0}",
+        rfft32.history[0].cost_total
+    );
+    assert!(
+        rel_diff(rfft_mixed.history[0].cost_total, c0) < 1e-4,
+        "mixed rfft first cost {} vs dense {c0}",
+        rfft_mixed.history[0].cost_total
+    );
+
+    // Contest metrics, all scored by the same f64 evaluator.
+    let e_dense = evaluate_mask(&scoring_sim, &dense64.mask, &layout, &target);
+    for (name, r) in [
+        ("f64+rfft", &rfft64),
+        ("f32+rfft", &rfft32),
+        ("mixed+rfft", &rfft_mixed),
+    ] {
+        let first = r.history.first().expect("history").cost_total;
+        assert!(
+            r.final_cost() < first,
+            "{name} run did not improve: {first} -> {}",
+            r.final_cost()
+        );
+        let e = evaluate_mask(&scoring_sim, &r.mask, &layout, &target);
+        let d_epe = (e.epe.violations as i64 - e_dense.epe.violations as i64).abs();
+        assert!(
+            d_epe <= 3,
+            "{name} EPE {} vs dense {} (tolerance ±3)",
+            e.epe.violations,
+            e_dense.epe.violations
+        );
+        assert!(
+            rel_diff(e.pvb_area_nm2, e_dense.pvb_area_nm2) < 0.10,
+            "{name} PVB {} vs dense {}",
+            e.pvb_area_nm2,
+            e_dense.pvb_area_nm2
+        );
+        assert!(
+            rel_diff(e.score(0.0).value(), e_dense.score(0.0).value()) < 0.10,
+            "{name} score {} vs dense {}",
+            e.score(0.0).value(),
+            e_dense.score(0.0).value()
+        );
+    }
+}
+
+#[test]
+fn rfft_runs_are_bit_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        run_t::<f64>(Box::new(
+            AcceleratedBackend::with_context(ParallelContext::new(threads)).with_rfft(true),
+        ))
+    };
+    let baseline = run(1);
+    for threads in [2, 4] {
+        let other = run(threads);
+        assert_eq!(baseline.iterations, other.iterations, "@{threads} threads");
+        for (i, (x, y)) in baseline
+            .levelset
+            .as_slice()
+            .iter()
+            .zip(other.levelset.as_slice())
+            .enumerate()
+        {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "@{threads} threads: ψ cell {i} differs bitwise: {x} vs {y}"
+            );
+        }
+        for (x, y) in baseline.history.iter().zip(&other.history) {
+            assert_eq!(
+                x.cost_total.to_bits(),
+                y.cost_total.to_bits(),
+                "@{threads} threads: iteration {} cost differs",
+                x.iteration
+            );
+        }
+    }
+}
