@@ -3,7 +3,9 @@
 use crate::args::Flags;
 use crate::error::CliError;
 use lsopc_benchsuite::Iccad2013Suite;
-use lsopc_core::{IltResult, LevelSetIlt, RecoveryPolicy};
+use lsopc_core::{
+    IltResult, LevelSetIlt, RecoveryPolicy, ResolutionSchedule, TiledIlt, WarmStartCache,
+};
 use lsopc_geometry::{
     mask_to_polygons, parse_glp, polygons_to_layout, rasterize, write_glp, Layout,
 };
@@ -23,6 +25,8 @@ USAGE:
                  [--grid 512] [--iters 30] [--kernels 24] [--pvb-weight 1.0]
                  [--threads N] [--recover on|off|strict]
                  [--precision f64|f32|mixed] [--rfft on|off]
+                 [--schedule auto|off|CPX,K,CI,FI]
+                 [--tile N] [--halo N] [--warm-start mem|<dir>] [--warm-iters N]
                  [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc evaluate --glp <design.glp> --mask <mask.glp>
                  [--grid 512] [--kernels 24] [--threads N]
@@ -32,6 +36,7 @@ USAGE:
   lsopc suite    [--cases 1,2,...] [--grid 256] [--iters 20] [--kernels 24]
                  [--threads N] [--recover on|off|strict]
                  [--precision f64|f32|mixed] [--rfft on|off]
+                 [--schedule auto|off|CPX,K,CI,FI]
                  [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc profile  [--pattern wire|dense|contacts] [--grid 256] [--iters 10]
                  [--kernels 24] [--threads N] [--recover on|off|strict]
@@ -54,6 +59,20 @@ Scoring and reporting always run at f64 (see DESIGN.md §11).
 half-spectrum fast path (DESIGN.md §13); results deviate from the dense
 default only at round-off level. A bare --rfft means on; the default is
 off (or the LSOPC_RFFT environment variable when set).
+--schedule runs the early iterations on a coarse grid with a reduced
+kernel set, then upsamples ψ and refines at full resolution (DESIGN.md
+§14). `auto` (also a bare --schedule) derives the stages from the grid
+and --iters, falling back to a flat run when no coarser grid holds the
+optical band; COARSE_PX,KERNELS,COARSE_ITERS,FINE_ITERS pins them. The
+default `off` keeps the historical flat loop bit-for-bit.
+--tile cuts the field into N×N-pixel cores with --halo pixels of optical
+context on each side (default half the core; core + 2·halo must be a
+power of two) and optimizes the tiles concurrently; tiled runs use f64.
+--warm-start (tiled runs only) caches each solved tile's ψ under a
+translation-invariant content fingerprint — `mem` holds it for this
+process, a directory path persists it across runs — so repeated tile
+patterns skip the cold solve and run a short refinement (--warm-iters,
+default a quarter of --iters).
 --trace streams every span/counter/iteration/warning event to the given
 file, one JSON object per line (event schema v1, see DESIGN.md §12);
 --metrics writes the aggregated per-span profile and counter totals as
@@ -126,6 +145,87 @@ fn apply_rfft_flag(flags: &Flags) -> Result<(), CliError> {
         Some(other) => Err(CliError::usage(format!(
             "invalid value `{other}` for --rfft: expected on or off"
         ))),
+    }
+}
+
+/// Parses `--schedule auto|off|CPX,K,CI,FI` against the grid the solves
+/// actually run on (`solve_px`: the tile window in tiled mode, the full
+/// grid otherwise). `auto` quietly degrades to a flat run when no
+/// coarser grid holds the optical band.
+fn schedule_flag(
+    flags: &Flags,
+    solve_px: usize,
+    optics: &OpticsConfig,
+    iters: usize,
+) -> Result<Option<ResolutionSchedule>, CliError> {
+    let spec = match flags.get("schedule") {
+        None | Some("off") => return Ok(None),
+        Some("" | "auto") => return Ok(ResolutionSchedule::auto(solve_px, optics, iters)),
+        Some(spec) => spec,
+    };
+    let parts: Result<Vec<usize>, _> = spec.split(',').map(|t| t.trim().parse()).collect();
+    let parts = parts.map_err(|_| {
+        CliError::usage(format!(
+            "invalid value `{spec}` for --schedule: expected auto, off or \
+             COARSE_PX,KERNELS,COARSE_ITERS,FINE_ITERS"
+        ))
+    })?;
+    let [coarse_px, kernels, coarse_iters, fine_iters] = parts[..] else {
+        return Err(CliError::usage(format!(
+            "--schedule {spec}: expected four comma-separated values \
+             COARSE_PX,KERNELS,COARSE_ITERS,FINE_ITERS"
+        )));
+    };
+    if coarse_px == 0 || !coarse_px.is_power_of_two() {
+        return Err(CliError::usage(format!(
+            "--schedule {spec}: coarse grid {coarse_px} must be a power of two"
+        )));
+    }
+    if kernels == 0 || coarse_iters == 0 || fine_iters == 0 {
+        return Err(CliError::usage(format!(
+            "--schedule {spec}: kernel and iteration counts must be positive"
+        )));
+    }
+    Ok(Some(ResolutionSchedule::new(
+        coarse_px,
+        kernels,
+        coarse_iters,
+        fine_iters,
+    )))
+}
+
+/// Parses `--tile N [--halo M]`. The halo defaults to half the core,
+/// which keeps the tile window a power of two whenever the core is.
+fn tiling_flags(flags: &Flags) -> Result<Option<(usize, usize)>, CliError> {
+    let core: usize = flags.num("tile", 0)?;
+    if core == 0 {
+        if flags.get("tile").is_some() {
+            return Err(CliError::usage("--tile needs a positive pixel count"));
+        }
+        if flags.get("halo").is_some() {
+            return Err(CliError::usage("--halo requires --tile"));
+        }
+        return Ok(None);
+    }
+    let halo: usize = flags.num("halo", core / 2)?;
+    Ok(Some((core, halo)))
+}
+
+/// Parses `--warm-start mem|<dir>` (tiled runs only — the cache keys
+/// whole tile windows).
+fn warm_start_cache(flags: &Flags, tiled: bool) -> Result<Option<WarmStartCache>, CliError> {
+    match flags.get("warm-start") {
+        None => Ok(None),
+        Some(_) if !tiled => Err(CliError::usage(
+            "--warm-start requires --tile (the cache keys tile windows)",
+        )),
+        Some("") => Err(CliError::usage(
+            "--warm-start needs `mem` or a cache directory path",
+        )),
+        Some("mem") => Ok(Some(WarmStartCache::in_memory())),
+        Some(path) => WarmStartCache::directory(path)
+            .map(Some)
+            .map_err(|e| CliError::io(format!("cannot open warm-start cache {path}: {e}"))),
     }
 }
 
@@ -277,6 +377,46 @@ fn optimize_run(flags: &Flags) -> CliResult {
     let w_pvb: f64 = flags.num("pvb-weight", 1.0)?;
     let recovery = recovery_policy(flags)?;
     let precision = precision(flags)?;
+    let tiling = tiling_flags(flags)?;
+    let warm_start = warm_start_cache(flags, tiling.is_some())?;
+    let warm_iters: usize = flags.num("warm-iters", 0)?;
+    if tiling.is_some() && precision != Precision::F64 {
+        return Err(CliError::usage(
+            "--tile runs at f64; drop --precision or the tiling flags",
+        ));
+    }
+    // The schedule resolves against the grid each solve actually runs
+    // on: the tile window in tiled mode, the full grid otherwise.
+    let grid_flag: usize = flags.num("grid", 512)?;
+    let kernels_flag: usize = flags.num("kernels", 24)?;
+    let solve_px = tiling.map_or(grid_flag, |(core, halo)| core + 2 * halo);
+    let schedule = schedule_flag(
+        flags,
+        solve_px,
+        &OpticsConfig::iccad2013().with_kernel_count(kernels_flag),
+        iters,
+    )?;
+    let ilt = LevelSetIlt::builder()
+        .max_iterations(iters)
+        .pvb_weight(w_pvb)
+        .recovery(recovery)
+        .schedule(schedule)
+        .build();
+    // Tile geometry is still flag validation — reject it before the
+    // filesystem comes into play.
+    let tiled = match tiling {
+        Some((core, halo)) => {
+            let mut tiled = TiledIlt::new(ilt.clone(), core, halo).map_err(CliError::from_tiled)?;
+            if let Some(cache) = warm_start {
+                tiled = tiled.with_warm_start(cache);
+            }
+            if warm_iters > 0 {
+                tiled = tiled.with_warm_iterations(warm_iters);
+            }
+            Some(tiled)
+        }
+        None => None,
+    };
     let design = load_layout(&glp_path)?;
     let setup = build_sim(flags, 512)?;
     let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
@@ -286,11 +426,25 @@ fn optimize_run(flags: &Flags) -> CliResult {
         "optimizing {} shapes at {grid}px ({pixel_nm} nm/px), {iters} iterations…",
         design.len()
     );
-    let ilt = LevelSetIlt::builder()
-        .max_iterations(iters)
-        .pvb_weight(w_pvb)
-        .recovery(recovery)
-        .build();
+
+    if let Some(tiled) = tiled {
+        let started = std::time::Instant::now();
+        let (mask, stats) = tiled
+            .optimize_with_stats(&setup.optics, &target, pixel_nm)
+            .map_err(CliError::from_tiled)?;
+        let runtime_s = started.elapsed().as_secs_f64();
+        println!(
+            "done in {runtime_s:.2}s / {} tiles ({} cold, {} warm), \
+             {} full-res iterations (+{} coarse)",
+            stats.tiles,
+            stats.cold,
+            stats.warm,
+            stats.full_iterations(),
+            stats.coarse_iterations
+        );
+        return write_and_score_mask(&setup, &design, &target, &mask, &out_path, runtime_s);
+    }
+
     let result = run_ilt(&ilt, &setup, &target, precision)?;
     if result.diagnostics.has_events() {
         eprintln!(
@@ -304,15 +458,6 @@ fn optimize_run(flags: &Flags) -> CliResult {
             }
         );
     }
-
-    let polygons = mask_to_polygons(&result.mask, pixel_nm);
-    let mut mask_layout = polygons_to_layout(&polygons);
-    mask_layout.name = design.name.clone().map(|n| format!("{n}_opc"));
-    std::fs::write(&out_path, write_glp(&mask_layout))
-        .map_err(|e| CliError::io(format!("cannot write {out_path}: {e}")))?;
-
-    let eval = evaluate_mask(&setup.sim, &result.mask, &design, &target);
-    let complexity = MaskComplexity::measure(&result.mask);
     println!(
         "done in {:.2}s / {} iterations (cost {:.1} -> {:.1})",
         result.runtime_s,
@@ -320,12 +465,40 @@ fn optimize_run(flags: &Flags) -> CliResult {
         result.history.first().map_or(f64::NAN, |r| r.cost_total),
         result.final_cost()
     );
+    write_and_score_mask(
+        &setup,
+        &design,
+        &target,
+        &result.mask,
+        &out_path,
+        result.runtime_s,
+    )
+}
+
+/// Writes the optimized mask as GLP and prints the quality summary
+/// shared by the flat and tiled paths.
+fn write_and_score_mask(
+    setup: &SimSetup,
+    design: &Layout,
+    target: &Grid<f64>,
+    mask: &Grid<f64>,
+    out_path: &str,
+    runtime_s: f64,
+) -> CliResult {
+    let polygons = mask_to_polygons(mask, setup.pixel_nm);
+    let mut mask_layout = polygons_to_layout(&polygons);
+    mask_layout.name = design.name.clone().map(|n| format!("{n}_opc"));
+    std::fs::write(out_path, write_glp(&mask_layout))
+        .map_err(|e| CliError::io(format!("cannot write {out_path}: {e}")))?;
+
+    let eval = evaluate_mask(&setup.sim, mask, design, target);
+    let complexity = MaskComplexity::measure(mask);
     println!(
         "#EPE {}  PVB {:.0} nm²  shapes {}  score {:.0}",
         eval.epe.violations,
         eval.pvb_area_nm2,
         eval.shapes.total(),
-        eval.score(result.runtime_s).value()
+        eval.score(runtime_s).value()
     );
     println!(
         "mask: {} polygons, jaggedness {:.2} -> {out_path}",
@@ -403,6 +576,7 @@ fn suite_run(flags: &Flags) -> CliResult {
     let precision = precision(flags)?;
     let first = build_sim(flags, 256)?;
     let (grid, pixel_nm) = (first.grid, first.pixel_nm);
+    let schedule = schedule_flag(flags, grid, &first.optics, iters)?;
 
     let suite = Iccad2013Suite::new();
     println!(
@@ -422,6 +596,7 @@ fn suite_run(flags: &Flags) -> CliResult {
         let ilt = LevelSetIlt::builder()
             .max_iterations(iters)
             .recovery(recovery)
+            .schedule(schedule)
             .build();
         let result = run_ilt(&ilt, &setup, &target, precision)?;
         let eval = evaluate_mask(&setup.sim, &result.mask, &layout, &target);
@@ -676,6 +851,100 @@ mod tests {
         .expect_err("bad precision");
         assert_eq!(err.category(), Category::Usage);
         assert!(err.to_string().contains("--precision"));
+    }
+
+    #[test]
+    fn optimize_runs_tiled_with_warm_start_and_schedule() {
+        let design_path = tmpfile("tiled_design.glp");
+        let mask_path = tmpfile("tiled_mask.glp");
+        // Two copies of one feature so the warm-start cache gets a hit.
+        std::fs::write(
+            &design_path,
+            "BEGIN\nCELL tiled_test\n\
+             RECT 160 64 160 448 ;\n\
+             RECT 1184 1088 160 448 ;\nEND\n",
+        )
+        .expect("write design");
+        optimize(&to_args(&[
+            "--glp",
+            design_path.to_str().expect("utf8"),
+            "--out",
+            mask_path.to_str().expect("utf8"),
+            "--grid",
+            "512",
+            "--kernels",
+            "4",
+            "--iters",
+            "3",
+            "--tile",
+            "128",
+            "--halo",
+            "64",
+            "--warm-start",
+            "mem",
+            "--schedule",
+            "off",
+        ]))
+        .expect("tiled optimize runs");
+        assert!(mask_path.exists(), "tiled run wrote a mask");
+        std::fs::remove_file(design_path).ok();
+        std::fs::remove_file(mask_path).ok();
+    }
+
+    #[test]
+    fn optimize_accepts_an_explicit_schedule() {
+        let design_path = tmpfile("sched_design.glp");
+        let mask_path = tmpfile("sched_mask.glp");
+        std::fs::write(
+            &design_path,
+            "BEGIN\nCELL sched_test\nRECT 832 480 384 1088 ;\nEND\n",
+        )
+        .expect("write design");
+        optimize(&to_args(&[
+            "--glp",
+            design_path.to_str().expect("utf8"),
+            "--out",
+            mask_path.to_str().expect("utf8"),
+            "--grid",
+            "256",
+            "--kernels",
+            "4",
+            "--iters",
+            "4",
+            "--schedule",
+            "128,4,3,2",
+        ]))
+        .expect("scheduled optimize runs");
+        assert!(mask_path.exists(), "scheduled run wrote a mask");
+        std::fs::remove_file(design_path).ok();
+        std::fs::remove_file(mask_path).ok();
+    }
+
+    #[test]
+    fn schedule_and_tiling_misuse_are_usage_errors() {
+        use crate::error::Category;
+        let base = ["--glp", "x.glp", "--out", "y.glp"];
+        for (extra, needle) in [
+            (&["--schedule", "fast"][..], "--schedule"),
+            (&["--schedule", "100,4,3,2"][..], "power of two"),
+            (&["--schedule", "128,4,0,2"][..], "positive"),
+            (&["--schedule", "128,4,3"][..], "--schedule"),
+            (&["--warm-start", "mem"][..], "--tile"),
+            (&["--halo", "64"][..], "--tile"),
+            (&["--tile", "100", "--halo", "64"][..], "power of two"),
+            (&["--tile", "128", "--halo", "256"][..], "smaller"),
+            (&["--tile", "128", "--warm-start", ""][..], "--warm-start"),
+            (&["--tile", "128", "--precision", "f32"][..], "f64"),
+        ] {
+            let mut args = base.to_vec();
+            args.extend_from_slice(extra);
+            let err = optimize(&to_args(&args)).expect_err("misuse rejected");
+            assert_eq!(err.category(), Category::Usage, "args {args:?}");
+            assert!(
+                err.to_string().contains(needle),
+                "args {args:?}: `{err}` lacks `{needle}`"
+            );
+        }
     }
 
     #[test]

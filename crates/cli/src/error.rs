@@ -1,7 +1,7 @@
 //! Categorized CLI errors with one stable nonzero exit code per
 //! category, so scripts can branch on *why* `lsopc` failed.
 
-use lsopc_core::OptimizeError;
+use lsopc_core::{OptimizeError, TiledError};
 use std::fmt;
 
 /// Failure category; the discriminant is the process exit code.
@@ -66,6 +66,17 @@ impl CliError {
         Self::new(category, e.to_string())
     }
 
+    /// Maps tiled-optimization failures onto the existing categories:
+    /// bad tile geometry is flag misuse, a failed tile simulator is a
+    /// setup failure, and tile solves follow [`CliError::from_optimize`].
+    pub fn from_tiled(e: TiledError) -> Self {
+        match e {
+            TiledError::BadConfiguration(msg) => Self::usage(msg),
+            TiledError::Simulator(e) => Self::setup(e.to_string()),
+            TiledError::Optimize(e) => Self::from_optimize(e),
+        }
+    }
+
     /// The failure category (used by tests to assert code mapping).
     #[cfg(test)]
     pub fn category(&self) -> Category {
@@ -122,6 +133,14 @@ mod tests {
         assert_eq!(e.category(), Category::Recovery);
         assert_eq!(e.exit_code(), 7);
         assert!(e.to_string().contains("gave up"));
+    }
+
+    #[test]
+    fn tiled_errors_map_onto_existing_categories() {
+        let e = CliError::from_tiled(TiledError::BadConfiguration("halo too big".into()));
+        assert_eq!(e.category(), Category::Usage);
+        let e = CliError::from_tiled(TiledError::Optimize(OptimizeError::EmptyTarget));
+        assert_eq!(e.category(), Category::Optimize);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Optimizer configuration and builder.
 
-use crate::RecoveryPolicy;
+use crate::{RecoveryPolicy, ResolutionSchedule};
 use serde::{Deserialize, Serialize};
 
 /// How successive evolution velocities are combined (paper Eq. (15)).
@@ -47,6 +47,8 @@ pub struct LevelSetIlt {
     pub(crate) narrow_band: f64,
     pub(crate) line_search: bool,
     pub(crate) recovery: RecoveryPolicy,
+    #[serde(default)]
+    pub(crate) schedule: Option<ResolutionSchedule>,
 }
 
 impl LevelSetIlt {
@@ -122,6 +124,12 @@ impl LevelSetIlt {
     pub fn recovery(&self) -> RecoveryPolicy {
         self.recovery
     }
+
+    /// The coarse-to-fine [`ResolutionSchedule`], if any (`None` by
+    /// default — the flat single-resolution loop).
+    pub fn schedule(&self) -> Option<ResolutionSchedule> {
+        self.schedule
+    }
 }
 
 impl Default for LevelSetIlt {
@@ -155,6 +163,7 @@ impl LevelSetIltBuilder {
                 narrow_band: 0.0,
                 line_search: false,
                 recovery: RecoveryPolicy::Off,
+                schedule: None,
             },
         }
     }
@@ -286,6 +295,16 @@ impl LevelSetIltBuilder {
     /// last healthy checkpoint and retries with a halved `λ_t`.
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.inner.recovery = policy;
+        self
+    }
+
+    /// Sets (or clears) the coarse-to-fine [`ResolutionSchedule`]. With
+    /// `None` (the default) the optimizer runs the historical flat loop
+    /// bit-for-bit; with a schedule, the stage iteration budgets replace
+    /// [`LevelSetIltBuilder::max_iterations`] (which still bounds
+    /// fallback flat runs on unschedulable grids).
+    pub fn schedule(mut self, schedule: Option<ResolutionSchedule>) -> Self {
+        self.inner.schedule = schedule;
         self
     }
 

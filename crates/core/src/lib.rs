@@ -54,10 +54,14 @@ mod config;
 mod guard;
 mod history;
 mod optimizer;
+mod schedule;
 mod tiles;
+mod warmstart;
 
 pub use config::{Evolution, LevelSetIlt, LevelSetIltBuilder};
 pub use guard::{GuardConfig, GuardEvent, GuardEventKind, RecoveryPolicy, SolverDiagnostics};
 pub use history::IterationRecord;
 pub use optimizer::{IltResult, OptimizeError};
-pub use tiles::{TiledError, TiledIlt};
+pub use schedule::ResolutionSchedule;
+pub use tiles::{TiledError, TiledIlt, TiledStats};
+pub use warmstart::{fingerprint, PatternFingerprint, WarmStartCache};

@@ -2,11 +2,13 @@
 
 use crate::cg::prp_beta;
 use crate::guard::{panic_message, BackoffOutcome, Health, HealthGuard};
-use crate::{Evolution, GuardEventKind, IterationRecord, LevelSetIlt, SolverDiagnostics};
+use crate::{
+    Evolution, GuardEventKind, IterationRecord, LevelSetIlt, ResolutionSchedule, SolverDiagnostics,
+};
 use lsopc_grid::{max_abs, Grid, Scalar};
 use lsopc_levelset::{
     cfl_time_step, curvature, evolve, godunov_gradient, gradient_magnitude, mask_from_levelset,
-    reinitialize, signed_distance, NarrowBand,
+    reinitialize, signed_distance, upsample_levelset, NarrowBand,
 };
 use lsopc_litho::{cost_and_gradient, cost_only, CostReport, LithoSimulator};
 use std::error::Error;
@@ -26,6 +28,19 @@ pub enum OptimizeError {
     },
     /// Target contains no pattern (nothing to optimize).
     EmptyTarget,
+    /// A warm-start level set does not match the simulator grid.
+    InitDimsMismatch {
+        /// Warm-start grid dimensions.
+        init: (usize, usize),
+        /// Simulator grid dimension.
+        sim: usize,
+    },
+    /// A [`ResolutionSchedule`] coarse stage could not build its
+    /// simulator.
+    CoarseStage {
+        /// The underlying build error, rendered.
+        message: String,
+    },
     /// The health guard exhausted its backoffs under
     /// [`RecoveryPolicy::Strict`](crate::RecoveryPolicy::Strict).
     RecoveryFailed {
@@ -45,6 +60,14 @@ impl fmt::Display for OptimizeError {
                 target.0, target.1
             ),
             Self::EmptyTarget => write!(f, "target contains no pattern"),
+            Self::InitDimsMismatch { init, sim } => write!(
+                f,
+                "warm-start level set {}x{} does not match simulator grid {sim}x{sim}",
+                init.0, init.1
+            ),
+            Self::CoarseStage { message } => {
+                write!(f, "coarse-stage simulator: {message}")
+            }
             Self::RecoveryFailed {
                 iteration,
                 backoffs,
@@ -70,10 +93,17 @@ pub struct IltResult<T: Scalar = f64> {
     pub mask: Grid<T>,
     /// The final level-set function `ψ`.
     pub levelset: Grid<T>,
-    /// Per-iteration records (always collected; they are cheap).
+    /// Per-iteration records (always collected; they are cheap). On a
+    /// scheduled run the coarse stage comes first, with fine-stage
+    /// iterations renumbered to continue the count.
     pub history: Vec<IterationRecord>,
-    /// Number of iterations actually run.
+    /// Number of iterations actually run (both stages on a scheduled
+    /// run).
     pub iterations: usize,
+    /// How many of [`IltResult::iterations`] ran on the coarse grid of a
+    /// [`ResolutionSchedule`] (0 on a flat run — every iteration paid
+    /// full-resolution cost).
+    pub coarse_iterations: usize,
     /// True when the run stopped on the `max|v| ≤ ε` criterion.
     pub converged: bool,
     /// End-to-end wall-clock runtime in seconds.
@@ -104,6 +134,7 @@ impl<T: Scalar> IltResult<T> {
             levelset: self.levelset.map(|&v| v.to_f64()),
             history: self.history.clone(),
             iterations: self.iterations,
+            coarse_iterations: self.coarse_iterations,
             converged: self.converged,
             runtime_s: self.runtime_s,
             snapshots: self
@@ -163,6 +194,51 @@ impl LevelSetIlt {
         sim: &LithoSimulator<T>,
         target: &Grid<T>,
     ) -> Result<IltResult<T>, OptimizeError> {
+        let target = self.validate_target(sim, target)?;
+        match self.schedule {
+            Some(schedule) => self.optimize_scheduled(sim, &target, &schedule),
+            None => self.run(sim, &target, None, self.max_iterations),
+        }
+    }
+
+    /// Runs Algorithm 1 from a caller-supplied initial level set instead
+    /// of the target's signed distance — the warm-start entry point: a
+    /// cached ψ from a previously solved (translation-equivalent) tile
+    /// drops the early contour-forming iterations and goes straight to
+    /// refinement.
+    ///
+    /// `init` is used as ψ₀ verbatim (callers wanting a true signed
+    /// distance should reinitialize first). Any configured
+    /// [`ResolutionSchedule`] is ignored: a warm start replaces the
+    /// coarse stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if `init` or the target does not match
+    /// the simulator grid, or the target contains no pattern.
+    pub fn optimize_from<T: Scalar>(
+        &self,
+        sim: &LithoSimulator<T>,
+        target: &Grid<T>,
+        init: Grid<T>,
+    ) -> Result<IltResult<T>, OptimizeError> {
+        let n = sim.grid_px();
+        if init.dims() != (n, n) {
+            return Err(OptimizeError::InitDimsMismatch {
+                init: init.dims(),
+                sim: n,
+            });
+        }
+        let target = self.validate_target(sim, target)?;
+        self.run(sim, &target, Some(init), self.max_iterations)
+    }
+
+    /// Validates and binarizes the target (shared by every entry point).
+    fn validate_target<T: Scalar>(
+        &self,
+        sim: &LithoSimulator<T>,
+        target: &Grid<T>,
+    ) -> Result<Grid<T>, OptimizeError> {
         let n = sim.grid_px();
         if target.dims() != (n, n) {
             return Err(OptimizeError::TargetDimsMismatch {
@@ -174,11 +250,121 @@ impl LevelSetIlt {
         if target.sum() == T::ZERO {
             return Err(OptimizeError::EmptyTarget);
         }
+        Ok(target)
+    }
 
+    /// The two-stage coarse-to-fine path (DESIGN.md §14): solve on the
+    /// schedule's reduced grid/kernel rank, transfer ψ up, refine at
+    /// full resolution. Falls back to a flat run when the schedule is
+    /// degenerate for this grid or the pattern vanishes when
+    /// downsampled.
+    fn optimize_scheduled<T: Scalar>(
+        &self,
+        sim: &LithoSimulator<T>,
+        target: &Grid<T>,
+        schedule: &ResolutionSchedule,
+    ) -> Result<IltResult<T>, OptimizeError> {
         let start = Instant::now();
-        // Line 1: ψ₀ from the initial mask M₀ = R*.
-        let mut psi = signed_distance(&target);
-        let mut history = Vec::with_capacity(self.max_iterations);
+        let Some(factor) = schedule.downsample_factor(sim.grid_px()) else {
+            return self.run(sim, target, None, self.max_iterations);
+        };
+        // Block-average then re-threshold: a feature must cover half a
+        // coarse cell to survive. An all-empty coarse target cannot be
+        // optimized, so fall back to the flat loop.
+        let coarse_target = target.map(|&v| v.to_f64()).downsample(factor).binarize(0.5);
+        if coarse_target.sum() == 0.0 {
+            return self.run(sim, target, None, self.max_iterations);
+        }
+        let coarse_target = coarse_target.map(|&v| T::from_f64(v));
+
+        // The coarse simulator shares the optics (same field period, so
+        // identical physics in cycles-per-field) with a truncated kernel
+        // rank; its plans and spectra go through the same process-wide
+        // caches as any other grid size.
+        let coarse_kernels = schedule.coarse_kernels().min(sim.optics().kernel_count());
+        let coarse_optics = sim.optics().clone().with_kernel_count(coarse_kernels);
+        let coarse_pixel_nm = sim.field_nm() / schedule.coarse_px() as f64;
+        let coarse_sim =
+            LithoSimulator::<T>::from_optics(&coarse_optics, schedule.coarse_px(), coarse_pixel_nm)
+                .map_err(|e| OptimizeError::CoarseStage {
+                    message: e.to_string(),
+                })?
+                .with_accelerated_backend(1);
+
+        let coarse = {
+            let _span = lsopc_trace::span!("optimize.stage.coarse");
+            self.run(
+                &coarse_sim,
+                &coarse_target,
+                None,
+                schedule.coarse_iterations(),
+            )?
+        };
+        // Carry the contour (not the far field) across: band-limited
+        // interpolation of ψ, then exact redistancing on the fine grid.
+        let psi0 = upsample_levelset(&coarse.levelset, factor);
+        let fine = {
+            let _span = lsopc_trace::span!("optimize.stage.fine");
+            self.run(sim, target, Some(psi0), schedule.fine_iterations())?
+        };
+
+        // Merge the stage records into one timeline: fine iterations and
+        // snapshots renumbered past the coarse stage, elapsed times made
+        // monotone. Guard diagnostics accumulate across stages (event
+        // iteration numbers stay stage-local).
+        let coarse_iterations = coarse.iterations;
+        let mut history = coarse.history;
+        let coarse_elapsed = history.last().map_or(0.0, |r| r.elapsed_s);
+        for mut rec in fine.history {
+            rec.iteration += coarse_iterations;
+            rec.elapsed_s += coarse_elapsed;
+            history.push(rec);
+        }
+        let mut diagnostics = coarse.diagnostics;
+        diagnostics.events.extend(fine.diagnostics.events);
+        diagnostics.backoffs += fine.diagnostics.backoffs;
+        diagnostics.recoveries += fine.diagnostics.recoveries;
+        diagnostics.gave_up = fine.diagnostics.gave_up;
+        diagnostics.final_lambda_scale = fine.diagnostics.final_lambda_scale;
+        let snapshots = fine
+            .snapshots
+            .into_iter()
+            .map(|(i, m)| (i + coarse_iterations, m))
+            .collect();
+        Ok(IltResult {
+            mask: fine.mask,
+            levelset: fine.levelset,
+            history,
+            iterations: coarse_iterations + fine.iterations,
+            coarse_iterations,
+            converged: fine.converged,
+            runtime_s: start.elapsed().as_secs_f64(),
+            snapshots,
+            diagnostics,
+        })
+    }
+
+    /// The Algorithm 1 loop itself. `target` is already validated and
+    /// binarized; ψ₀ is `init` when given (warm start / fine stage) and
+    /// the target's signed distance otherwise. With `init = None` and
+    /// `max_iterations = self.max_iterations` this is the historical
+    /// `optimize` body, bit for bit.
+    fn run<T: Scalar>(
+        &self,
+        sim: &LithoSimulator<T>,
+        target: &Grid<T>,
+        init: Option<Grid<T>>,
+        max_iterations: usize,
+    ) -> Result<IltResult<T>, OptimizeError> {
+        let n = sim.grid_px();
+        let start = Instant::now();
+        // Line 1: ψ₀ from the initial mask M₀ = R* — unless a warm
+        // start or a fine stage supplied one.
+        let mut psi = match init {
+            Some(psi0) => psi0,
+            None => signed_distance(target),
+        };
+        let mut history = Vec::with_capacity(max_iterations);
         let mut snapshots = Vec::new();
         let mut prev_gradient_velocity: Option<Grid<T>> = None;
         let mut prev_velocity: Option<Grid<T>> = None;
@@ -191,7 +377,7 @@ impl LevelSetIlt {
         let mut guard = HealthGuard::from_policy(&self.recovery);
         let mut checkpoint: Option<Grid<T>> = None;
 
-        'iterate: for i in 0..self.max_iterations {
+        'iterate: for i in 0..max_iterations {
             let _iter_span = lsopc_trace::span!("optimize.iter");
             iterations = i + 1;
             // Line 7 (Eq. (6)): current binary mask from ψ.
@@ -214,9 +400,9 @@ impl LevelSetIlt {
             // instead of aborting the process.
             let evaluated = match guard {
                 Some(_) => catch_unwind(AssertUnwindSafe(|| {
-                    cost_and_gradient(sim, &mask, &target, self.w_pvb)
+                    cost_and_gradient(sim, &mask, target, self.w_pvb)
                 })),
-                None => Ok(cost_and_gradient(sim, &mask, &target, self.w_pvb)),
+                None => Ok(cost_and_gradient(sim, &mask, target, self.w_pvb)),
             };
             let (report, gradient, mut verdict) = match evaluated {
                 Ok((report, gradient)) => (report, gradient, Health::Healthy),
@@ -458,7 +644,7 @@ impl LevelSetIlt {
                             // step; the post-evolve scan still protects
                             // the fallback step below.
                             match catch_unwind(AssertUnwindSafe(|| {
-                                cost_only(sim, &trial_mask, &target, self.w_pvb).total()
+                                cost_only(sim, &trial_mask, target, self.w_pvb).total()
                             })) {
                                 Ok(cost) => cost,
                                 Err(payload) => {
@@ -472,7 +658,7 @@ impl LevelSetIlt {
                                 }
                             }
                         }
-                        None => cost_only(sim, &trial_mask, &target, self.w_pvb).total(),
+                        None => cost_only(sim, &trial_mask, target, self.w_pvb).total(),
                     };
                     if trial_cost <= report.total() {
                         psi = trial_psi;
@@ -538,9 +724,9 @@ impl LevelSetIlt {
         let final_mask = mask_from_levelset(&psi);
         let final_evaluated = match guard {
             Some(_) => catch_unwind(AssertUnwindSafe(|| {
-                cost_and_gradient(sim, &final_mask, &target, self.w_pvb)
+                cost_and_gradient(sim, &final_mask, target, self.w_pvb)
             })),
-            None => Ok(cost_and_gradient(sim, &final_mask, &target, self.w_pvb)),
+            None => Ok(cost_and_gradient(sim, &final_mask, target, self.w_pvb)),
         };
         let final_total = match final_evaluated {
             Ok((final_report, _)) => {
@@ -588,6 +774,7 @@ impl LevelSetIlt {
             levelset,
             history,
             iterations,
+            coarse_iterations: 0,
             converged,
             runtime_s: start.elapsed().as_secs_f64(),
             snapshots,
@@ -986,5 +1173,171 @@ mod line_search_tests {
         // And the guarded run still makes progress.
         let first = guarded.history.first().expect("history").cost_total;
         assert!(guarded.final_cost() < first);
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+    use crate::ResolutionSchedule;
+    use lsopc_optics::OpticsConfig;
+
+    fn optics() -> OpticsConfig {
+        OpticsConfig::iccad2013().with_kernel_count(4)
+    }
+
+    fn sim_256() -> LithoSimulator {
+        LithoSimulator::from_optics(&optics(), 256, 4.0)
+            .expect("valid configuration")
+            .with_accelerated_backend(1)
+    }
+
+    fn wire_target_256() -> Grid<f64> {
+        Grid::from_fn(256, 256, |x, y| {
+            if (104..152).contains(&x) && (48..208).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn scheduled_run_executes_both_stages_and_improves() {
+        let sim = sim_256();
+        let target = wire_target_256();
+        let schedule =
+            ResolutionSchedule::auto(256, &optics(), 9).expect("256 px grid is schedulable");
+        let result = LevelSetIlt::builder()
+            .max_iterations(9)
+            .schedule(Some(schedule))
+            .build()
+            .optimize(&sim, &target)
+            .expect("scheduled run");
+        assert_eq!(result.coarse_iterations, schedule.coarse_iterations());
+        assert_eq!(
+            result.iterations,
+            result.coarse_iterations + schedule.fine_iterations()
+        );
+        // Merged history: stage-local records renumbered into one
+        // strictly increasing sequence with no gap at the seam.
+        assert_eq!(result.history.len(), result.iterations);
+        for (i, rec) in result.history.iter().enumerate() {
+            assert_eq!(rec.iteration, i);
+        }
+        // Coarse-grid costs live on a smaller grid (fewer cells), so
+        // improvement is judged per stage: within the coarse records and
+        // from the first full-resolution record to the end.
+        let coarse_first = result.history.first().expect("history");
+        let coarse_last = &result.history[result.coarse_iterations - 1];
+        assert!(coarse_last.cost_total < coarse_first.cost_total);
+        let fine_first = &result.history[result.coarse_iterations];
+        assert!(
+            result.final_cost() < fine_first.cost_total,
+            "fine stage regressed: {} -> {}",
+            fine_first.cost_total,
+            result.final_cost()
+        );
+        assert!(result.mask.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(result.mask.sum() > 0.0);
+    }
+
+    #[test]
+    fn scheduled_final_cost_is_near_the_flat_run() {
+        // The schedule is a wall-clock optimization, not a quality
+        // change: with matched total budgets the final cost must land in
+        // the same neighbourhood as the flat solve (DESIGN.md §14 gives
+        // the accuracy contract; 20% covers the discrete mask flips).
+        let sim = sim_256();
+        let target = wire_target_256();
+        let flat = LevelSetIlt::builder()
+            .max_iterations(9)
+            .build()
+            .optimize(&sim, &target)
+            .expect("flat run");
+        let schedule =
+            ResolutionSchedule::auto(256, &optics(), 9).expect("256 px grid is schedulable");
+        let scheduled = LevelSetIlt::builder()
+            .max_iterations(9)
+            .schedule(Some(schedule))
+            .build()
+            .optimize(&sim, &target)
+            .expect("scheduled run");
+        let rel = (scheduled.final_cost() - flat.final_cost()).abs() / flat.final_cost();
+        assert!(
+            rel < 0.20,
+            "scheduled {} vs flat {} ({}% apart)",
+            scheduled.final_cost(),
+            flat.final_cost(),
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn unschedulable_grid_falls_back_to_the_flat_loop() {
+        // 64 px is below the coarse floor: Option stays None and the
+        // configured schedule must be ignored, not an error.
+        let sim = LithoSimulator::from_optics(&optics(), 64, 4.0).expect("valid configuration");
+        let target = Grid::from_fn(64, 64, |x, y| {
+            if (26..38).contains(&x) && (12..52).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        assert!(ResolutionSchedule::auto(64, &optics(), 9).is_none());
+        let schedule = ResolutionSchedule::new(128, 2, 6, 3);
+        let result = LevelSetIlt::builder()
+            .max_iterations(5)
+            .schedule(Some(schedule))
+            .build()
+            .optimize(&sim, &target)
+            .expect("fallback run");
+        assert_eq!(result.coarse_iterations, 0);
+        assert_eq!(result.iterations, 5);
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_init_dims() {
+        let sim = LithoSimulator::from_optics(&optics(), 64, 4.0).expect("valid configuration");
+        let target = Grid::from_fn(64, 64, |x, y| {
+            if (26..38).contains(&x) && (12..52).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let err = LevelSetIlt::builder()
+            .max_iterations(3)
+            .build()
+            .optimize_from(&sim, &target, Grid::new(32, 32, 1.0))
+            .expect_err("should fail");
+        assert!(matches!(err, OptimizeError::InitDimsMismatch { .. }));
+        assert!(err.to_string().contains("32x32"));
+    }
+
+    #[test]
+    fn warm_start_from_own_levelset_reconverges_immediately() {
+        let sim = LithoSimulator::from_optics(&optics(), 64, 4.0).expect("valid configuration");
+        let target = Grid::from_fn(64, 64, |x, y| {
+            if (26..38).contains(&x) && (12..52).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let opt = LevelSetIlt::builder().max_iterations(8).build();
+        let cold = opt.optimize(&sim, &target).expect("cold run");
+        let warm = opt
+            .optimize_from(&sim, &target, cold.levelset.clone())
+            .expect("warm run");
+        // Restarting from the solved ψ must not undo the work.
+        assert!(
+            warm.final_cost() <= cold.final_cost() * 1.05,
+            "warm {} much worse than cold {}",
+            warm.final_cost(),
+            cold.final_cost()
+        );
+        assert_eq!(warm.coarse_iterations, 0);
     }
 }

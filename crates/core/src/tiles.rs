@@ -9,13 +9,18 @@
 //!
 //! This module implements that flow on top of [`LevelSetIlt`]; it is an
 //! extension beyond the paper (whose benchmarks are single tiles by
-//! construction).
+//! construction). With a [`WarmStartCache`] attached, repeated tile
+//! patterns are recognized by content (translation-invariant
+//! fingerprints) and solved with a short warm refinement from the cached
+//! ψ instead of a full cold run — see DESIGN.md §14.
 
-use crate::{LevelSetIlt, OptimizeError};
+use crate::warmstart::{fingerprint, PatternFingerprint, WarmStartCache};
+use crate::{IltResult, LevelSetIlt, OptimizeError};
 use lsopc_grid::Grid;
 use lsopc_litho::{BuildSimulatorError, LithoSimulator};
 use lsopc_optics::OpticsConfig;
 use lsopc_parallel::ParallelContext;
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
@@ -62,6 +67,49 @@ impl From<OptimizeError> for TiledError {
     }
 }
 
+/// What a tiled run did: tile counts and iteration totals, split by
+/// whether the tile solved cold (full run from the target's signed
+/// distance) or warm (short refinement from a cached ψ).
+///
+/// "Full" iterations are full-resolution ones — with a
+/// [`ResolutionSchedule`](crate::ResolutionSchedule) on the tile
+/// optimizer, coarse-stage iterations are tallied separately.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TiledStats {
+    /// Non-empty tiles optimized.
+    pub tiles: usize,
+    /// Tiles solved cold.
+    pub cold: usize,
+    /// Tiles warm-started from the cache.
+    pub warm: usize,
+    /// Full-resolution iterations spent on cold tiles.
+    pub cold_full_iterations: usize,
+    /// Full-resolution iterations spent on warm tiles.
+    pub warm_full_iterations: usize,
+    /// Coarse-stage iterations across all tiles (0 without a schedule).
+    pub coarse_iterations: usize,
+}
+
+impl TiledStats {
+    /// Total full-resolution iterations across all tiles.
+    pub fn full_iterations(&self) -> usize {
+        self.cold_full_iterations + self.warm_full_iterations
+    }
+
+    fn tally(&mut self, result: &IltResult<f64>, warm: bool) {
+        self.tiles += 1;
+        let full = result.iterations - result.coarse_iterations;
+        self.coarse_iterations += result.coarse_iterations;
+        if warm {
+            self.warm += 1;
+            self.warm_full_iterations += full;
+        } else {
+            self.cold += 1;
+            self.cold_full_iterations += full;
+        }
+    }
+}
+
 /// Tile-partitioned level-set ILT.
 ///
 /// # Example
@@ -72,7 +120,7 @@ impl From<OptimizeError> for TiledError {
 /// use lsopc_grid::Grid;
 /// use lsopc_optics::OpticsConfig;
 ///
-/// let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(20).build(), 128, 64);
+/// let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(20).build(), 128, 64)?;
 /// let target = Grid::new(512, 512, 0.0);
 /// let mask = tiled.optimize(&OpticsConfig::iccad2013(), &target, 4.0)?;
 /// # Ok(())
@@ -83,6 +131,8 @@ pub struct TiledIlt {
     optimizer: LevelSetIlt,
     core_px: usize,
     halo_px: usize,
+    warm_start: Option<WarmStartCache>,
+    warm_iterations: Option<usize>,
     /// `None` → [`ParallelContext::global`].
     ctx: Option<ParallelContext>,
 }
@@ -92,23 +142,62 @@ impl TiledIlt {
     /// `halo_px` of context on every side (`core + 2·halo` must be a
     /// power of two).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `core_px` is zero or `core_px + 2·halo_px` is not a
-    /// power of two.
-    pub fn new(optimizer: LevelSetIlt, core_px: usize, halo_px: usize) -> Self {
-        assert!(core_px > 0, "core size must be positive");
-        assert!(
-            (core_px + 2 * halo_px).is_power_of_two(),
-            "core + 2·halo = {} must be a power of two",
-            core_px + 2 * halo_px
-        );
-        Self {
+    /// Returns [`TiledError::BadConfiguration`] when the geometry is
+    /// degenerate: a zero core, a halo at least as large as the core
+    /// (the "core" would be mostly duplicated context), an overflowing
+    /// tile size, or a tile that is not a power of two (FFT
+    /// requirement).
+    pub fn new(optimizer: LevelSetIlt, core_px: usize, halo_px: usize) -> Result<Self, TiledError> {
+        let bad = |msg: String| Err(TiledError::BadConfiguration(msg));
+        if core_px == 0 {
+            return bad("core size must be positive".into());
+        }
+        if halo_px >= core_px {
+            return bad(format!(
+                "halo {halo_px}px must be smaller than the {core_px}px core"
+            ));
+        }
+        let Some(tile) = halo_px
+            .checked_mul(2)
+            .and_then(|h2| core_px.checked_add(h2))
+        else {
+            return bad(format!("tile size {core_px} + 2·{halo_px} overflows"));
+        };
+        if !tile.is_power_of_two() {
+            return bad(format!("core + 2·halo = {tile} must be a power of two"));
+        }
+        Ok(Self {
             optimizer,
             core_px,
             halo_px,
+            warm_start: None,
+            warm_iterations: None,
             ctx: None,
-        }
+        })
+    }
+
+    /// Attaches a [`WarmStartCache`]: tiles whose pattern (up to
+    /// whole-pixel translation) is already cached — from an earlier run
+    /// via a shared/directory cache, or from an earlier tile of this run
+    /// — skip the cold solve and run a short refinement from the cached
+    /// ψ.
+    pub fn with_warm_start(mut self, cache: WarmStartCache) -> Self {
+        self.warm_start = Some(cache);
+        self
+    }
+
+    /// Overrides the warm-tile refinement budget (default: a quarter of
+    /// the optimizer's `max_iterations`, at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn with_warm_iterations(mut self, iterations: usize) -> Self {
+        assert!(iterations > 0, "warm iteration budget must be positive");
+        self.warm_iterations = Some(iterations);
+        self
     }
 
     /// Runs tile optimizations on an explicit [`ParallelContext`] instead
@@ -129,14 +218,15 @@ impl TiledIlt {
         self.core_px + 2 * self.halo_px
     }
 
+    /// The warm-tile refinement budget in effect.
+    pub fn warm_iterations(&self) -> usize {
+        self.warm_iterations
+            .unwrap_or_else(|| (self.optimizer.max_iterations / 4).max(2))
+    }
+
     /// Optimizes a (possibly large) target by tiles and stitches the
-    /// result. Empty tiles are skipped.
-    ///
-    /// Tiles are independent given the halo design and are optimized
-    /// concurrently on the shared pool. The stitch (and the choice of
-    /// which error is reported when several tiles fail) follows the
-    /// deterministic row-major tile order, so the output never depends on
-    /// which tile finished first.
+    /// result. Empty tiles are skipped. See
+    /// [`TiledIlt::optimize_with_stats`] for the full contract.
     ///
     /// # Errors
     ///
@@ -148,6 +238,37 @@ impl TiledIlt {
         target: &Grid<f64>,
         pixel_nm: f64,
     ) -> Result<Grid<f64>, TiledError> {
+        self.optimize_with_stats(optics, target, pixel_nm)
+            .map(|(mask, _)| mask)
+    }
+
+    /// [`TiledIlt::optimize`], also reporting per-run [`TiledStats`].
+    ///
+    /// Tiles are independent given the halo design and are optimized
+    /// concurrently on the shared pool. The stitch (and the choice of
+    /// which error is reported when several tiles fail) follows the
+    /// deterministic row-major tile order, so the output never depends
+    /// on which tile finished first.
+    ///
+    /// With a warm-start cache the run is two deterministic phases:
+    /// every pattern's first occurrence (row-major) not already cached
+    /// solves cold in phase one and is stored; phase two warm-starts the
+    /// remaining tiles from the cache. Classification depends only on
+    /// the tile contents and the cache state at entry — never on thread
+    /// scheduling — so results are bit-identical across thread counts
+    /// (pinned by `tests/parallel_tiles.rs`). Cold-phase failures are
+    /// reported (first in row-major order) before warm-phase ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TiledError`] when the target is not a multiple of the
+    /// core size, or a tile fails to simulate/optimize.
+    pub fn optimize_with_stats(
+        &self,
+        optics: &OpticsConfig,
+        target: &Grid<f64>,
+        pixel_nm: f64,
+    ) -> Result<(Grid<f64>, TiledStats), TiledError> {
         let (w, h) = target.dims();
         if w % self.core_px != 0 || h % self.core_px != 0 {
             return Err(TiledError::BadConfiguration(format!(
@@ -185,15 +306,90 @@ impl TiledIlt {
             }
         }
 
-        let results = self
-            .ctx()
-            .par_map(tiles.len(), |i| self.optimizer.optimize(&sim, &tiles[i].2));
+        // Classify tiles by content, in row-major order so the choice of
+        // each pattern's cold representative is deterministic.
+        let plans: Vec<Option<PatternFingerprint>> = match &self.warm_start {
+            None => vec![None; tiles.len()],
+            Some(cache) => {
+                let mut seen: HashSet<u64> = HashSet::new();
+                tiles
+                    .iter()
+                    .map(|(_, _, t)| {
+                        let fp = fingerprint(t).expect("non-empty tiles have fingerprints");
+                        let warm = if seen.insert(fp.key()) {
+                            // First occurrence: warm only on a cache hit
+                            // from an earlier run (counts hit/miss).
+                            cache.lookup(&fp).is_some()
+                        } else {
+                            // In-run repeat of a pattern being solved
+                            // cold (or already warm) this run.
+                            lsopc_trace::count("cache.warmstart.hit", 1);
+                            true
+                        };
+                        if warm {
+                            Some(fp)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            }
+        };
 
-        // Stitch in row-major tile order; the first failing tile in that
-        // order wins, independent of scheduling.
+        let mut slots: Vec<Option<IltResult<f64>>> = (0..tiles.len()).map(|_| None).collect();
+        let mut stats = TiledStats::default();
+
+        // Phase one: cold tiles (everything, without a cache).
+        let cold_idx: Vec<usize> = (0..tiles.len()).filter(|&i| plans[i].is_none()).collect();
+        {
+            let _span = lsopc_trace::span!("tiles.phase.cold");
+            let results = self.ctx().par_map(cold_idx.len(), |j| {
+                self.optimizer.optimize(&sim, &tiles[cold_idx[j]].2)
+            });
+            for (&i, result) in cold_idx.iter().zip(results) {
+                let result = result?;
+                if let Some(cache) = &self.warm_start {
+                    let fp = fingerprint(&tiles[i].2).expect("non-empty tiles have fingerprints");
+                    cache.store(&fp, &result.levelset);
+                }
+                stats.tally(&result, false);
+                slots[i] = Some(result);
+            }
+        }
+
+        // Phase two: warm tiles, refined from the cache that phase one
+        // just completed. A cache entry that went missing (e.g. a
+        // corrupt directory entry) degrades to a cold solve.
+        let warm_idx: Vec<usize> = (0..tiles.len()).filter(|&i| plans[i].is_some()).collect();
+        if !warm_idx.is_empty() {
+            let _span = lsopc_trace::span!("tiles.phase.warm");
+            let cache = self.warm_start.as_ref().expect("warm tiles imply a cache");
+            let mut warm_opt = self.optimizer.clone();
+            warm_opt.max_iterations = self.warm_iterations();
+            let results = self.ctx().par_map(warm_idx.len(), |j| {
+                let i = warm_idx[j];
+                let fp = plans[i].as_ref().expect("warm plan");
+                match cache.lookup_uncounted(fp) {
+                    Some(psi0) => warm_opt
+                        .optimize_from(&sim, &tiles[i].2, psi0)
+                        .map(|r| (r, true)),
+                    None => self
+                        .optimizer
+                        .optimize(&sim, &tiles[i].2)
+                        .map(|r| (r, false)),
+                }
+            });
+            for (&i, result) in warm_idx.iter().zip(results) {
+                let (result, warm) = result?;
+                stats.tally(&result, warm);
+                slots[i] = Some(result);
+            }
+        }
+
+        // Stitch in row-major tile order.
         let mut out = Grid::new(w, h, 0.0);
-        for (&(tx, ty, _), result) in tiles.iter().zip(results) {
-            let result = result?;
+        for (&(tx, ty, _), slot) in tiles.iter().zip(slots) {
+            let result = slot.expect("every non-empty tile was solved");
             // Paste the core region.
             for y in 0..self.core_px {
                 for x in 0..self.core_px {
@@ -201,7 +397,7 @@ impl TiledIlt {
                 }
             }
         }
-        Ok(out)
+        Ok((out, stats))
     }
 }
 
@@ -227,9 +423,27 @@ mod tests {
         })
     }
 
+    /// The same 20×56 feature twice in a 512-px target: once tucked in
+    /// the top-left corner (visible only to tile (0,0)'s window) and
+    /// once at +(256, 256), where the 2-tile-overlapping windows make it
+    /// fully visible — as a pure translation — to four tiles. One
+    /// pattern key, five non-empty tiles.
+    fn repeated_tile_target() -> Grid<f64> {
+        Grid::from_fn(512, 512, |x, y| {
+            let a = (8..28).contains(&x) && (4..60).contains(&y);
+            let b = (264..284).contains(&x) && (260..316).contains(&y);
+            if a || b {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
     #[test]
     fn tiled_mask_covers_both_features() {
-        let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(6).build(), 128, 64);
+        let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(6).build(), 128, 64)
+            .expect("valid tiling");
         let target = two_tile_target();
         let mask = tiled.optimize(&optics(), &target, 4.0).expect("tiles run");
         assert_eq!(mask.dims(), (256, 256));
@@ -249,6 +463,7 @@ mod tests {
         let opt = LevelSetIlt::builder().max_iterations(6).build();
         let target = two_tile_target();
         let tiled_mask = TiledIlt::new(opt.clone(), 128, 64)
+            .expect("valid tiling")
             .optimize(&optics(), &target, 4.0)
             .expect("tiles run");
         let sim = LithoSimulator::from_optics(&optics(), 256, 4.0)
@@ -272,7 +487,8 @@ mod tests {
 
     #[test]
     fn empty_tiles_are_skipped_cheaply() {
-        let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(4).build(), 128, 64);
+        let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(4).build(), 128, 64)
+            .expect("valid tiling");
         let target = Grid::from_fn(512, 512, |x, y| {
             if (40..60).contains(&x) && (30..90).contains(&y) {
                 1.0
@@ -291,7 +507,7 @@ mod tests {
 
     #[test]
     fn rejects_misaligned_target() {
-        let tiled = TiledIlt::new(LevelSetIlt::default(), 128, 64);
+        let tiled = TiledIlt::new(LevelSetIlt::default(), 128, 64).expect("valid tiling");
         let target = Grid::new(200, 200, 1.0);
         let err = tiled
             .optimize(&optics(), &target, 4.0)
@@ -301,8 +517,89 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn rejects_non_power_of_two_tile() {
-        let _ = TiledIlt::new(LevelSetIlt::default(), 100, 10);
+    fn rejects_degenerate_tile_geometry() {
+        for (core, halo, needle) in [
+            (0usize, 0usize, "positive"),
+            (100, 10, "power of two"),
+            (128, 128, "smaller than"),
+            (64, 96, "smaller than"),
+            (usize::MAX - 1, 4, "overflow"),
+        ] {
+            let err = TiledIlt::new(LevelSetIlt::default(), core, halo)
+                .err()
+                .unwrap_or_else(|| panic!("core {core} halo {halo} must be rejected"));
+            assert!(matches!(err, TiledError::BadConfiguration(_)));
+            assert!(
+                err.to_string().contains(needle),
+                "core {core} halo {halo}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_the_standard_geometry() {
+        let tiled = TiledIlt::new(LevelSetIlt::default(), 128, 64).expect("128+2·64=256 is valid");
+        assert_eq!(tiled.tile_px(), 256);
+    }
+
+    #[test]
+    fn warm_start_reuses_repeated_tiles() {
+        let opt = LevelSetIlt::builder().max_iterations(8).build();
+        let cache = WarmStartCache::in_memory();
+        let tiled = TiledIlt::new(opt, 128, 64)
+            .expect("valid tiling")
+            .with_warm_start(cache.clone());
+        let (mask, stats) = tiled
+            .optimize_with_stats(&optics(), &repeated_tile_target(), 4.0)
+            .expect("tiles run");
+        assert!(mask.sum() > 0.0);
+        assert_eq!(stats.tiles, 5);
+        assert_eq!(stats.cold, 1, "one representative solves cold");
+        assert_eq!(stats.warm, 4, "every repeat warm-starts");
+        assert_eq!(cache.len(), 1, "one pattern cached");
+        let per_warm = stats.warm_full_iterations as f64 / stats.warm as f64;
+        let per_cold = stats.cold_full_iterations as f64 / stats.cold as f64;
+        assert!(
+            per_warm < per_cold,
+            "warm tiles averaged {per_warm} iterations vs cold {per_cold}"
+        );
+    }
+
+    #[test]
+    fn warm_start_second_run_is_all_hits() {
+        let cache = WarmStartCache::in_memory();
+        let make = || {
+            TiledIlt::new(LevelSetIlt::builder().max_iterations(6).build(), 128, 64)
+                .expect("valid tiling")
+                .with_warm_start(cache.clone())
+        };
+        let (first_mask, first) = make()
+            .optimize_with_stats(&optics(), &repeated_tile_target(), 4.0)
+            .expect("first run");
+        assert_eq!((first.cold, first.warm), (1, 4));
+        let (second_mask, second) = make()
+            .optimize_with_stats(&optics(), &repeated_tile_target(), 4.0)
+            .expect("second run");
+        assert_eq!((second.cold, second.warm), (0, 5), "all cached now");
+        // The second run warm-starts from the first run's refined ψ, so
+        // the masks need not be identical — but both must print.
+        assert!(first_mask.sum() > 0.0 && second_mask.sum() > 0.0);
+    }
+
+    #[test]
+    fn warm_start_off_matches_warm_start_free_run() {
+        // Without a cache attached, the stats-reporting path is the
+        // plain cold path.
+        let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(5).build(), 128, 64)
+            .expect("valid tiling");
+        let target = two_tile_target();
+        let plain = tiled.optimize(&optics(), &target, 4.0).expect("runs");
+        let (with_stats, stats) = tiled
+            .optimize_with_stats(&optics(), &target, 4.0)
+            .expect("runs");
+        assert_eq!(plain, with_stats);
+        assert_eq!(stats.warm, 0);
+        assert_eq!(stats.cold, stats.tiles);
+        assert_eq!(stats.coarse_iterations, 0);
     }
 }

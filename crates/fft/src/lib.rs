@@ -64,4 +64,4 @@ pub use plan::FftPlan;
 pub use reference::{naive_dft, naive_dft2d};
 pub use resample::upsample_spectral;
 pub use rfft::{rfft_default, set_rfft_default, HalfSpectrum, RfftPlan};
-pub use shift::{fftshift, ifftshift, wrap_index};
+pub use shift::{cyclic_shift, fftshift, ifftshift, wrap_index};

@@ -46,6 +46,7 @@ mod evolve;
 mod fmm;
 mod gradient;
 mod narrowband;
+mod resample;
 mod sdf;
 
 pub use curvature::curvature;
@@ -53,4 +54,5 @@ pub use evolve::{cfl_time_step, evolve, reinitialize};
 pub use fmm::fast_marching_redistance;
 pub use gradient::{godunov_gradient, gradient_magnitude};
 pub use narrowband::NarrowBand;
+pub use resample::upsample_levelset;
 pub use sdf::{mask_from_levelset, signed_distance};

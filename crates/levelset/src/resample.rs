@@ -1,0 +1,123 @@
+//! Cross-resolution transfer of level-set functions.
+//!
+//! The coarse-to-fine optimization schedule solves the early iterations
+//! on a downsampled grid and then continues on the full grid. Moving `ψ`
+//! between resolutions has two steps with different jobs:
+//!
+//! 1. **Spectral upsampling** ([`lsopc_fft::upsample_spectral`]) carries
+//!    the *contour* across: a signed distance function is smooth away
+//!    from the medial axis, so band-limited interpolation places the
+//!    zero crossing with sub-coarse-pixel fidelity. It does not preserve
+//!    the eikonal property — the interpolant's gradient magnitude
+//!    wiggles around 1 (Gibbs ringing near kinks), and distances are
+//!    still measured in *coarse* pixels.
+//! 2. **Reinitialization** ([`reinitialize`]) restores the
+//!    signed-distance property on the fine grid: it thresholds the
+//!    interpolant at zero and recomputes the exact Euclidean distance
+//!    in fine pixels.
+//!
+//! The accuracy contract (DESIGN.md §14): the zero contour of the result
+//! is the zero contour of the spectral interpolant, quantized to the
+//! fine grid; everything else about the coarse `ψ` (its far field, its
+//! gradient distortion) is deliberately discarded.
+
+use crate::reinitialize;
+use lsopc_fft::upsample_spectral;
+use lsopc_grid::{Grid, Scalar};
+
+/// Transfers a level-set function to a `factor`× finer grid: spectral
+/// upsampling of `ψ` followed by signed-distance reinitialization.
+///
+/// The result is an exact signed distance function (in fine pixels) to
+/// the contour of the band-limited interpolant of `ψ`. A `factor` of 1
+/// still reinitializes, so the output is always a valid SDF.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero or a dimension is not a power of two (both
+/// FFT requirements, forwarded from [`upsample_spectral`]).
+///
+/// # Example
+///
+/// ```
+/// use lsopc_grid::Grid;
+/// use lsopc_levelset::{signed_distance, upsample_levelset};
+///
+/// let mask = Grid::from_fn(16, 16, |x, y| {
+///     if (4..12).contains(&x) && (4..12).contains(&y) { 1.0 } else { 0.0 }
+/// });
+/// let psi = signed_distance(&mask);
+/// let fine = upsample_levelset(&psi, 4);
+/// assert_eq!(fine.dims(), (64, 64));
+/// // The upsampled interior stays interior.
+/// assert!(fine[(32, 32)] < 0.0);
+/// assert!(fine[(2, 2)] > 0.0);
+/// ```
+pub fn upsample_levelset<T: Scalar>(psi: &Grid<T>, factor: usize) -> Grid<T> {
+    let _span = lsopc_trace::span!("levelset.upsample");
+    let interpolated = upsample_spectral(psi, factor);
+    reinitialize(&interpolated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mask_from_levelset, signed_distance};
+
+    fn square_psi(n: usize, lo: usize, hi: usize) -> Grid<f64> {
+        signed_distance(&Grid::from_fn(n, n, |x, y| {
+            if (lo..hi).contains(&x) && (lo..hi).contains(&y) {
+                1.0
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    #[test]
+    fn factor_one_reinitializes_in_place() {
+        let psi = square_psi(32, 8, 24);
+        let out = upsample_levelset(&psi, 1);
+        assert_eq!(out.dims(), psi.dims());
+        assert_eq!(mask_from_levelset(&out), mask_from_levelset(&psi));
+    }
+
+    #[test]
+    fn contour_lands_at_the_scaled_position() {
+        let psi = square_psi(32, 8, 24);
+        let fine = upsample_levelset(&psi, 4);
+        assert_eq!(fine.dims(), (128, 128));
+        let mask = mask_from_levelset(&fine);
+        // The coarse square [8, 24) maps to roughly [32, 96) on the fine
+        // grid; allow a couple of fine pixels of interpolation slack.
+        assert!(mask[(64, 64)] == 1.0, "centre must stay inside");
+        assert!(mask[(16, 64)] == 0.0, "far outside must stay outside");
+        let row: Vec<usize> = (0..128).filter(|&x| mask[(x, 64)] == 1.0).collect();
+        let (first, last) = (*row.first().unwrap(), *row.last().unwrap());
+        assert!(
+            (30..=36).contains(&first) && (90..=96).contains(&last),
+            "contour at [{first}, {last}]"
+        );
+    }
+
+    #[test]
+    fn result_is_a_signed_distance_function() {
+        let fine = upsample_levelset(&square_psi(16, 4, 12), 4);
+        // An exact SDF is a fixed point of reinitialization: thresholding
+        // and re-measuring distances must reproduce it bit-for-bit.
+        let again = reinitialize(&fine);
+        for (a, b) in again.as_slice().iter().zip(fine.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_instantiation_preserves_sign_structure() {
+        let psi64 = square_psi(16, 4, 12);
+        let psi32 = psi64.map(|&v| v as f32);
+        let fine = upsample_levelset(&psi32, 2);
+        assert_eq!(fine.dims(), (32, 32));
+        assert!(fine[(16, 16)] < 0.0, "interior stays negative");
+        assert!(fine[(1, 1)] > 0.0, "exterior stays positive");
+    }
+}

@@ -42,6 +42,19 @@ LSOPC_THREADS=1 cargo test -q --test rfft_path
 LSOPC_THREADS=4 cargo test -q --test rfft_path
 LSOPC_THREADS=4 cargo test -q -p lsopc-core --test golden_f64
 
+echo "==> warm-start suite (fingerprint invariance + thread determinism)"
+# The coarse-to-fine schedule and the warm-start cache must keep the
+# default path bit-identical (golden hashes above) and produce the same
+# tiled masks at every pool size; the fingerprint proptests pin the
+# translation-invariant keying.
+LSOPC_THREADS=1 cargo test -q -p lsopc-core --test warmstart --test parallel_tiles
+LSOPC_THREADS=4 cargo test -q -p lsopc-core --test warmstart --test parallel_tiles
+LSOPC_THREADS=1 cargo test -q -p lsopc-core schedule
+LSOPC_THREADS=4 cargo test -q -p lsopc-core schedule
+
+echo "==> warm-start bench smoke (schedule + cache engage end to end)"
+cargo bench -p lsopc-bench --bench warmstart -- --test
+
 echo "==> trace suite (overhead + determinism at both pool sizes)"
 # The trace layer must only observe: tracing on leaves the optimizer
 # bit-identical, and the disabled path costs < 1% of an evaluation.
