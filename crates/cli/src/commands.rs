@@ -4,7 +4,8 @@ use crate::args::Flags;
 use crate::error::CliError;
 use lsopc_benchsuite::Iccad2013Suite;
 use lsopc_core::{
-    IltResult, LevelSetIlt, RecoveryPolicy, ResolutionSchedule, TiledIlt, WarmStartCache,
+    CheckpointSpec, IltResult, LevelSetIlt, RecoveryPolicy, ResolutionSchedule, RunControl,
+    StopReason, TiledIlt, WarmStartCache,
 };
 use lsopc_geometry::{
     mask_to_polygons, parse_glp, polygons_to_layout, rasterize, write_glp, Layout,
@@ -15,6 +16,7 @@ use lsopc_metrics::{evaluate_mask, render_report, MaskComplexity, MrcReport};
 use lsopc_optics::OpticsConfig;
 use lsopc_trace::{FanoutSink, JsonlSink, MemorySink, TraceSink};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -27,6 +29,8 @@ USAGE:
                  [--precision f64|f32|mixed] [--rfft on|off]
                  [--schedule auto|off|CPX,K,CI,FI]
                  [--tile N] [--halo N] [--warm-start mem|<dir>] [--warm-iters N]
+                 [--deadline SECS] [--max-wall SECS] [--iter-budget N]
+                 [--checkpoint <path>] [--checkpoint-every N] [--resume <path>]
                  [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc evaluate --glp <design.glp> --mask <mask.glp>
                  [--grid 512] [--kernels 24] [--threads N]
@@ -37,6 +41,7 @@ USAGE:
                  [--threads N] [--recover on|off|strict]
                  [--precision f64|f32|mixed] [--rfft on|off]
                  [--schedule auto|off|CPX,K,CI,FI]
+                 [--deadline SECS] [--max-wall SECS]
                  [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc profile  [--pattern wire|dense|contacts] [--grid 256] [--iters 10]
                  [--kernels 24] [--threads N] [--recover on|off|strict]
@@ -73,6 +78,24 @@ translation-invariant content fingerprint — `mem` holds it for this
 process, a directory path persists it across runs — so repeated tile
 patterns skip the cold solve and run a short refinement (--warm-iters,
 default a quarter of --iters).
+Runs stop gracefully instead of erroring: on Ctrl-C (SIGINT), an
+expired --deadline (seconds for each optimization) or --max-wall
+(seconds for the whole command; in `suite`, remaining cases are
+skipped), or an exhausted --iter-budget, the optimizer finishes the
+current iteration, keeps its best-so-far mask, writes the output and
+prints one `stopped: <reason>` line. Only a SIGINT stop changes the
+exit code (8); deadline/budget stops exit 0.
+--checkpoint persists the optimizer loop state to the given file every
+--checkpoint-every iterations (default 10, sized so the periodic
+write stays under 2% of the iteration cost at 1024²) and on every
+graceful stop,
+via an atomic temp-file + rename — a crash never corrupts the previous
+checkpoint. With --tile the path is a directory holding one file per
+completed tile. --resume restarts from such a checkpoint; the resumed
+run is bit-identical to an uninterrupted one at the default f64
+precision (DESIGN.md §15). A corrupt, truncated or
+configuration-mismatched checkpoint is a categorized error (exit 9),
+never a crash.
 --trace streams every span/counter/iteration/warning event to the given
 file, one JSON object per line (event schema v1, see DESIGN.md §12);
 --metrics writes the aggregated per-span profile and counter totals as
@@ -82,9 +105,31 @@ time per span, sorted by self time) directly.
 
 EXIT CODES:
   0 success    2 usage    3 I/O    4 layout parse
-  5 simulator setup    6 optimizer    7 strict recovery failure";
+  5 simulator setup    6 optimizer    7 strict recovery failure
+  8 interrupted (SIGINT, best-so-far mask written)    9 checkpoint/resume";
 
-type CliResult = Result<(), CliError>;
+/// How a successful command ended; decides the process exit code.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The command ran to completion (exit 0) — including graceful
+    /// deadline/budget stops, which still produce a usable mask.
+    Completed,
+    /// A SIGINT stopped the run early; the best-so-far output was still
+    /// written (exit 8, so scripts can tell a complete mask from an
+    /// interrupted one).
+    Interrupted,
+}
+
+/// The exit outcome for an optimization that may have been stopped.
+fn outcome_for(stopped: Option<StopReason>) -> Outcome {
+    if stopped == Some(StopReason::Signal) {
+        Outcome::Interrupted
+    } else {
+        Outcome::Completed
+    }
+}
+
+type CliResult = Result<Outcome, CliError>;
 
 // Flag-parsing errors (missing/invalid values) are usage errors.
 impl From<String> for CliError {
@@ -229,6 +274,89 @@ fn warm_start_cache(flags: &Flags, tiled: bool) -> Result<Option<WarmStartCache>
     }
 }
 
+/// Parses a `--key SECS` wall-clock flag: absent → `None`, otherwise a
+/// finite non-negative number of seconds (0 means "already expired" —
+/// useful for exercising the graceful-stop path).
+fn secs_flag(flags: &Flags, key: &str) -> Result<Option<f64>, CliError> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some("") => Err(CliError::usage(format!(
+            "--{key} needs a duration in seconds"
+        ))),
+        Some(v) => match v.parse::<f64>() {
+            Ok(s) if s.is_finite() && s >= 0.0 => Ok(Some(s)),
+            _ => Err(CliError::usage(format!(
+                "invalid value `{v}` for --{key}: expected a non-negative number of seconds"
+            ))),
+        },
+    }
+}
+
+/// The earlier of `--deadline` and `--max-wall`, both measured from
+/// `start` (for `optimize` the two are equivalent; `suite` additionally
+/// skips whole cases once `--max-wall` expires).
+fn effective_deadline(
+    start: Instant,
+    deadline_s: Option<f64>,
+    max_wall_s: Option<f64>,
+) -> Option<Instant> {
+    let mut deadline: Option<Instant> = None;
+    for s in [deadline_s, max_wall_s].into_iter().flatten() {
+        let d = start + Duration::from_secs_f64(s);
+        deadline = Some(deadline.map_or(d, |cur| cur.min(d)));
+    }
+    deadline
+}
+
+/// Builds the [`RunControl`] for `optimize` from the lifecycle flags,
+/// wiring in the process SIGINT token. Returns usage errors for
+/// malformed flag values; the checkpoint/resume paths themselves are
+/// validated by the optimizer when the run starts.
+fn run_control_flags(flags: &Flags) -> Result<RunControl, CliError> {
+    let deadline_s = secs_flag(flags, "deadline")?;
+    let max_wall_s = secs_flag(flags, "max-wall")?;
+    let iter_budget: usize = flags.num("iter-budget", 0)?;
+    if flags.get("iter-budget").is_some() && iter_budget == 0 {
+        return Err(CliError::usage(
+            "--iter-budget needs a positive iteration count",
+        ));
+    }
+    let checkpoint = flags.get("checkpoint").filter(|v| !v.is_empty());
+    let every: usize = flags.num("checkpoint-every", 10)?;
+    if flags.get("checkpoint-every").is_some() {
+        if checkpoint.is_none() {
+            return Err(CliError::usage("--checkpoint-every requires --checkpoint"));
+        }
+        if every == 0 {
+            return Err(CliError::usage(
+                "--checkpoint-every needs a positive iteration interval",
+            ));
+        }
+    }
+    let resume = flags.get("resume").filter(|v| !v.is_empty());
+    if flags.get("resume").is_some() && resume.is_none() {
+        return Err(CliError::usage("--resume needs a checkpoint path"));
+    }
+    if flags.get("checkpoint").is_some() && checkpoint.is_none() {
+        return Err(CliError::usage("--checkpoint needs an output path"));
+    }
+
+    let mut control = RunControl::new().with_cancel(crate::signal::interrupt_token());
+    if let Some(deadline) = effective_deadline(Instant::now(), deadline_s, max_wall_s) {
+        control = control.with_deadline(deadline);
+    }
+    if iter_budget > 0 {
+        control = control.with_iteration_budget(iter_budget);
+    }
+    if let Some(path) = checkpoint {
+        control = control.with_checkpoint(CheckpointSpec::new(path, every));
+    }
+    if let Some(path) = resume {
+        control = control.with_resume(path);
+    }
+    Ok(control)
+}
+
 /// Everything `build_sim` derives from the flags: the (f64, accelerated)
 /// scoring simulator plus the pieces needed to build precision variants
 /// of it for the optimization loop.
@@ -273,16 +401,18 @@ fn run_ilt(
     setup: &SimSetup,
     target: &Grid<f64>,
     precision: Precision,
+    control: &RunControl,
 ) -> Result<IltResult, CliError> {
     match precision {
         Precision::F64 => ilt
-            .optimize(&setup.sim, target)
+            .optimize_controlled(&setup.sim, target, control)
             .map_err(CliError::from_optimize),
         Precision::Mixed => {
             let sim = LithoSimulator::<f64>::from_optics(&setup.optics, setup.grid, setup.pixel_nm)
                 .map_err(|e| CliError::setup(e.to_string()))?
                 .with_mixed_backend();
-            ilt.optimize(&sim, target).map_err(CliError::from_optimize)
+            ilt.optimize_controlled(&sim, target, control)
+                .map_err(CliError::from_optimize)
         }
         Precision::F32 => {
             let sim = LithoSimulator::<f32>::from_optics(&setup.optics, setup.grid, setup.pixel_nm)
@@ -290,7 +420,7 @@ fn run_ilt(
                 .with_accelerated_backend(setup.pool_threads);
             let target32 = target.map(|&v| v as f32);
             Ok(ilt
-                .optimize(&sim, &target32)
+                .optimize_controlled(&sim, &target32, control)
                 .map_err(CliError::from_optimize)?
                 .to_f64())
         }
@@ -350,7 +480,10 @@ impl TraceSession {
 /// command outcome wins, then any sink teardown failure surfaces.
 fn finish_trace(session: Option<TraceSession>, outcome: CliResult) -> CliResult {
     match session {
-        Some(s) => outcome.and(s.finish()),
+        Some(s) => {
+            let teardown = s.finish();
+            outcome.and_then(|o| teardown.map(|()| o))
+        }
         None => outcome,
     }
 }
@@ -380,6 +513,7 @@ fn optimize_run(flags: &Flags) -> CliResult {
     let tiling = tiling_flags(flags)?;
     let warm_start = warm_start_cache(flags, tiling.is_some())?;
     let warm_iters: usize = flags.num("warm-iters", 0)?;
+    let control = run_control_flags(flags)?;
     if tiling.is_some() && precision != Precision::F64 {
         return Err(CliError::usage(
             "--tile runs at f64; drop --precision or the tiling flags",
@@ -413,7 +547,7 @@ fn optimize_run(flags: &Flags) -> CliResult {
             if warm_iters > 0 {
                 tiled = tiled.with_warm_iterations(warm_iters);
             }
-            Some(tiled)
+            Some(tiled.with_run_control(control.clone()))
         }
         None => None,
     };
@@ -428,24 +562,33 @@ fn optimize_run(flags: &Flags) -> CliResult {
     );
 
     if let Some(tiled) = tiled {
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         let (mask, stats) = tiled
             .optimize_with_stats(&setup.optics, &target, pixel_nm)
             .map_err(CliError::from_tiled)?;
         let runtime_s = started.elapsed().as_secs_f64();
+        if let Some(reason) = stats.stopped {
+            println!(
+                "stopped: {reason} ({} of {} tiles unfinished; best-so-far mask kept)",
+                stats.unfinished,
+                stats.tiles + stats.unfinished
+            );
+        }
         println!(
-            "done in {runtime_s:.2}s / {} tiles ({} cold, {} warm), \
+            "done in {runtime_s:.2}s / {} tiles ({} cold, {} warm, {} resumed), \
              {} full-res iterations (+{} coarse)",
             stats.tiles,
             stats.cold,
             stats.warm,
+            stats.resumed,
             stats.full_iterations(),
             stats.coarse_iterations
         );
-        return write_and_score_mask(&setup, &design, &target, &mask, &out_path, runtime_s);
+        write_and_score_mask(&setup, &design, &target, &mask, &out_path, runtime_s)?;
+        return Ok(outcome_for(stats.stopped));
     }
 
-    let result = run_ilt(&ilt, &setup, &target, precision)?;
+    let result = run_ilt(&ilt, &setup, &target, precision, &control)?;
     if result.diagnostics.has_events() {
         eprintln!(
             "recovery: {} backoffs, {} recoveries{}",
@@ -458,13 +601,27 @@ fn optimize_run(flags: &Flags) -> CliResult {
             }
         );
     }
-    println!(
-        "done in {:.2}s / {} iterations (cost {:.1} -> {:.1})",
-        result.runtime_s,
-        result.iterations,
-        result.history.first().map_or(f64::NAN, |r| r.cost_total),
-        result.final_cost()
-    );
+    if let Some(reason) = result.stopped {
+        println!(
+            "stopped: {reason} (after {} iterations; best-so-far mask kept)",
+            result.iterations
+        );
+    }
+    match result.history.first() {
+        Some(first) => println!(
+            "done in {:.2}s / {} iterations (cost {:.1} -> {:.1})",
+            result.runtime_s,
+            result.iterations,
+            first.cost_total,
+            result.final_cost()
+        ),
+        // A deadline/cancel can stop the run before any iteration
+        // completes; there is no cost pair to report.
+        None => println!(
+            "done in {:.2}s / 0 iterations (no cost evaluated)",
+            result.runtime_s
+        ),
+    }
     write_and_score_mask(
         &setup,
         &design,
@@ -472,7 +629,8 @@ fn optimize_run(flags: &Flags) -> CliResult {
         &result.mask,
         &out_path,
         result.runtime_s,
-    )
+    )?;
+    Ok(outcome_for(result.stopped))
 }
 
 /// Writes the optimized mask as GLP and prints the quality summary
@@ -484,7 +642,7 @@ fn write_and_score_mask(
     mask: &Grid<f64>,
     out_path: &str,
     runtime_s: f64,
-) -> CliResult {
+) -> Result<(), CliError> {
     let polygons = mask_to_polygons(mask, setup.pixel_nm);
     let mut mask_layout = polygons_to_layout(&polygons);
     mask_layout.name = design.name.clone().map(|n| format!("{n}_opc"));
@@ -532,7 +690,7 @@ pub fn evaluate(args: &[String]) -> CliResult {
         eval.shapes.bridges
     );
     println!("score (without runtime): {:.0}", eval.score(0.0).value());
-    Ok(())
+    Ok(Outcome::Completed)
 }
 
 /// `lsopc report`: full quality + manufacturability report for a mask.
@@ -559,7 +717,7 @@ pub fn report(args: &[String]) -> CliResult {
         "{}",
         render_report(&title, &eval, &complexity, Some(&mrc), 0.0)
     );
-    Ok(())
+    Ok(Outcome::Completed)
 }
 
 /// `lsopc suite`: run the level-set method over the built-in benchmarks.
@@ -574,9 +732,21 @@ fn suite_run(flags: &Flags) -> CliResult {
     let iters: usize = flags.num("iters", 20)?;
     let recovery = recovery_policy(flags)?;
     let precision = precision(flags)?;
+    let deadline_s = secs_flag(flags, "deadline")?;
+    let max_wall_s = secs_flag(flags, "max-wall")?;
     let first = build_sim(flags, 256)?;
     let (grid, pixel_nm) = (first.grid, first.pixel_nm);
     let schedule = schedule_flag(flags, grid, &first.optics, iters)?;
+
+    // --deadline bounds each case's optimization; --max-wall bounds the
+    // whole command and is also checked between cases so remaining ones
+    // are skipped instead of started doomed. Ctrl-C stops the current
+    // case gracefully and skips the rest.
+    let started = Instant::now();
+    let wall_deadline = max_wall_s.map(|s| started + Duration::from_secs_f64(s));
+    let token = crate::signal::interrupt_token();
+    let mut stopped: Option<StopReason> = None;
+    let mut skipped = 0usize;
 
     let suite = Iccad2013Suite::new();
     println!(
@@ -589,6 +759,16 @@ fn suite_run(flags: &Flags) -> CliResult {
         if !case_filter.is_empty() && !case_filter.contains(&case.index) {
             continue;
         }
+        if let Some(reason) = token.cancelled() {
+            stopped = stopped.or(Some(reason));
+            skipped += 1;
+            continue;
+        }
+        if wall_deadline.is_some_and(|d| Instant::now() >= d) {
+            stopped = stopped.or(Some(StopReason::Deadline));
+            skipped += 1;
+            continue;
+        }
         let layout = suite.layout(case);
         // Fresh simulator per case keeps kernel caches bounded.
         let setup = build_sim(flags, 256)?;
@@ -598,18 +778,34 @@ fn suite_run(flags: &Flags) -> CliResult {
             .recovery(recovery)
             .schedule(schedule)
             .build();
-        let result = run_ilt(&ilt, &setup, &target, precision)?;
+        let mut control = RunControl::new().with_cancel(token.clone());
+        let case_deadline = effective_deadline(Instant::now(), deadline_s, None)
+            .into_iter()
+            .chain(wall_deadline)
+            .min();
+        if let Some(d) = case_deadline {
+            control = control.with_deadline(d);
+        }
+        let result = run_ilt(&ilt, &setup, &target, precision, &control)?;
+        if let Some(reason) = result.stopped {
+            stopped = stopped.or(Some(reason));
+        }
         let eval = evaluate_mask(&setup.sim, &result.mask, &layout, &target);
         let score = eval.score(result.runtime_s);
         println!(
-            "{:<6}{:>12}{:>8}{:>12.0}{:>8}{:>10.1}{:>12.0}",
+            "{:<6}{:>12}{:>8}{:>12.0}{:>8}{:>10.1}{:>12.0}{}",
             case.name,
             case.target_area_nm2,
             eval.epe.violations,
             eval.pvb_area_nm2,
             eval.shapes.total(),
             result.runtime_s,
-            score.value()
+            score.value(),
+            if result.stopped.is_some() {
+                "  (stopped early)"
+            } else {
+                ""
+            }
         );
         total += score.value();
         ran += 1;
@@ -617,7 +813,17 @@ fn suite_run(flags: &Flags) -> CliResult {
     if ran > 0 {
         println!("{:<6}{:>62}{:>12.0}", "avg", "", total / ran as f64);
     }
-    Ok(())
+    if let Some(reason) = stopped {
+        println!(
+            "stopped: {reason}{}",
+            if skipped > 0 {
+                format!(" ({skipped} case(s) skipped)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    Ok(outcome_for(stopped))
 }
 
 /// One built-in synthetic design for `lsopc profile`, as GLP text so it
@@ -695,7 +901,7 @@ pub fn profile(args: &[String]) -> CliResult {
         std::fs::write(path, report.to_json())
             .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
     }
-    Ok(())
+    Ok(Outcome::Completed)
 }
 
 #[cfg(test)]
@@ -1093,6 +1299,141 @@ mod tests {
             "2",
         ]))
         .expect("suite runs");
+    }
+
+    #[test]
+    fn deadline_zero_stops_gracefully_with_best_so_far_mask() {
+        let design_path = tmpfile("deadline_design.glp");
+        let mask_path = tmpfile("deadline_mask.glp");
+        std::fs::write(
+            &design_path,
+            "BEGIN\nCELL deadline_test\nRECT 832 480 384 1088 ;\nEND\n",
+        )
+        .expect("write design");
+        // A zero-second deadline expires at the first iteration boundary;
+        // the run must still finish cleanly and write the initial mask.
+        let outcome = optimize(&to_args(&[
+            "--glp",
+            design_path.to_str().expect("utf8"),
+            "--out",
+            mask_path.to_str().expect("utf8"),
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+            "--iters",
+            "8",
+            "--deadline",
+            "0",
+        ]))
+        .expect("deadline stop is graceful, not an error");
+        assert_eq!(outcome, Outcome::Completed, "deadline stop exits 0");
+        assert!(mask_path.exists(), "best-so-far mask was written");
+        std::fs::remove_file(design_path).ok();
+        std::fs::remove_file(mask_path).ok();
+    }
+
+    #[test]
+    fn checkpoint_then_resume_completes_the_run() {
+        let design_path = tmpfile("ck_design.glp");
+        let mask_path = tmpfile("ck_mask.glp");
+        let ck_path = tmpfile("ck_state.lsckpt");
+        std::fs::write(
+            &design_path,
+            "BEGIN\nCELL ck_test\nRECT 832 480 384 1088 ;\nEND\n",
+        )
+        .expect("write design");
+        let common = |extra: &[&str]| {
+            let mut args = vec![
+                "--glp",
+                design_path.to_str().expect("utf8"),
+                "--out",
+                mask_path.to_str().expect("utf8"),
+                "--grid",
+                "128",
+                "--kernels",
+                "4",
+                "--iters",
+                "4",
+            ];
+            args.extend_from_slice(extra);
+            to_args(&args)
+        };
+        // Phase 1: stop after 2 iterations via the budget; the graceful
+        // stop must write a final checkpoint even though the periodic
+        // interval (default 10) never fired.
+        let outcome = optimize(&common(&[
+            "--iter-budget",
+            "2",
+            "--checkpoint",
+            ck_path.to_str().expect("utf8"),
+        ]))
+        .expect("budget stop is graceful");
+        assert_eq!(outcome, Outcome::Completed);
+        assert!(ck_path.exists(), "graceful stop wrote a checkpoint");
+        // Phase 2: resume from it and run to completion.
+        let outcome = optimize(&common(&["--resume", ck_path.to_str().expect("utf8")]))
+            .expect("resume runs to completion");
+        assert_eq!(outcome, Outcome::Completed);
+        assert!(mask_path.exists());
+        std::fs::remove_file(design_path).ok();
+        std::fs::remove_file(mask_path).ok();
+        std::fs::remove_file(ck_path).ok();
+    }
+
+    #[test]
+    fn missing_resume_file_is_a_checkpoint_error() {
+        use crate::error::Category;
+        let design_path = tmpfile("resume_missing.glp");
+        std::fs::write(
+            &design_path,
+            "BEGIN\nCELL resume_missing\nRECT 832 480 384 1088 ;\nEND\n",
+        )
+        .expect("write design");
+        let err = optimize(&to_args(&[
+            "--glp",
+            design_path.to_str().expect("utf8"),
+            "--out",
+            "y.glp",
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+            "--resume",
+            "/nonexistent/lsopc.lsckpt",
+        ]))
+        .expect_err("missing resume file");
+        assert_eq!(err.category(), Category::Checkpoint);
+        assert_eq!(err.exit_code(), 9);
+        std::fs::remove_file(design_path).ok();
+    }
+
+    #[test]
+    fn lifecycle_flag_misuse_is_a_usage_error() {
+        use crate::error::Category;
+        let base = ["--glp", "x.glp", "--out", "y.glp"];
+        for (extra, needle) in [
+            (&["--deadline", "soon"][..], "--deadline"),
+            (&["--deadline", "-1"][..], "--deadline"),
+            (&["--max-wall", "inf"][..], "--max-wall"),
+            (&["--iter-budget", "0"][..], "--iter-budget"),
+            (&["--checkpoint-every", "3"][..], "--checkpoint"),
+            (
+                &["--checkpoint", "c.lsckpt", "--checkpoint-every", "0"][..],
+                "--checkpoint-every",
+            ),
+            (&["--checkpoint", ""][..], "--checkpoint"),
+            (&["--resume", ""][..], "--resume"),
+        ] {
+            let mut args = base.to_vec();
+            args.extend_from_slice(extra);
+            let err = optimize(&to_args(&args)).expect_err("misuse rejected");
+            assert_eq!(err.category(), Category::Usage, "args {args:?}");
+            assert!(
+                err.to_string().contains(needle),
+                "args {args:?}: `{err}` lacks `{needle}`"
+            );
+        }
     }
 }
 

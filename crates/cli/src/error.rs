@@ -19,6 +19,11 @@ pub enum Category {
     Optimize = 6,
     /// The solver health guard gave up under `--recover strict`.
     Recovery = 7,
+    // 8 is reserved for a graceful SIGINT stop (`Outcome::Interrupted`
+    // in commands.rs) — an exit status, not an error category.
+    /// A checkpoint could not be written or a `--resume` file was
+    /// missing, corrupt or from a different configuration.
+    Checkpoint = 9,
 }
 
 /// An error bound for the user: one category, one line of text.
@@ -57,10 +62,12 @@ impl CliError {
     }
 
     /// Maps optimizer failures, splitting strict-guard give-ups (exit
-    /// code 7) from input rejections (exit code 6).
+    /// code 7) and checkpoint/resume failures (exit code 9) from input
+    /// rejections (exit code 6).
     pub fn from_optimize(e: OptimizeError) -> Self {
         let category = match e {
             OptimizeError::RecoveryFailed { .. } => Category::Recovery,
+            OptimizeError::Checkpoint { .. } => Category::Checkpoint,
             _ => Category::Optimize,
         };
         Self::new(category, e.to_string())
@@ -74,6 +81,7 @@ impl CliError {
             TiledError::BadConfiguration(msg) => Self::usage(msg),
             TiledError::Simulator(e) => Self::setup(e.to_string()),
             TiledError::Optimize(e) => Self::from_optimize(e),
+            TiledError::Checkpoint(msg) => Self::new(Category::Checkpoint, msg),
         }
     }
 
@@ -115,6 +123,10 @@ mod tests {
                 backoffs: 6,
             })
             .exit_code(),
+            CliError::from_optimize(OptimizeError::Checkpoint {
+                message: "checksum mismatch".into(),
+            })
+            .exit_code(),
         ];
         for (i, a) in codes.iter().enumerate() {
             assert!(*a >= 2);
@@ -141,6 +153,17 @@ mod tests {
         assert_eq!(e.category(), Category::Usage);
         let e = CliError::from_tiled(TiledError::Optimize(OptimizeError::EmptyTarget));
         assert_eq!(e.category(), Category::Optimize);
+    }
+
+    #[test]
+    fn checkpoint_failures_map_to_their_own_code() {
+        let e = CliError::from_optimize(OptimizeError::Checkpoint {
+            message: "not a checkpoint file (bad magic)".into(),
+        });
+        assert_eq!(e.category(), Category::Checkpoint);
+        assert_eq!(e.exit_code(), 9);
+        let e = CliError::from_tiled(TiledError::Checkpoint("bad directory".into()));
+        assert_eq!(e.exit_code(), 9);
     }
 
     #[test]

@@ -10,13 +10,17 @@
 //!
 //! Every failure prints a one-line `error: …` message and exits with the
 //! category code documented in [`commands::USAGE`] (2 usage, 3 I/O,
-//! 4 parse, 5 setup, 6 optimizer, 7 strict recovery failure).
+//! 4 parse, 5 setup, 6 optimizer, 7 strict recovery failure,
+//! 9 checkpoint/resume). A graceful SIGINT stop is *not* an error: the
+//! command writes its best-so-far outputs, prints a `stopped: signal`
+//! line, and exits with code 8.
 
 use std::process::ExitCode;
 
 mod args;
 mod commands;
 mod error;
+mod signal;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -32,14 +36,18 @@ fn main() -> ExitCode {
         "profile" => commands::profile(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
-            Ok(())
+            Ok(commands::Outcome::Completed)
         }
         other => Err(error::CliError::usage(format!(
             "unknown command `{other}` (try `lsopc help`)"
         ))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(commands::Outcome::Completed) => ExitCode::SUCCESS,
+        // A graceful stop (SIGINT) already printed its `stopped:` line
+        // and wrote best-so-far outputs — report it via the exit code
+        // without an `error:` prefix.
+        Ok(commands::Outcome::Interrupted) => ExitCode::from(8),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(e.exit_code())

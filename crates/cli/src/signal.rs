@@ -1,0 +1,78 @@
+//! Ctrl-C → cooperative cancellation.
+//!
+//! The first `SIGINT` cancels a process-wide
+//! [`CancelToken`] with [`StopReason::Signal`]; the optimizer notices at
+//! its next iteration boundary, writes a final checkpoint when one is
+//! configured, and the command returns its best-so-far mask and exits
+//! with the documented `interrupted` code (8). The handler then restores
+//! the default disposition, so a second Ctrl-C force-kills a process
+//! that is stuck outside the iteration loop.
+
+use lsopc_core::{CancelToken, StopReason};
+use std::sync::OnceLock;
+
+static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+/// Installs the `SIGINT` handler (idempotently) and returns the token
+/// it cancels. On non-Unix targets this is a plain token no signal
+/// reaches — commands still honor explicit deadlines and budgets.
+pub fn interrupt_token() -> CancelToken {
+    let token = TOKEN.get_or_init(CancelToken::new).clone();
+    #[cfg(unix)]
+    install();
+    token
+}
+
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIG_DFL: usize = 0;
+
+#[cfg(unix)]
+extern "C" {
+    /// `signal(2)` from libc — the one C binding this crate needs, kept
+    /// as a direct declaration instead of a dependency.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+fn install() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        // SAFETY: the handler only performs async-signal-safe work (a
+        // relaxed atomic store inside `CancelToken::cancel` and a
+        // re-registration via `signal`).
+        unsafe {
+            signal(SIGINT, handle_sigint as extern "C" fn(i32) as usize);
+        }
+    });
+}
+
+#[cfg(unix)]
+extern "C" fn handle_sigint(_signum: i32) {
+    if let Some(token) = TOKEN.get() {
+        token.cancel(StopReason::Signal);
+    }
+    // Restore the default disposition: the first Ctrl-C asks for a
+    // graceful stop, the second must still be able to kill the process.
+    // SAFETY: re-registering a signal disposition is async-signal-safe.
+    unsafe {
+        signal(SIGINT, SIG_DFL);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupt_token_is_idempotent_and_initially_live() {
+        // NOTE: the token is process-global and shared with every other
+        // test in this binary, so this test must not cancel it.
+        let a = interrupt_token();
+        let b = interrupt_token();
+        assert!(a.cancelled().is_none(), "token starts live");
+        assert!(b.cancelled().is_none(), "repeat installs are idempotent");
+    }
+}

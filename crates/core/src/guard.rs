@@ -317,6 +317,29 @@ pub(crate) struct HealthGuard {
     pending_recovery: bool,
 }
 
+/// The guard's complete mutable state at an iteration boundary, as
+/// captured into (and restored from) a checkpoint. The `config` is not
+/// part of the snapshot: it is derived deterministically from the
+/// optimizer's [`RecoveryPolicy`], which the checkpoint's config hash
+/// already pins.
+#[derive(Clone, Debug)]
+pub(crate) struct GuardSnapshot {
+    /// Everything observed so far.
+    pub(crate) diagnostics: SolverDiagnostics,
+    /// Current `λ_t` multiplier.
+    pub(crate) lambda_scale: f64,
+    /// Consecutive cost-rising iterations.
+    pub(crate) rising_streak: usize,
+    /// Consecutive no-progress iterations.
+    pub(crate) stall_streak: usize,
+    /// Reference cost for spike/divergence detection.
+    pub(crate) last_healthy_cost: Option<f64>,
+    /// Reference gradient peak for spike detection.
+    pub(crate) last_healthy_gradient_peak: Option<f64>,
+    /// Set after a backoff until the next healthy evaluation.
+    pub(crate) pending_recovery: bool,
+}
+
 impl HealthGuard {
     /// A guard for the policy, or `None` for [`RecoveryPolicy::Off`].
     pub(crate) fn from_policy(policy: &RecoveryPolicy) -> Option<Self> {
@@ -339,6 +362,31 @@ impl HealthGuard {
     /// Current effective `λ_t` multiplier (halved per backoff).
     pub(crate) fn lambda_scale(&self) -> f64 {
         self.lambda_scale
+    }
+
+    /// Captures the guard's mutable state for a checkpoint.
+    pub(crate) fn snapshot(&self) -> GuardSnapshot {
+        GuardSnapshot {
+            diagnostics: self.diagnostics.clone(),
+            lambda_scale: self.lambda_scale,
+            rising_streak: self.rising_streak,
+            stall_streak: self.stall_streak,
+            last_healthy_cost: self.last_healthy_cost,
+            last_healthy_gradient_peak: self.last_healthy_gradient_peak,
+            pending_recovery: self.pending_recovery,
+        }
+    }
+
+    /// Restores the state captured by [`HealthGuard::snapshot`] so a
+    /// resumed run replays the exact guard decisions of the original.
+    pub(crate) fn restore(&mut self, s: GuardSnapshot) {
+        self.diagnostics = s.diagnostics;
+        self.lambda_scale = s.lambda_scale;
+        self.rising_streak = s.rising_streak;
+        self.stall_streak = s.stall_streak;
+        self.last_healthy_cost = s.last_healthy_cost;
+        self.last_healthy_gradient_peak = s.last_healthy_gradient_peak;
+        self.pending_recovery = s.pending_recovery;
     }
 
     /// Classifies one cost/gradient evaluation, updating the divergence

@@ -54,6 +54,7 @@ mod config;
 mod guard;
 mod history;
 mod optimizer;
+mod resume;
 mod schedule;
 mod tiles;
 mod warmstart;
@@ -61,7 +62,9 @@ mod warmstart;
 pub use config::{Evolution, LevelSetIlt, LevelSetIltBuilder};
 pub use guard::{GuardConfig, GuardEvent, GuardEventKind, RecoveryPolicy, SolverDiagnostics};
 pub use history::IterationRecord;
+pub use lsopc_parallel::{CancelToken, StopReason};
 pub use optimizer::{IltResult, OptimizeError};
+pub use resume::{CheckpointError, CheckpointSpec, RunControl};
 pub use schedule::ResolutionSchedule;
 pub use tiles::{TiledError, TiledIlt, TiledStats};
 pub use warmstart::{fingerprint, PatternFingerprint, WarmStartCache};

@@ -2,8 +2,12 @@
 
 use crate::cg::prp_beta;
 use crate::guard::{panic_message, BackoffOutcome, Health, HealthGuard};
+use crate::resume::{
+    self, Checkpoint, CheckpointError, CheckpointSpec, CoarseCarry, LoopSnapshot, StageTag,
+};
 use crate::{
-    Evolution, GuardEventKind, IterationRecord, LevelSetIlt, ResolutionSchedule, SolverDiagnostics,
+    Evolution, GuardEventKind, IterationRecord, LevelSetIlt, ResolutionSchedule, RunControl,
+    SolverDiagnostics, StopReason,
 };
 use lsopc_grid::{max_abs, Grid, Scalar};
 use lsopc_levelset::{
@@ -49,6 +53,21 @@ pub enum OptimizeError {
         /// Backoffs performed before giving up.
         backoffs: usize,
     },
+    /// A [`RunControl::with_resume`] checkpoint could not be used
+    /// (missing, corrupt, or written by an incompatible run). See
+    /// [`CheckpointError`] for the categories.
+    Checkpoint {
+        /// The underlying [`CheckpointError`], rendered.
+        message: String,
+    },
+}
+
+impl From<CheckpointError> for OptimizeError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for OptimizeError {
@@ -75,6 +94,7 @@ impl fmt::Display for OptimizeError {
                 f,
                 "solver health guard gave up at iteration {iteration} after {backoffs} backoffs"
             ),
+            Self::Checkpoint { message } => f.write_str(message),
         }
     }
 }
@@ -115,6 +135,11 @@ pub struct IltResult<T: Scalar = f64> {
     /// [`RecoveryPolicy::Off`](crate::RecoveryPolicy::Off) or on a
     /// healthy run).
     pub diagnostics: SolverDiagnostics,
+    /// Why the run was stopped early by its [`RunControl`] (`None` for
+    /// a run that completed or converged normally). A stopped result
+    /// still carries the best-so-far mask — a graceful stop is not an
+    /// error.
+    pub stopped: Option<StopReason>,
 }
 
 impl<T: Scalar> IltResult<T> {
@@ -143,6 +168,7 @@ impl<T: Scalar> IltResult<T> {
                 .map(|(i, m)| (*i, m.map(|&v| v.to_f64())))
                 .collect(),
             diagnostics: self.diagnostics.clone(),
+            stopped: self.stopped,
         }
     }
 }
@@ -166,6 +192,108 @@ fn emit_iter(record: Option<&IterationRecord>) {
             max_velocity: rec.max_velocity,
             rolled_back: rec.rolled_back,
         });
+    }
+}
+
+/// Per-run bookkeeping shared by every stage of one controlled run.
+struct RunMeta<'a> {
+    control: &'a RunControl,
+    /// Configuration fingerprint written into (and checked against)
+    /// checkpoint files; zero when the control never persists.
+    config_hash: u64,
+}
+
+/// Per-stage context handed to [`LevelSetIlt::run`]: which stage this
+/// is (for checkpoint tagging), how many iterations earlier stages
+/// already consumed (for the global budget), and optionally the loop
+/// state to restore.
+struct StageCtx<'a> {
+    meta: &'a RunMeta<'a>,
+    stage: StageTag,
+    /// Iterations completed by earlier stages of this run.
+    iter_offset: usize,
+    /// Loop state to restore instead of initializing from scratch.
+    resume: Option<LoopSnapshot>,
+    /// Completed-coarse context to embed in fine-stage checkpoints.
+    carry: Option<CoarseCarry>,
+}
+
+impl<'a> StageCtx<'a> {
+    /// The context of an unscheduled (or fallback-flat) run.
+    fn flat(meta: &'a RunMeta<'a>, resume: Option<LoopSnapshot>) -> Self {
+        Self {
+            meta,
+            stage: StageTag::Flat,
+            iter_offset: 0,
+            resume,
+            carry: None,
+        }
+    }
+}
+
+/// Unwraps a loaded checkpoint for a flat (unscheduled or
+/// fallback-flat) run, which can only resume a `Flat`-stage file. The
+/// config hash normally guarantees this; a mismatch here means the
+/// file was tampered with.
+fn flat_snapshot(loaded: Option<Checkpoint>) -> Result<Option<LoopSnapshot>, OptimizeError> {
+    match loaded {
+        None => Ok(None),
+        Some(ck) if ck.stage == StageTag::Flat => Ok(Some(ck.snapshot)),
+        Some(_) => Err(CheckpointError::Malformed(
+            "checkpoint stage does not match an unscheduled run".into(),
+        )
+        .into()),
+    }
+}
+
+/// Captures the loop state into a checkpoint file, atomically. A write
+/// failure is a warning, not an error: losing a periodic checkpoint
+/// must not kill a healthy optimization.
+#[allow(clippy::too_many_arguments)]
+fn save_loop_checkpoint<T: Scalar>(
+    spec: &CheckpointSpec,
+    config_hash: u64,
+    stage: StageTag,
+    carry: Option<&CoarseCarry>,
+    next_iteration: usize,
+    psi: &Grid<T>,
+    prev_gradient_velocity: Option<&Grid<T>>,
+    prev_velocity: Option<&Grid<T>>,
+    best: Option<&(f64, Grid<T>, Grid<T>)>,
+    guard: Option<&HealthGuard>,
+    guard_checkpoint: Option<&Grid<T>>,
+    history: &[IterationRecord],
+    snapshots: &[(usize, Grid<T>)],
+) {
+    // Spans the whole capture (state widening + serialization + the
+    // atomic write), so the trace reports the full per-write cost.
+    let _span = lsopc_trace::span!("checkpoint.write");
+    let widen = |g: &Grid<T>| g.map(|&v| v.to_f64());
+    let snapshot = LoopSnapshot {
+        next_iteration,
+        psi: widen(psi),
+        prev_gradient_velocity: prev_gradient_velocity.map(widen),
+        prev_velocity: prev_velocity.map(widen),
+        // The best mask is always `mask_from_levelset` of the best ψ,
+        // so only the (cost, ψ) pair needs to be stored.
+        best: best.map(|(cost, _mask, psi)| (*cost, widen(psi))),
+        guard: guard.map(HealthGuard::snapshot),
+        guard_checkpoint: guard_checkpoint.map(widen),
+        history: history.to_vec(),
+        snapshots: snapshots.iter().map(|(i, m)| (*i, widen(m))).collect(),
+    };
+    let ck = Checkpoint {
+        config_hash,
+        stage,
+        snapshot,
+        carry: carry.cloned(),
+    };
+    match resume::write_checkpoint(&spec.path, &ck) {
+        Ok(()) => lsopc_trace::count("checkpoint.write", 1),
+        Err(e) => lsopc_trace::warn(
+            "resume",
+            &format!("checkpoint write to {} failed: {e}", spec.path.display()),
+        ),
     }
 }
 
@@ -194,10 +322,58 @@ impl LevelSetIlt {
         sim: &LithoSimulator<T>,
         target: &Grid<T>,
     ) -> Result<IltResult<T>, OptimizeError> {
+        self.optimize_controlled(sim, target, &RunControl::default())
+    }
+
+    /// [`LevelSetIlt::optimize`] under a [`RunControl`]: cooperative
+    /// cancellation, wall-clock deadline, global iteration budget,
+    /// periodic checkpointing and checkpoint resume.
+    ///
+    /// The control is polled at every iteration boundary (including the
+    /// first iteration of each schedule stage, which makes the
+    /// coarse→fine transition a cancellation point). A requested stop
+    /// is graceful: the best-so-far mask is returned with
+    /// [`IltResult::stopped`] set and — when checkpointing is on — a
+    /// final checkpoint on disk. With a default control this is exactly
+    /// [`LevelSetIlt::optimize`], bit for bit.
+    ///
+    /// Resuming restores the loop state the checkpoint captured and
+    /// replays the remaining iterations through the identical code
+    /// path, so at the f64 default a resumed run is bit-identical
+    /// (mask, ψ, history — `f64::to_bits`) to the uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] for invalid targets, and
+    /// [`OptimizeError::Checkpoint`] when a resume file is missing,
+    /// corrupt, or from an incompatible run (different optimizer
+    /// parameters, simulator geometry or target).
+    pub fn optimize_controlled<T: Scalar>(
+        &self,
+        sim: &LithoSimulator<T>,
+        target: &Grid<T>,
+        control: &RunControl,
+    ) -> Result<IltResult<T>, OptimizeError> {
         let target = self.validate_target(sim, target)?;
+        let config_hash = if control.persists() {
+            resume::config_hash(self, sim, &target, None)
+        } else {
+            0
+        };
+        let loaded = self.load_resume(control, config_hash)?;
+        let meta = RunMeta {
+            control,
+            config_hash,
+        };
         match self.schedule {
-            Some(schedule) => self.optimize_scheduled(sim, &target, &schedule),
-            None => self.run(sim, &target, None, self.max_iterations),
+            Some(schedule) => self.optimize_scheduled(sim, &target, &schedule, &meta, loaded),
+            None => self.run(
+                sim,
+                &target,
+                None,
+                self.max_iterations,
+                StageCtx::flat(&meta, flat_snapshot(loaded)?),
+            ),
         }
     }
 
@@ -222,6 +398,26 @@ impl LevelSetIlt {
         target: &Grid<T>,
         init: Grid<T>,
     ) -> Result<IltResult<T>, OptimizeError> {
+        self.optimize_from_controlled(sim, target, init, &RunControl::default())
+    }
+
+    /// [`LevelSetIlt::optimize_from`] under a [`RunControl`] — see
+    /// [`LevelSetIlt::optimize_controlled`] for the control semantics.
+    /// The warm-start ψ₀ is folded into the checkpoint's config hash,
+    /// so a resume with a different initial level set is rejected as
+    /// [`OptimizeError::Checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LevelSetIlt::optimize_from`], plus
+    /// [`OptimizeError::Checkpoint`] for unusable resume files.
+    pub fn optimize_from_controlled<T: Scalar>(
+        &self,
+        sim: &LithoSimulator<T>,
+        target: &Grid<T>,
+        init: Grid<T>,
+        control: &RunControl,
+    ) -> Result<IltResult<T>, OptimizeError> {
         let n = sim.grid_px();
         if init.dims() != (n, n) {
             return Err(OptimizeError::InitDimsMismatch {
@@ -230,7 +426,43 @@ impl LevelSetIlt {
             });
         }
         let target = self.validate_target(sim, target)?;
-        self.run(sim, &target, Some(init), self.max_iterations)
+        let config_hash = if control.persists() {
+            resume::config_hash(self, sim, &target, Some(&init))
+        } else {
+            0
+        };
+        let loaded = self.load_resume(control, config_hash)?;
+        let meta = RunMeta {
+            control,
+            config_hash,
+        };
+        self.run(
+            sim,
+            &target,
+            Some(init),
+            self.max_iterations,
+            StageCtx::flat(&meta, flat_snapshot(loaded)?),
+        )
+    }
+
+    /// Loads and validates the control's resume checkpoint, if any.
+    fn load_resume(
+        &self,
+        control: &RunControl,
+        config_hash: u64,
+    ) -> Result<Option<Checkpoint>, OptimizeError> {
+        let Some(path) = control.resume.as_ref() else {
+            return Ok(None);
+        };
+        let ck = {
+            let _span = lsopc_trace::span!("checkpoint.load");
+            resume::load_checkpoint(path)?
+        };
+        if ck.config_hash != config_hash {
+            return Err(CheckpointError::ConfigMismatch.into());
+        }
+        lsopc_trace::count("checkpoint.load", 1);
+        Ok(Some(ck))
     }
 
     /// Validates and binarizes the target (shared by every entry point).
@@ -258,69 +490,168 @@ impl LevelSetIlt {
     /// full resolution. Falls back to a flat run when the schedule is
     /// degenerate for this grid or the pattern vanishes when
     /// downsampled.
+    ///
+    /// Resume dispatches on the checkpoint's stage tag: a
+    /// `Coarse`-stage file re-enters (and finishes) the coarse loop
+    /// before transferring up as usual; a `Fine`-stage file skips the
+    /// coarse stage entirely and reproduces the stage merge from the
+    /// embedded [`CoarseCarry`]. A run stopped mid-coarse still reports
+    /// a full-resolution best-so-far mask (ψ upsampled).
     fn optimize_scheduled<T: Scalar>(
         &self,
         sim: &LithoSimulator<T>,
         target: &Grid<T>,
         schedule: &ResolutionSchedule,
+        meta: &RunMeta<'_>,
+        loaded: Option<Checkpoint>,
     ) -> Result<IltResult<T>, OptimizeError> {
         let start = Instant::now();
         let Some(factor) = schedule.downsample_factor(sim.grid_px()) else {
-            return self.run(sim, target, None, self.max_iterations);
+            return self.run(
+                sim,
+                target,
+                None,
+                self.max_iterations,
+                StageCtx::flat(meta, flat_snapshot(loaded)?),
+            );
         };
         // Block-average then re-threshold: a feature must cover half a
         // coarse cell to survive. An all-empty coarse target cannot be
         // optimized, so fall back to the flat loop.
         let coarse_target = target.map(|&v| v.to_f64()).downsample(factor).binarize(0.5);
         if coarse_target.sum() == 0.0 {
-            return self.run(sim, target, None, self.max_iterations);
+            return self.run(
+                sim,
+                target,
+                None,
+                self.max_iterations,
+                StageCtx::flat(meta, flat_snapshot(loaded)?),
+            );
         }
         let coarse_target = coarse_target.map(|&v| T::from_f64(v));
 
-        // The coarse simulator shares the optics (same field period, so
-        // identical physics in cycles-per-field) with a truncated kernel
-        // rank; its plans and spectra go through the same process-wide
-        // caches as any other grid size.
-        let coarse_kernels = schedule.coarse_kernels().min(sim.optics().kernel_count());
-        let coarse_optics = sim.optics().clone().with_kernel_count(coarse_kernels);
-        let coarse_pixel_nm = sim.field_nm() / schedule.coarse_px() as f64;
-        let coarse_sim =
-            LithoSimulator::<T>::from_optics(&coarse_optics, schedule.coarse_px(), coarse_pixel_nm)
+        // Split a loaded checkpoint into the stage it re-enters. The
+        // config hash has already pinned the schedule, so a Flat-stage
+        // file reaching this point can only be a tampered file.
+        let (coarse_resume, fine_resume) = match loaded {
+            None => (None, None),
+            Some(ck) => match ck.stage {
+                StageTag::Coarse => (Some(ck.snapshot), None),
+                StageTag::Fine => {
+                    let carry = ck.carry.ok_or_else(|| {
+                        CheckpointError::Malformed("fine-stage checkpoint lost its carry".into())
+                    })?;
+                    (None, Some((ck.snapshot, carry)))
+                }
+                StageTag::Flat => {
+                    return Err(CheckpointError::Malformed(
+                        "flat-stage checkpoint for a scheduled run".into(),
+                    )
+                    .into())
+                }
+            },
+        };
+
+        // Coarse stage — skipped entirely when resuming inside fine.
+        let (psi0, carry, fine_snapshot) = match fine_resume {
+            Some((snapshot, carry)) => (None, carry, Some(snapshot)),
+            None => {
+                // The coarse simulator shares the optics (same field
+                // period, so identical physics in cycles-per-field) with
+                // a truncated kernel rank; its plans and spectra go
+                // through the same process-wide caches as any other grid
+                // size.
+                let coarse_kernels = schedule.coarse_kernels().min(sim.optics().kernel_count());
+                let coarse_optics = sim.optics().clone().with_kernel_count(coarse_kernels);
+                let coarse_pixel_nm = sim.field_nm() / schedule.coarse_px() as f64;
+                let coarse_sim = LithoSimulator::<T>::from_optics(
+                    &coarse_optics,
+                    schedule.coarse_px(),
+                    coarse_pixel_nm,
+                )
                 .map_err(|e| OptimizeError::CoarseStage {
                     message: e.to_string(),
                 })?
                 .with_accelerated_backend(1);
 
-        let coarse = {
-            let _span = lsopc_trace::span!("optimize.stage.coarse");
-            self.run(
-                &coarse_sim,
-                &coarse_target,
-                None,
-                schedule.coarse_iterations(),
-            )?
+                let coarse = {
+                    let _span = lsopc_trace::span!("optimize.stage.coarse");
+                    self.run(
+                        &coarse_sim,
+                        &coarse_target,
+                        None,
+                        schedule.coarse_iterations(),
+                        StageCtx {
+                            meta,
+                            stage: StageTag::Coarse,
+                            iter_offset: 0,
+                            resume: coarse_resume,
+                            carry: None,
+                        },
+                    )?
+                };
+                // A stop during the coarse stage: report the best-so-far
+                // contour at full resolution (the caller's grid), with
+                // the checkpoint still tagged Coarse for resume.
+                if coarse.stopped.is_some() {
+                    let levelset = upsample_levelset(&coarse.levelset, factor);
+                    let mask = mask_from_levelset(&levelset);
+                    return Ok(IltResult {
+                        mask,
+                        levelset,
+                        history: coarse.history,
+                        iterations: coarse.iterations,
+                        coarse_iterations: coarse.iterations,
+                        converged: false,
+                        runtime_s: start.elapsed().as_secs_f64(),
+                        snapshots: Vec::new(),
+                        diagnostics: coarse.diagnostics,
+                        stopped: coarse.stopped,
+                    });
+                }
+                // Carry the contour (not the far field) across:
+                // band-limited interpolation of ψ, then exact
+                // redistancing on the fine grid.
+                let psi0 = upsample_levelset(&coarse.levelset, factor);
+                let carry = CoarseCarry {
+                    iterations: coarse.iterations,
+                    history: coarse.history,
+                    diagnostics: coarse.diagnostics,
+                };
+                (Some(psi0), carry, None)
+            }
         };
-        // Carry the contour (not the far field) across: band-limited
-        // interpolation of ψ, then exact redistancing on the fine grid.
-        let psi0 = upsample_levelset(&coarse.levelset, factor);
+
         let fine = {
             let _span = lsopc_trace::span!("optimize.stage.fine");
-            self.run(sim, target, Some(psi0), schedule.fine_iterations())?
+            self.run(
+                sim,
+                target,
+                psi0,
+                schedule.fine_iterations(),
+                StageCtx {
+                    meta,
+                    stage: StageTag::Fine,
+                    iter_offset: carry.iterations,
+                    resume: fine_snapshot,
+                    carry: Some(carry.clone()),
+                },
+            )?
         };
 
         // Merge the stage records into one timeline: fine iterations and
         // snapshots renumbered past the coarse stage, elapsed times made
         // monotone. Guard diagnostics accumulate across stages (event
         // iteration numbers stay stage-local).
-        let coarse_iterations = coarse.iterations;
-        let mut history = coarse.history;
+        let coarse_iterations = carry.iterations;
+        let mut history = carry.history;
         let coarse_elapsed = history.last().map_or(0.0, |r| r.elapsed_s);
         for mut rec in fine.history {
             rec.iteration += coarse_iterations;
             rec.elapsed_s += coarse_elapsed;
             history.push(rec);
         }
-        let mut diagnostics = coarse.diagnostics;
+        let mut diagnostics = carry.diagnostics;
         diagnostics.events.extend(fine.diagnostics.events);
         diagnostics.backoffs += fine.diagnostics.backoffs;
         diagnostics.recoveries += fine.diagnostics.recoveries;
@@ -341,20 +672,29 @@ impl LevelSetIlt {
             runtime_s: start.elapsed().as_secs_f64(),
             snapshots,
             diagnostics,
+            stopped: fine.stopped,
         })
     }
 
     /// The Algorithm 1 loop itself. `target` is already validated and
     /// binarized; ψ₀ is `init` when given (warm start / fine stage) and
-    /// the target's signed distance otherwise. With `init = None` and
-    /// `max_iterations = self.max_iterations` this is the historical
-    /// `optimize` body, bit for bit.
+    /// the target's signed distance otherwise. With `init = None`,
+    /// `max_iterations = self.max_iterations` and a default control
+    /// this is the historical `optimize` body, bit for bit.
+    ///
+    /// The stage context supplies the run-lifecycle hooks: the control
+    /// is polled at every iteration boundary (before any work of that
+    /// iteration), state is checkpointed every `checkpoint-every`
+    /// iterations and at a graceful stop, and `ctx.resume` replaces the
+    /// initialization with the captured loop state so the remaining
+    /// iterations replay the identical floating-point stream.
     fn run<T: Scalar>(
         &self,
         sim: &LithoSimulator<T>,
         target: &Grid<T>,
         init: Option<Grid<T>>,
         max_iterations: usize,
+        mut ctx: StageCtx<'_>,
     ) -> Result<IltResult<T>, OptimizeError> {
         let n = sim.grid_px();
         let start = Instant::now();
@@ -371,14 +711,86 @@ impl LevelSetIlt {
         let mut best: Option<(f64, Grid<T>, Grid<T>)> = None;
         let mut converged = false;
         let mut iterations = 0;
+        let mut stopped: Option<StopReason> = None;
         // The health guard (None with RecoveryPolicy::Off — the loop then
         // follows the historical code path exactly) and its checkpoint:
         // the last pre-evolve ψ that passed every per-iteration check.
         let mut guard = HealthGuard::from_policy(&self.recovery);
-        let mut checkpoint: Option<Grid<T>> = None;
+        let mut guard_checkpoint: Option<Grid<T>> = None;
+        let mut start_iter = 0;
 
-        'iterate: for i in 0..max_iterations {
+        // Resume: overwrite the freshly initialized state with the
+        // checkpointed one. Everything is stored in f64; the narrowing
+        // map is the exact inverse of the widening one at T = f64.
+        if let Some(snap) = ctx.resume.take() {
+            if snap.psi.dims() != (n, n) {
+                return Err(CheckpointError::Malformed(format!(
+                    "checkpoint ψ is {}×{}, stage grid is {n}×{n}",
+                    snap.psi.dims().0,
+                    snap.psi.dims().1
+                ))
+                .into());
+            }
+            let narrow = |g: &Grid<f64>| g.map(|&v| T::from_f64(v));
+            start_iter = snap.next_iteration;
+            iterations = snap.next_iteration;
+            psi = narrow(&snap.psi);
+            prev_gradient_velocity = snap.prev_gradient_velocity.as_ref().map(narrow);
+            prev_velocity = snap.prev_velocity.as_ref().map(narrow);
+            // The loop only ever stores best = (cost, mask_from_levelset(ψ), ψ),
+            // so recomputing the mask from the stored ψ is exact.
+            best = snap.best.as_ref().map(|(cost, bpsi)| {
+                let bpsi = narrow(bpsi);
+                (*cost, mask_from_levelset(&bpsi), bpsi)
+            });
+            match (guard.as_mut(), snap.guard) {
+                (Some(g), Some(gs)) => g.restore(gs),
+                (None, None) => {}
+                _ => {
+                    return Err(CheckpointError::Malformed(
+                        "checkpoint guard state does not match the recovery policy".into(),
+                    )
+                    .into())
+                }
+            }
+            guard_checkpoint = snap.guard_checkpoint.as_ref().map(narrow);
+            history = snap.history;
+            snapshots = snap
+                .snapshots
+                .iter()
+                .map(|(i, m)| (*i, narrow(m)))
+                .collect();
+        }
+
+        'iterate: for i in start_iter..max_iterations {
             let _iter_span = lsopc_trace::span!("optimize.iter");
+            // Cancellation point: poll the run control before this
+            // iteration does any work (this also covers CG restarts and
+            // the first iteration after a stage transfer). The stop is
+            // graceful — the state at this boundary is checkpointed and
+            // the best-so-far mask is still reported below.
+            if let Some(reason) = ctx.meta.control.stop_requested(ctx.iter_offset + i) {
+                stopped = Some(reason);
+                lsopc_trace::count("run.cancel", 1);
+                if let Some(spec) = ctx.meta.control.checkpoint.as_ref() {
+                    save_loop_checkpoint(
+                        spec,
+                        ctx.meta.config_hash,
+                        ctx.stage,
+                        ctx.carry.as_ref(),
+                        i,
+                        &psi,
+                        prev_gradient_velocity.as_ref(),
+                        prev_velocity.as_ref(),
+                        best.as_ref(),
+                        guard.as_ref(),
+                        guard_checkpoint.as_ref(),
+                        &history,
+                        &snapshots,
+                    );
+                }
+                break 'iterate;
+            }
             iterations = i + 1;
             // Line 7 (Eq. (6)): current binary mask from ψ.
             let mask = mask_from_levelset(&psi);
@@ -448,7 +860,7 @@ impl LevelSetIlt {
                         BackoffOutcome::Retry => {
                             // With no checkpoint yet, ψ is still the
                             // untouched initial signed distance.
-                            if let Some(cp) = &checkpoint {
+                            if let Some(cp) = &guard_checkpoint {
                                 psi = cp.clone();
                             }
                             prev_gradient_velocity = None;
@@ -462,7 +874,7 @@ impl LevelSetIlt {
                                     backoffs: g.diagnostics.backoffs,
                                 });
                             }
-                            if let Some(cp) = &checkpoint {
+                            if let Some(cp) = &guard_checkpoint {
                                 psi = cp.clone();
                             }
                             break 'iterate;
@@ -566,7 +978,7 @@ impl LevelSetIlt {
                     emit_iter(history.last());
                     match outcome {
                         BackoffOutcome::Retry => {
-                            if let Some(cp) = &checkpoint {
+                            if let Some(cp) = &guard_checkpoint {
                                 psi = cp.clone();
                             }
                             prev_gradient_velocity = None;
@@ -580,7 +992,7 @@ impl LevelSetIlt {
                                     backoffs: g.diagnostics.backoffs,
                                 });
                             }
-                            if let Some(cp) = &checkpoint {
+                            if let Some(cp) = &guard_checkpoint {
                                 psi = cp.clone();
                             }
                             break 'iterate;
@@ -621,11 +1033,11 @@ impl LevelSetIlt {
                 break;
             }
 
-            // Commit the checkpoint: this pre-evolve ψ passed every check
-            // and its cost is on record; a corrupted evolve rolls back to
-            // exactly here.
+            // Commit the guard checkpoint: this pre-evolve ψ passed
+            // every check and its cost is on record; a corrupted evolve
+            // rolls back to exactly here.
             if guard.is_some() {
-                checkpoint = Some(psi.clone());
+                guard_checkpoint = Some(psi.clone());
             }
 
             // Lines 5–6: CFL step and evolution, optionally guarded by a
@@ -686,7 +1098,7 @@ impl LevelSetIlt {
                     }
                     match outcome {
                         BackoffOutcome::Retry => {
-                            if let Some(cp) = &checkpoint {
+                            if let Some(cp) = &guard_checkpoint {
                                 psi = cp.clone();
                             }
                             prev_gradient_velocity = None;
@@ -700,7 +1112,7 @@ impl LevelSetIlt {
                                     backoffs: g.diagnostics.backoffs,
                                 });
                             }
-                            if let Some(cp) = &checkpoint {
+                            if let Some(cp) = &guard_checkpoint {
                                 psi = cp.clone();
                             }
                             break 'iterate;
@@ -716,6 +1128,31 @@ impl LevelSetIlt {
 
             prev_gradient_velocity = Some(gradient_velocity);
             prev_velocity = Some(velocity);
+
+            // Periodic checkpoint, after every mutation of this
+            // iteration is in place. Keyed on the absolute iteration
+            // index so a resumed run checkpoints at the same boundaries
+            // as the original. Rollback retries skip this via their
+            // `continue` — the next completed iteration persists.
+            if let Some(spec) = ctx.meta.control.checkpoint.as_ref() {
+                if (i + 1) % spec.every == 0 {
+                    save_loop_checkpoint(
+                        spec,
+                        ctx.meta.config_hash,
+                        ctx.stage,
+                        ctx.carry.as_ref(),
+                        i + 1,
+                        &psi,
+                        prev_gradient_velocity.as_ref(),
+                        prev_velocity.as_ref(),
+                        best.as_ref(),
+                        guard.as_ref(),
+                        guard_checkpoint.as_ref(),
+                        &history,
+                        &snapshots,
+                    );
+                }
+            }
         }
 
         // Evaluate the final iterate too, then return the best mask seen.
@@ -779,6 +1216,7 @@ impl LevelSetIlt {
             runtime_s: start.elapsed().as_secs_f64(),
             snapshots,
             diagnostics: guard.map_or_else(SolverDiagnostics::default, |g| g.diagnostics),
+            stopped,
         })
     }
 }

@@ -14,8 +14,9 @@
 //! fingerprints) and solved with a short warm refinement from the cached
 //! ψ instead of a full cold run — see DESIGN.md §14.
 
+use crate::resume::{self, RunControl, TileCheckpoint};
 use crate::warmstart::{fingerprint, PatternFingerprint, WarmStartCache};
-use crate::{IltResult, LevelSetIlt, OptimizeError};
+use crate::{IltResult, LevelSetIlt, OptimizeError, SolverDiagnostics, StopReason};
 use lsopc_grid::Grid;
 use lsopc_litho::{BuildSimulatorError, LithoSimulator};
 use lsopc_optics::OpticsConfig;
@@ -23,6 +24,7 @@ use lsopc_parallel::ParallelContext;
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::path::Path;
 
 /// Error from tiled optimization.
 #[derive(Debug)]
@@ -33,6 +35,8 @@ pub enum TiledError {
     Simulator(BuildSimulatorError),
     /// A tile optimization failed.
     Optimize(OptimizeError),
+    /// The checkpoint/resume directory could not be used.
+    Checkpoint(String),
 }
 
 impl fmt::Display for TiledError {
@@ -41,6 +45,7 @@ impl fmt::Display for TiledError {
             Self::BadConfiguration(msg) => write!(f, "bad tile configuration: {msg}"),
             Self::Simulator(e) => write!(f, "tile simulator: {e}"),
             Self::Optimize(e) => write!(f, "tile optimization: {e}"),
+            Self::Checkpoint(msg) => write!(f, "tile checkpoint: {msg}"),
         }
     }
 }
@@ -48,7 +53,7 @@ impl fmt::Display for TiledError {
 impl Error for TiledError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            Self::BadConfiguration(_) => None,
+            Self::BadConfiguration(_) | Self::Checkpoint(_) => None,
             Self::Simulator(e) => Some(e),
             Self::Optimize(e) => Some(e),
         }
@@ -88,6 +93,14 @@ pub struct TiledStats {
     pub warm_full_iterations: usize,
     /// Coarse-stage iterations across all tiles (0 without a schedule).
     pub coarse_iterations: usize,
+    /// Tiles restored from a checkpoint directory instead of solved
+    /// (also counted in [`TiledStats::tiles`] and the cold/warm split).
+    pub resumed: usize,
+    /// Tiles left unsolved by a cancellation or deadline; the stitched
+    /// output falls back to the target pattern in those regions.
+    pub unfinished: usize,
+    /// Why the run stopped early (`None` when every tile completed).
+    pub stopped: Option<StopReason>,
 }
 
 impl TiledStats {
@@ -135,6 +148,7 @@ pub struct TiledIlt {
     warm_iterations: Option<usize>,
     /// `None` → [`ParallelContext::global`].
     ctx: Option<ParallelContext>,
+    control: Option<RunControl>,
 }
 
 impl TiledIlt {
@@ -175,6 +189,7 @@ impl TiledIlt {
             warm_start: None,
             warm_iterations: None,
             ctx: None,
+            control: None,
         })
     }
 
@@ -207,6 +222,25 @@ impl TiledIlt {
         self
     }
 
+    /// Attaches run-lifecycle controls ([`RunControl`]). The cancel
+    /// token and deadline are observed at tile-claim points (unclaimed
+    /// tiles drain promptly after a stop) and inside every tile's
+    /// iteration loop; tiles interrupted mid-solve stitch their
+    /// best-so-far mask and count as
+    /// [`unfinished`](TiledStats::unfinished).
+    ///
+    /// For tiled runs a [`CheckpointSpec`](crate::CheckpointSpec) path
+    /// names a *directory*: each completed tile is persisted there as
+    /// its own file (`tile_<x>_<y>.tile`), and a resume path restores
+    /// completed tiles from such a directory, re-solving any missing,
+    /// corrupt or configuration-mismatched entries. Iteration budgets
+    /// are rejected ([`TiledError::BadConfiguration`]) — a global
+    /// iteration count is not meaningful across concurrent tiles.
+    pub fn with_run_control(mut self, control: RunControl) -> Self {
+        self.control = Some(control);
+        self
+    }
+
     fn ctx(&self) -> &ParallelContext {
         self.ctx
             .as_ref()
@@ -222,6 +256,47 @@ impl TiledIlt {
     pub fn warm_iterations(&self) -> usize {
         self.warm_iterations
             .unwrap_or_else(|| (self.optimizer.max_iterations / 4).max(2))
+    }
+
+    /// Hash binding a tile checkpoint to the solver configuration, the
+    /// tile geometry and the tile's target content — a mismatch on any
+    /// of them re-solves the tile instead of restoring a stale result.
+    fn tile_hash(&self, sim: &LithoSimulator<f64>, tile_target: &Grid<f64>) -> u64 {
+        let fold = |h: u64, v: u64| (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        let base = resume::config_hash(&self.optimizer, sim, tile_target, None);
+        let h = fold(base, self.core_px as u64);
+        let h = fold(h, self.halo_px as u64);
+        fold(h, self.warm_iterations() as u64)
+    }
+
+    /// Persists one completed tile under the checkpoint directory.
+    /// A write failure degrades to a warning — the run's result does
+    /// not depend on the checkpoint.
+    fn persist_tile(
+        &self,
+        dir: &Path,
+        tx: usize,
+        ty: usize,
+        hash: u64,
+        warm: bool,
+        result: &IltResult<f64>,
+    ) {
+        let tc = TileCheckpoint {
+            hash,
+            warm,
+            iterations: result.iterations,
+            coarse_iterations: result.coarse_iterations,
+            mask: result.mask.clone(),
+            levelset: result.levelset.clone(),
+        };
+        let path = dir.join(resume::tile_entry_name(tx, ty));
+        match resume::write_tile_checkpoint(&path, &tc) {
+            Ok(()) => lsopc_trace::count("checkpoint.write", 1),
+            Err(e) => lsopc_trace::warn(
+                "tiles",
+                &format!("failed to write tile checkpoint {}: {e}", path.display()),
+            ),
+        }
     }
 
     /// Optimizes a (possibly large) target by tiles and stitches the
@@ -259,10 +334,18 @@ impl TiledIlt {
     /// (pinned by `tests/parallel_tiles.rs`). Cold-phase failures are
     /// reported (first in row-major order) before warm-phase ones.
     ///
+    /// With a [`RunControl`] attached (see
+    /// [`TiledIlt::with_run_control`]) the run stops gracefully on
+    /// cancellation or deadline — completed tiles keep their solved
+    /// masks, interrupted tiles stitch best-so-far, untouched tiles
+    /// fall back to the target pattern — and completed tiles persist
+    /// to / restore from a per-tile checkpoint directory.
+    ///
     /// # Errors
     ///
     /// Returns [`TiledError`] when the target is not a multiple of the
-    /// core size, or a tile fails to simulate/optimize.
+    /// core size, a tile fails to simulate/optimize, or the
+    /// checkpoint/resume directory is unusable.
     pub fn optimize_with_stats(
         &self,
         optics: &OpticsConfig,
@@ -275,6 +358,14 @@ impl TiledIlt {
                 "target {w}x{h} is not a multiple of the {}px core",
                 self.core_px
             )));
+        }
+        let control = self.control.clone().unwrap_or_default();
+        if control.iteration_budget.is_some() {
+            return Err(TiledError::BadConfiguration(
+                "iteration budgets are not supported for tiled runs \
+                 (a global iteration count is not meaningful across concurrent tiles)"
+                    .into(),
+            ));
         }
         let tile = self.tile_px();
         let sim = LithoSimulator::from_optics(optics, tile, pixel_nm)?.with_accelerated_backend(1);
@@ -306,17 +397,121 @@ impl TiledIlt {
             }
         }
 
+        let mut slots: Vec<Option<IltResult<f64>>> = (0..tiles.len()).map(|_| None).collect();
+        let mut stats = TiledStats::default();
+
+        // Per-tile checkpointing: the spec's path is a directory of one
+        // file per completed tile.
+        let ck_dir: Option<&Path> = control.checkpoint.as_ref().map(|s| s.path.as_path());
+        if let Some(dir) = ck_dir {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                TiledError::Checkpoint(format!(
+                    "cannot create checkpoint directory {}: {e}",
+                    dir.display()
+                ))
+            })?;
+        }
+
+        // Restore completed tiles before classification so that a
+        // restored cold tile still seeds the warm-start cache for its
+        // in-run repeats. Missing entries are normal (the previous run
+        // was interrupted); corrupt or mismatched entries degrade to a
+        // re-solve with a warning, never an error.
+        if let Some(dir) = control.resume.as_ref() {
+            if !dir.is_dir() {
+                return Err(TiledError::Checkpoint(format!(
+                    "resume path {} is not a tile checkpoint directory",
+                    dir.display()
+                )));
+            }
+            let _span = lsopc_trace::span!("tiles.phase.resume");
+            for (i, (tx, ty, t)) in tiles.iter().enumerate() {
+                let path = dir.join(resume::tile_entry_name(*tx, *ty));
+                if !path.exists() {
+                    continue;
+                }
+                let tc = match resume::load_tile_checkpoint(&path) {
+                    Ok(tc) => tc,
+                    Err(e) => {
+                        lsopc_trace::warn(
+                            "tiles",
+                            &format!("ignoring tile checkpoint {}: {e}", path.display()),
+                        );
+                        continue;
+                    }
+                };
+                if tc.hash != self.tile_hash(&sim, t) {
+                    lsopc_trace::warn(
+                        "tiles",
+                        &format!(
+                            "ignoring tile checkpoint {}: configuration or content changed",
+                            path.display()
+                        ),
+                    );
+                    continue;
+                }
+                if tc.mask.dims() != (tile, tile) || tc.levelset.dims() != (tile, tile) {
+                    lsopc_trace::warn(
+                        "tiles",
+                        &format!(
+                            "ignoring tile checkpoint {}: wrong dimensions",
+                            path.display()
+                        ),
+                    );
+                    continue;
+                }
+                if let Some(cache) = &self.warm_start {
+                    if !tc.warm {
+                        let fp = fingerprint(t).expect("non-empty tiles have fingerprints");
+                        cache.store(&fp, &tc.levelset);
+                    }
+                }
+                let result = IltResult {
+                    mask: tc.mask,
+                    levelset: tc.levelset,
+                    history: Vec::new(),
+                    iterations: tc.iterations,
+                    coarse_iterations: tc.coarse_iterations,
+                    converged: true,
+                    runtime_s: 0.0,
+                    snapshots: Vec::new(),
+                    diagnostics: SolverDiagnostics::default(),
+                    stopped: None,
+                };
+                stats.tally(&result, tc.warm);
+                stats.resumed += 1;
+                lsopc_trace::count("tiles.resume", 1);
+                slots[i] = Some(result);
+            }
+        }
+
+        // The effective cancel token: tile-internal stops (deadline
+        // expiring mid-tile) are promoted into it so unclaimed tiles
+        // drain instead of starting doomed solves.
+        let token = control.cancel.clone().unwrap_or_default();
+        let mut tile_control = RunControl::new().with_cancel(token.clone());
+        if let Some(deadline) = control.deadline {
+            tile_control = tile_control.with_deadline(deadline);
+        }
+
         // Classify tiles by content, in row-major order so the choice of
-        // each pattern's cold representative is deterministic.
+        // each pattern's cold representative is deterministic. Restored
+        // tiles participate in first-occurrence bookkeeping (their
+        // pattern is already solved) but get no plan of their own.
         let plans: Vec<Option<PatternFingerprint>> = match &self.warm_start {
             None => vec![None; tiles.len()],
             Some(cache) => {
                 let mut seen: HashSet<u64> = HashSet::new();
                 tiles
                     .iter()
-                    .map(|(_, _, t)| {
+                    .enumerate()
+                    .map(|(i, (_, _, t))| {
                         let fp = fingerprint(t).expect("non-empty tiles have fingerprints");
-                        let warm = if seen.insert(fp.key()) {
+                        let first = seen.insert(fp.key());
+                        if slots[i].is_some() {
+                            return None;
+                        }
+                        let warm = if first {
                             // First occurrence: warm only on a cache hit
                             // from an earlier run (counts hit/miss).
                             cache.lookup(&fp).is_some()
@@ -336,21 +531,38 @@ impl TiledIlt {
             }
         };
 
-        let mut slots: Vec<Option<IltResult<f64>>> = (0..tiles.len()).map(|_| None).collect();
-        let mut stats = TiledStats::default();
-
-        // Phase one: cold tiles (everything, without a cache).
-        let cold_idx: Vec<usize> = (0..tiles.len()).filter(|&i| plans[i].is_none()).collect();
+        // Phase one: cold tiles (everything unrestored, without a cache).
+        let cold_idx: Vec<usize> = (0..tiles.len())
+            .filter(|&i| slots[i].is_none() && plans[i].is_none())
+            .collect();
         {
             let _span = lsopc_trace::span!("tiles.phase.cold");
-            let results = self.ctx().par_map(cold_idx.len(), |j| {
-                self.optimizer.optimize(&sim, &tiles[cold_idx[j]].2)
+            let results = self.ctx().par_map_cancellable(cold_idx.len(), &token, |j| {
+                if let Some(reason) = tile_control.stop_requested(0) {
+                    token.cancel(reason);
+                }
+                self.optimizer
+                    .optimize_controlled(&sim, &tiles[cold_idx[j]].2, &tile_control)
             });
             for (&i, result) in cold_idx.iter().zip(results) {
+                let Some(result) = result else {
+                    stats.unfinished += 1;
+                    continue;
+                };
                 let result = result?;
+                if let Some(reason) = result.stopped {
+                    token.cancel(reason);
+                    stats.unfinished += 1;
+                    slots[i] = Some(result);
+                    continue;
+                }
                 if let Some(cache) = &self.warm_start {
                     let fp = fingerprint(&tiles[i].2).expect("non-empty tiles have fingerprints");
                     cache.store(&fp, &result.levelset);
+                }
+                if let Some(dir) = ck_dir {
+                    let (tx, ty, t) = &tiles[i];
+                    self.persist_tile(dir, *tx, *ty, self.tile_hash(&sim, t), false, &result);
                 }
                 stats.tally(&result, false);
                 slots[i] = Some(result);
@@ -366,34 +578,57 @@ impl TiledIlt {
             let cache = self.warm_start.as_ref().expect("warm tiles imply a cache");
             let mut warm_opt = self.optimizer.clone();
             warm_opt.max_iterations = self.warm_iterations();
-            let results = self.ctx().par_map(warm_idx.len(), |j| {
+            let results = self.ctx().par_map_cancellable(warm_idx.len(), &token, |j| {
+                if let Some(reason) = tile_control.stop_requested(0) {
+                    token.cancel(reason);
+                }
                 let i = warm_idx[j];
                 let fp = plans[i].as_ref().expect("warm plan");
                 match cache.lookup_uncounted(fp) {
                     Some(psi0) => warm_opt
-                        .optimize_from(&sim, &tiles[i].2, psi0)
+                        .optimize_from_controlled(&sim, &tiles[i].2, psi0, &tile_control)
                         .map(|r| (r, true)),
                     None => self
                         .optimizer
-                        .optimize(&sim, &tiles[i].2)
+                        .optimize_controlled(&sim, &tiles[i].2, &tile_control)
                         .map(|r| (r, false)),
                 }
             });
             for (&i, result) in warm_idx.iter().zip(results) {
+                let Some(result) = result else {
+                    stats.unfinished += 1;
+                    continue;
+                };
                 let (result, warm) = result?;
+                if let Some(reason) = result.stopped {
+                    token.cancel(reason);
+                    stats.unfinished += 1;
+                    slots[i] = Some(result);
+                    continue;
+                }
+                if let Some(dir) = ck_dir {
+                    let (tx, ty, t) = &tiles[i];
+                    self.persist_tile(dir, *tx, *ty, self.tile_hash(&sim, t), warm, &result);
+                }
                 stats.tally(&result, warm);
                 slots[i] = Some(result);
             }
         }
+        stats.stopped = token.cancelled();
 
-        // Stitch in row-major tile order.
+        // Stitch in row-major tile order. On a stopped run, tiles that
+        // never produced a mask fall back to their target core — the
+        // best-so-far output for an unstarted tile is the pattern
+        // itself.
         let mut out = Grid::new(w, h, 0.0);
-        for (&(tx, ty, _), slot) in tiles.iter().zip(slots) {
-            let result = slot.expect("every non-empty tile was solved");
-            // Paste the core region.
+        for ((tx, ty, t), slot) in tiles.iter().zip(slots) {
             for y in 0..self.core_px {
                 for x in 0..self.core_px {
-                    out[(tx + x, ty + y)] = result.mask[(x + self.halo_px, y + self.halo_px)];
+                    let v = match &slot {
+                        Some(result) => result.mask[(x + self.halo_px, y + self.halo_px)],
+                        None => t[(x + self.halo_px, y + self.halo_px)],
+                    };
+                    out[(tx + x, ty + y)] = v;
                 }
             }
         }
@@ -584,6 +819,83 @@ mod tests {
         // The second run warm-starts from the first run's refined ψ, so
         // the masks need not be identical — but both must print.
         assert!(first_mask.sum() > 0.0 && second_mask.sum() > 0.0);
+    }
+
+    #[test]
+    fn tile_checkpoints_restore_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("lsopc_tiles_ck_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let opt = LevelSetIlt::builder().max_iterations(5).build();
+        let make = || TiledIlt::new(opt.clone(), 128, 64).expect("valid tiling");
+        let spec = crate::CheckpointSpec::new(&dir, 1);
+        let (first_mask, first) = make()
+            .with_run_control(RunControl::new().with_checkpoint(spec))
+            .optimize_with_stats(&optics(), &two_tile_target(), 4.0)
+            .expect("first run");
+        assert_eq!(first.resumed, 0);
+        let (second_mask, second) = make()
+            .with_run_control(RunControl::new().with_resume(&dir))
+            .optimize_with_stats(&optics(), &two_tile_target(), 4.0)
+            .expect("resumed run");
+        assert_eq!(second.resumed, first.tiles, "every tile restores");
+        assert_eq!(second.tiles, first.tiles);
+        assert_eq!(second.full_iterations(), first.full_iterations());
+        assert_eq!(first_mask, second_mask, "restored stitch is bit-identical");
+
+        // A configuration change invalidates the stored tiles.
+        let other = LevelSetIlt::builder().max_iterations(6).build();
+        let (_, third) = TiledIlt::new(other, 128, 64)
+            .expect("valid tiling")
+            .with_run_control(RunControl::new().with_resume(&dir))
+            .optimize_with_stats(&optics(), &two_tile_target(), 4.0)
+            .expect("mismatched resume still runs");
+        assert_eq!(third.resumed, 0, "hash mismatch re-solves every tile");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancelled_run_stops_gracefully_with_target_fallback() {
+        let token = crate::CancelToken::new();
+        token.cancel(crate::StopReason::External);
+        let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(5).build(), 128, 64)
+            .expect("valid tiling")
+            .with_run_control(RunControl::new().with_cancel(token));
+        let target = two_tile_target();
+        let (mask, stats) = tiled
+            .optimize_with_stats(&optics(), &target, 4.0)
+            .expect("cancelled run is not an error");
+        assert_eq!(stats.stopped, Some(crate::StopReason::External));
+        assert_eq!(stats.tiles, 0);
+        // Every halo window of this target sees some pattern, so all
+        // four tile positions are non-empty — and all go unsolved.
+        assert_eq!(stats.unfinished, 4);
+        assert_eq!(mask, target, "unsolved tiles fall back to the target");
+    }
+
+    #[test]
+    fn rejects_iteration_budget() {
+        let tiled = TiledIlt::new(LevelSetIlt::default(), 128, 64)
+            .expect("valid tiling")
+            .with_run_control(RunControl::new().with_iteration_budget(3));
+        let err = tiled
+            .optimize(&optics(), &two_tile_target(), 4.0)
+            .expect_err("budget must be rejected");
+        assert!(matches!(err, TiledError::BadConfiguration(_)));
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn rejects_file_as_resume_directory() {
+        let path = std::env::temp_dir().join(format!("lsopc_tiles_file_{}", std::process::id()));
+        std::fs::write(&path, b"not a directory").expect("write");
+        let tiled = TiledIlt::new(LevelSetIlt::builder().max_iterations(4).build(), 128, 64)
+            .expect("valid tiling")
+            .with_run_control(RunControl::new().with_resume(&path));
+        let err = tiled
+            .optimize(&optics(), &two_tile_target(), 4.0)
+            .expect_err("file is not a resume directory");
+        assert!(matches!(err, TiledError::Checkpoint(_)));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use lsopc_fft::cyclic_shift;
 use lsopc_grid::Grid;
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -293,8 +293,10 @@ fn write_entry(path: &std::path::Path, stored: &StoredPsi) -> io::Result<()> {
     for v in stored.psi.as_slice() {
         buf.extend_from_slice(&v.to_le_bytes());
     }
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(&buf)
+    // Atomic temp-file + rename: a crash mid-store can leave a stray
+    // temp file but never a truncated `.psi` entry that a later run
+    // would have to discard.
+    crate::resume::atomic_write(path, &buf)
 }
 
 fn read_entry(path: &std::path::Path) -> io::Result<StoredPsi> {

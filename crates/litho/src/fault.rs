@@ -15,7 +15,7 @@
 
 use crate::CostReport;
 use lsopc_grid::Grid;
-use lsopc_parallel::ParallelContext;
+use lsopc_parallel::{CancelToken, ParallelContext, StopReason};
 use std::fmt::Debug;
 
 /// What an injected fault does to the cost report / gradient.
@@ -118,6 +118,38 @@ impl FaultInjector for ScriptedFault {
     }
 }
 
+/// A process-fault injector: cancels a [`CancelToken`] at a chosen
+/// evaluation, emulating a signal or an external stop arriving mid-run.
+/// The optimizer must notice at the next iteration boundary and stop
+/// gracefully (best-so-far mask, final checkpoint, categorized reason)
+/// — exactly the contract the `process_fault` suite in `lsopc-core`
+/// pins.
+#[derive(Clone, Debug)]
+pub struct ScriptedCancel {
+    at_call: usize,
+    token: CancelToken,
+    reason: StopReason,
+}
+
+impl ScriptedCancel {
+    /// Cancels `token` with `reason` at evaluation number `at_call`.
+    pub fn new(at_call: usize, token: CancelToken, reason: StopReason) -> Self {
+        Self {
+            at_call,
+            token,
+            reason,
+        }
+    }
+}
+
+impl FaultInjector for ScriptedCancel {
+    fn inject(&self, call: usize, _report: &mut CostReport, _gradient: &mut Grid<f64>) {
+        if call == self.at_call {
+            self.token.cancel(self.reason);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +193,20 @@ mod tests {
         assert!(gradient.as_slice().iter().all(|v| v.is_finite()));
         assert!(report.total().is_finite());
         assert!(report.total() > 1e29);
+    }
+
+    #[test]
+    fn scripted_cancel_fires_only_at_its_call() {
+        let token = CancelToken::new();
+        let fault = ScriptedCancel::new(2, token.clone(), StopReason::External);
+        let (mut report, mut gradient) = clean();
+        fault.inject(1, &mut report, &mut gradient);
+        assert!(token.cancelled().is_none());
+        fault.inject(2, &mut report, &mut gradient);
+        assert_eq!(token.cancelled(), Some(StopReason::External));
+        // Report and gradient are untouched — this is a process fault.
+        assert!(report.total().is_finite());
+        assert!(gradient.as_slice().iter().all(|v| *v == 1.0));
     }
 
     #[test]

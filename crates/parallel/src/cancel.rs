@@ -1,0 +1,181 @@
+//! Cooperative cancellation: a shared stop flag carrying a structured
+//! reason.
+//!
+//! A [`CancelToken`] is the hand-brake of the run-lifecycle layer: any
+//! holder of a clone may pull it once, and every cooperating loop —
+//! optimizer iteration boundaries, schedule stage transitions, tile
+//! fan-outs, and pool chunk claims via
+//! [`ParallelContext::par_map_cancellable`](crate::ParallelContext::par_map_cancellable)
+//! — observes the request at its next check point and winds down
+//! gracefully instead of being killed mid-write. The token never
+//! interrupts anything by itself; it is purely a flag that well-behaved
+//! loops poll, which is exactly what makes a stop safe to take at any
+//! moment (state is only ever observed at consistent boundaries).
+//!
+//! Cancellation is **latched and first-wins**: the first
+//! [`CancelToken::cancel`] stores its [`StopReason`]; later calls are
+//! ignored. `cancel` is a single atomic compare-exchange with no
+//! allocation or locking, so it is async-signal-safe — a `SIGINT`
+//! handler may trip the token directly.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Why a run was asked to stop.
+///
+/// Carried by the [`CancelToken`] that requested the stop and surfaced
+/// on the result of the interrupted computation (e.g. the CLI's
+/// `stopped: <reason>` diagnostic line).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// A wall-clock deadline expired.
+    Deadline,
+    /// An operating-system signal (e.g. `SIGINT`) requested the stop.
+    Signal,
+    /// An iteration budget was exhausted.
+    Budget,
+    /// An external caller (embedding application, test harness, fault
+    /// injector) requested the stop.
+    External,
+}
+
+impl StopReason {
+    /// Stable lower-case name: `deadline`, `signal`, `budget` or
+    /// `external`. This is the exact token printed by the CLI's
+    /// `stopped: <reason>` line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Deadline => "deadline",
+            Self::Signal => "signal",
+            Self::Budget => "budget",
+            Self::External => "external",
+        }
+    }
+
+    /// Non-zero wire code (zero is reserved for "not cancelled").
+    fn code(self) -> u8 {
+        match self {
+            Self::Deadline => 1,
+            Self::Signal => 2,
+            Self::Budget => 3,
+            Self::External => 4,
+        }
+    }
+
+    /// Inverse of [`StopReason::code`]; `None` for zero or unknown.
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(Self::Deadline),
+            2 => Some(Self::Signal),
+            3 => Some(Self::Budget),
+            4 => Some(Self::External),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A clonable, shared cancellation flag.
+///
+/// All clones observe the same state. The token starts live; the first
+/// [`cancel`](CancelToken::cancel) latches a [`StopReason`] that every
+/// subsequent [`cancelled`](CancelToken::cancelled) observes. There is
+/// no way to un-cancel — a token is for one run.
+///
+/// ```
+/// use lsopc_parallel::{CancelToken, StopReason};
+///
+/// let token = CancelToken::new();
+/// assert!(token.cancelled().is_none());
+/// token.cancel(StopReason::Deadline);
+/// token.cancel(StopReason::Signal); // too late: first reason wins
+/// assert_eq!(token.cancelled(), Some(StopReason::Deadline));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh, live token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a stop for `reason`. The first call wins; later calls
+    /// (from any clone) are ignored. Async-signal-safe: one atomic
+    /// compare-exchange, no allocation, no locks.
+    pub fn cancel(&self, reason: StopReason) {
+        let _ = self
+            .state
+            .compare_exchange(0, reason.code(), Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// The latched stop reason, or `None` while the token is live.
+    pub fn cancelled(&self) -> Option<StopReason> {
+        StopReason::from_code(self.state.load(Ordering::Acquire))
+    }
+
+    /// True once any clone has cancelled. Cheaper to call in tight
+    /// loops than [`cancelled`](CancelToken::cancelled) only in that it
+    /// skips the decode; both are a single atomic load.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.cancelled(), None);
+    }
+
+    #[test]
+    fn first_cancel_wins_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel(StopReason::Budget);
+        t.cancel(StopReason::External);
+        assert_eq!(t.cancelled(), Some(StopReason::Budget));
+        assert_eq!(clone.cancelled(), Some(StopReason::Budget));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn reasons_roundtrip_codes_and_names() {
+        for reason in [
+            StopReason::Deadline,
+            StopReason::Signal,
+            StopReason::Budget,
+            StopReason::External,
+        ] {
+            assert_eq!(StopReason::from_code(reason.code()), Some(reason));
+            assert_eq!(format!("{reason}"), reason.as_str());
+        }
+        assert_eq!(StopReason::from_code(0), None);
+        assert_eq!(StopReason::from_code(200), None);
+    }
+
+    #[test]
+    fn concurrent_cancels_latch_exactly_one_reason() {
+        let t = CancelToken::new();
+        std::thread::scope(|s| {
+            for reason in [StopReason::Deadline, StopReason::Signal, StopReason::Budget] {
+                let t = t.clone();
+                s.spawn(move || t.cancel(reason));
+            }
+        });
+        assert!(t.cancelled().is_some());
+    }
+}

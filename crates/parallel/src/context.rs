@@ -16,6 +16,7 @@
 //!   order. Floating-point reductions are therefore bit-identical for any
 //!   thread count, including the inline serial path.
 
+use crate::cancel::CancelToken;
 use crate::pool::ThreadPool;
 use std::ops::Range;
 use std::sync::{Arc, OnceLock};
@@ -178,6 +179,41 @@ impl ParallelContext {
             .into_iter()
             .map(|s| s.expect("every index produced a value"))
             .collect()
+    }
+
+    /// [`ParallelContext::par_map`] with a cooperative cancellation
+    /// point at every chunk claim.
+    ///
+    /// Each index checks `token` immediately after being claimed; once
+    /// the token is cancelled, remaining indices return `None` without
+    /// calling `f`, so a long fan-out drains within one in-flight item
+    /// per worker instead of finishing all queued work. Indices that did
+    /// run hold `Some` in index order with exactly the values `par_map`
+    /// would have produced — an uncancelled call is bit-identical to
+    /// `par_map` at any thread count.
+    ///
+    /// Which indices ran when a cancellation races the fan-out is
+    /// inherently timing-dependent; callers that need determinism must
+    /// only rely on the uncancelled path (or cancel before submitting).
+    pub fn par_map_cancellable<T: Send>(
+        &self,
+        n: usize,
+        token: &CancelToken,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Vec<Option<T>> {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let ptr = SendPtr(slots.as_mut_ptr());
+        let ptr = &ptr;
+        self.pool.execute(n, self.max_threads, &|i| {
+            if token.is_cancelled() {
+                return;
+            }
+            // SAFETY: each index is claimed by exactly one chunk and the
+            // slot vector outlives `execute`.
+            unsafe { ptr.0.add(i).write(Some(f(i))) };
+        });
+        slots
     }
 
     /// Maps contiguous subranges of `0..items` to partial values and

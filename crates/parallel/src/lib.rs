@@ -25,9 +25,11 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod context;
 mod pool;
 
+pub use cancel::{CancelToken, StopReason};
 pub use context::{
     init_global_threads, resolve_threads, sanitize_thread_count, ParallelContext, REDUCE_CHUNKS,
 };

@@ -55,6 +55,22 @@ LSOPC_THREADS=4 cargo test -q -p lsopc-core schedule
 echo "==> warm-start bench smoke (schedule + cache engage end to end)"
 cargo bench -p lsopc-bench --bench warmstart -- --test
 
+echo "==> kill/resume suite (checkpoint bit-identity at both pool sizes)"
+# A run killed at iteration k and resumed from its checkpoint must
+# reproduce the uninterrupted trajectory bit-for-bit at f64, on the
+# plain, guarded, line-search and scheduled (coarse & fine) paths.
+LSOPC_THREADS=1 cargo test -q -p lsopc-core --test resume_identity
+LSOPC_THREADS=4 cargo test -q -p lsopc-core --test resume_identity
+
+echo "==> process-fault suite (mid-pipeline cancel + corrupt checkpoints)"
+# Cancellation fired from inside an evaluation must checkpoint and
+# resume bitwise; truncated/byte-flipped checkpoints and damaged
+# warm-start entries must be typed errors or warned misses, not panics.
+LSOPC_THREADS=4 cargo test -q -p lsopc-core --features fault-injection --test process_fault
+
+echo "==> resume bench smoke (checkpoint overhead pipeline runs)"
+cargo bench -p lsopc-bench --bench resume -- --test
+
 echo "==> trace suite (overhead + determinism at both pool sizes)"
 # The trace layer must only observe: tracing on leaves the optimizer
 # bit-identical, and the disabled path costs < 1% of an evaluation.
