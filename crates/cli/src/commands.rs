@@ -1,19 +1,22 @@
-//! The CLI subcommands.
+//! The CLI subcommands: parse flags, call the engine, render results.
+//!
+//! The job pipeline itself (simulator construction, caches, precision
+//! variants, tiling, run control) lives in `lsopc-engine`; this module
+//! only resolves flags into a [`lsopc_engine::JobSpec`] (see
+//! [`crate::spec`]), submits it, and prints the same lines the
+//! pre-engine CLI printed.
 
 use crate::args::Flags;
 use crate::error::CliError;
+use crate::spec::{self, SpecDefaults};
 use lsopc_benchsuite::Iccad2013Suite;
-use lsopc_core::{
-    CheckpointSpec, IltResult, LevelSetIlt, RecoveryPolicy, ResolutionSchedule, RunControl,
-    StopReason, TiledIlt, WarmStartCache,
-};
+use lsopc_core::{RunControl, StopReason};
+use lsopc_engine::{JobDetail, Scorer};
 use lsopc_geometry::{
     mask_to_polygons, parse_glp, polygons_to_layout, rasterize, write_glp, Layout,
 };
 use lsopc_grid::Grid;
-use lsopc_litho::LithoSimulator;
-use lsopc_metrics::{evaluate_mask, render_report, MaskComplexity, MrcReport};
-use lsopc_optics::OpticsConfig;
+use lsopc_metrics::{render_report, MaskComplexity, MrcReport};
 use lsopc_trace::{FanoutSink, JsonlSink, MemorySink, TraceSink};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -138,314 +141,25 @@ impl From<String> for CliError {
     }
 }
 
-fn recovery_policy(flags: &Flags) -> Result<RecoveryPolicy, CliError> {
-    let value = flags
-        .get("recover")
-        .filter(|v| !v.is_empty())
-        .unwrap_or("on");
-    RecoveryPolicy::parse(value).map_err(|e| CliError::usage(format!("--recover: {e}")))
-}
-
-/// Arithmetic used by the optimization loop (`--precision`). Scoring and
-/// reporting always run at f64 regardless.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-enum Precision {
-    /// Full double precision — the default, bit-identical to the
-    /// pre-generic pipeline.
-    F64,
-    /// Pure single precision fields and transforms (the paper's GPU
-    /// arithmetic); the result mask is widened to f64 for scoring.
-    F32,
-    /// f32 convolutions/spectra with f64 accumulation and optimizer
-    /// state (master-weights pattern).
-    Mixed,
-}
-
-fn precision(flags: &Flags) -> Result<Precision, CliError> {
-    match flags.get("precision").filter(|v| !v.is_empty()) {
-        None | Some("f64") => Ok(Precision::F64),
-        Some("f32") => Ok(Precision::F32),
-        Some("mixed") => Ok(Precision::Mixed),
-        Some(other) => Err(CliError::usage(format!(
-            "invalid value `{other}` for --precision: expected f64, f32 or mixed"
-        ))),
-    }
-}
-
-/// Applies `--rfft` to the process-wide routing default
-/// ([`lsopc_fft::set_rfft_default`]); every backend built afterwards
-/// (including the precision variants) picks it up. Absent flag → leave
-/// the default (off, or `LSOPC_RFFT` when set) untouched.
-fn apply_rfft_flag(flags: &Flags) -> Result<(), CliError> {
-    match flags.get("rfft") {
-        None => Ok(()),
-        Some("" | "on" | "1" | "true") => {
-            lsopc_fft::set_rfft_default(true);
-            Ok(())
-        }
-        Some("off" | "0" | "false") => {
-            lsopc_fft::set_rfft_default(false);
-            Ok(())
-        }
-        Some(other) => Err(CliError::usage(format!(
-            "invalid value `{other}` for --rfft: expected on or off"
-        ))),
-    }
-}
-
-/// Parses `--schedule auto|off|CPX,K,CI,FI` against the grid the solves
-/// actually run on (`solve_px`: the tile window in tiled mode, the full
-/// grid otherwise). `auto` quietly degrades to a flat run when no
-/// coarser grid holds the optical band.
-fn schedule_flag(
-    flags: &Flags,
-    solve_px: usize,
-    optics: &OpticsConfig,
-    iters: usize,
-) -> Result<Option<ResolutionSchedule>, CliError> {
-    let spec = match flags.get("schedule") {
-        None | Some("off") => return Ok(None),
-        Some("" | "auto") => return Ok(ResolutionSchedule::auto(solve_px, optics, iters)),
-        Some(spec) => spec,
-    };
-    let parts: Result<Vec<usize>, _> = spec.split(',').map(|t| t.trim().parse()).collect();
-    let parts = parts.map_err(|_| {
-        CliError::usage(format!(
-            "invalid value `{spec}` for --schedule: expected auto, off or \
-             COARSE_PX,KERNELS,COARSE_ITERS,FINE_ITERS"
-        ))
-    })?;
-    let [coarse_px, kernels, coarse_iters, fine_iters] = parts[..] else {
-        return Err(CliError::usage(format!(
-            "--schedule {spec}: expected four comma-separated values \
-             COARSE_PX,KERNELS,COARSE_ITERS,FINE_ITERS"
-        )));
-    };
-    if coarse_px == 0 || !coarse_px.is_power_of_two() {
-        return Err(CliError::usage(format!(
-            "--schedule {spec}: coarse grid {coarse_px} must be a power of two"
-        )));
-    }
-    if kernels == 0 || coarse_iters == 0 || fine_iters == 0 {
-        return Err(CliError::usage(format!(
-            "--schedule {spec}: kernel and iteration counts must be positive"
-        )));
-    }
-    Ok(Some(ResolutionSchedule::new(
-        coarse_px,
-        kernels,
-        coarse_iters,
-        fine_iters,
-    )))
-}
-
-/// Parses `--tile N [--halo M]`. The halo defaults to half the core,
-/// which keeps the tile window a power of two whenever the core is.
-fn tiling_flags(flags: &Flags) -> Result<Option<(usize, usize)>, CliError> {
-    let core: usize = flags.num("tile", 0)?;
-    if core == 0 {
-        if flags.get("tile").is_some() {
-            return Err(CliError::usage("--tile needs a positive pixel count"));
-        }
-        if flags.get("halo").is_some() {
-            return Err(CliError::usage("--halo requires --tile"));
-        }
-        return Ok(None);
-    }
-    let halo: usize = flags.num("halo", core / 2)?;
-    Ok(Some((core, halo)))
-}
-
-/// Parses `--warm-start mem|<dir>` (tiled runs only — the cache keys
-/// whole tile windows).
-fn warm_start_cache(flags: &Flags, tiled: bool) -> Result<Option<WarmStartCache>, CliError> {
-    match flags.get("warm-start") {
-        None => Ok(None),
-        Some(_) if !tiled => Err(CliError::usage(
-            "--warm-start requires --tile (the cache keys tile windows)",
-        )),
-        Some("") => Err(CliError::usage(
-            "--warm-start needs `mem` or a cache directory path",
-        )),
-        Some("mem") => Ok(Some(WarmStartCache::in_memory())),
-        Some(path) => WarmStartCache::directory(path)
-            .map(Some)
-            .map_err(|e| CliError::io(format!("cannot open warm-start cache {path}: {e}"))),
-    }
-}
-
-/// Parses a `--key SECS` wall-clock flag: absent → `None`, otherwise a
-/// finite non-negative number of seconds (0 means "already expired" —
-/// useful for exercising the graceful-stop path).
-fn secs_flag(flags: &Flags, key: &str) -> Result<Option<f64>, CliError> {
-    match flags.get(key) {
-        None => Ok(None),
-        Some("") => Err(CliError::usage(format!(
-            "--{key} needs a duration in seconds"
-        ))),
-        Some(v) => match v.parse::<f64>() {
-            Ok(s) if s.is_finite() && s >= 0.0 => Ok(Some(s)),
-            _ => Err(CliError::usage(format!(
-                "invalid value `{v}` for --{key}: expected a non-negative number of seconds"
-            ))),
-        },
-    }
-}
-
-/// The earlier of `--deadline` and `--max-wall`, both measured from
-/// `start` (for `optimize` the two are equivalent; `suite` additionally
-/// skips whole cases once `--max-wall` expires).
-fn effective_deadline(
-    start: Instant,
-    deadline_s: Option<f64>,
-    max_wall_s: Option<f64>,
-) -> Option<Instant> {
-    let mut deadline: Option<Instant> = None;
-    for s in [deadline_s, max_wall_s].into_iter().flatten() {
-        let d = start + Duration::from_secs_f64(s);
-        deadline = Some(deadline.map_or(d, |cur| cur.min(d)));
-    }
-    deadline
-}
-
-/// Builds the [`RunControl`] for `optimize` from the lifecycle flags,
-/// wiring in the process SIGINT token. Returns usage errors for
-/// malformed flag values; the checkpoint/resume paths themselves are
-/// validated by the optimizer when the run starts.
-fn run_control_flags(flags: &Flags) -> Result<RunControl, CliError> {
-    let deadline_s = secs_flag(flags, "deadline")?;
-    let max_wall_s = secs_flag(flags, "max-wall")?;
-    let iter_budget: usize = flags.num("iter-budget", 0)?;
-    if flags.get("iter-budget").is_some() && iter_budget == 0 {
-        return Err(CliError::usage(
-            "--iter-budget needs a positive iteration count",
-        ));
-    }
-    let checkpoint = flags.get("checkpoint").filter(|v| !v.is_empty());
-    let every: usize = flags.num("checkpoint-every", 10)?;
-    if flags.get("checkpoint-every").is_some() {
-        if checkpoint.is_none() {
-            return Err(CliError::usage("--checkpoint-every requires --checkpoint"));
-        }
-        if every == 0 {
-            return Err(CliError::usage(
-                "--checkpoint-every needs a positive iteration interval",
-            ));
-        }
-    }
-    let resume = flags.get("resume").filter(|v| !v.is_empty());
-    if flags.get("resume").is_some() && resume.is_none() {
-        return Err(CliError::usage("--resume needs a checkpoint path"));
-    }
-    if flags.get("checkpoint").is_some() && checkpoint.is_none() {
-        return Err(CliError::usage("--checkpoint needs an output path"));
-    }
-
-    let mut control = RunControl::new().with_cancel(crate::signal::interrupt_token());
-    if let Some(deadline) = effective_deadline(Instant::now(), deadline_s, max_wall_s) {
-        control = control.with_deadline(deadline);
-    }
-    if iter_budget > 0 {
-        control = control.with_iteration_budget(iter_budget);
-    }
-    if let Some(path) = checkpoint {
-        control = control.with_checkpoint(CheckpointSpec::new(path, every));
-    }
-    if let Some(path) = resume {
-        control = control.with_resume(path);
-    }
-    Ok(control)
-}
-
-/// Everything `build_sim` derives from the flags: the (f64, accelerated)
-/// scoring simulator plus the pieces needed to build precision variants
-/// of it for the optimization loop.
-struct SimSetup {
-    sim: LithoSimulator,
-    grid: usize,
-    pixel_nm: f64,
-    optics: OpticsConfig,
-    pool_threads: usize,
-}
-
-fn build_sim(flags: &Flags, default_grid: usize) -> Result<SimSetup, CliError> {
-    let grid: usize = flags.num("grid", default_grid)?;
-    let kernels: usize = flags.num("kernels", 24)?;
-    // --threads pins the shared pool size; 0 (the default) keeps the
-    // LSOPC_THREADS / available-core sizing. The pool is built once per
-    // process, so only the first build_sim call can still size it.
-    let threads: usize = flags.num("threads", 0)?;
-    if threads > 0 {
-        lsopc_parallel::init_global_threads(threads);
-    }
-    apply_rfft_flag(flags)?;
-    let pool_threads = lsopc_parallel::ParallelContext::global().threads();
-    let pixel_nm = 2048.0 / grid as f64;
-    let optics = OpticsConfig::iccad2013().with_kernel_count(kernels);
-    let sim = LithoSimulator::from_optics(&optics, grid, pixel_nm)
-        .map_err(|e| CliError::setup(e.to_string()))?
-        .with_accelerated_backend(pool_threads);
-    Ok(SimSetup {
-        sim,
-        grid,
-        pixel_nm,
-        optics,
-        pool_threads,
-    })
-}
-
-/// Runs the configured optimizer at the requested precision and returns
-/// an f64 result (the seam where f32 runs re-enter the f64 world).
-fn run_ilt(
-    ilt: &LevelSetIlt,
-    setup: &SimSetup,
-    target: &Grid<f64>,
-    precision: Precision,
-    control: &RunControl,
-) -> Result<IltResult, CliError> {
-    match precision {
-        Precision::F64 => ilt
-            .optimize_controlled(&setup.sim, target, control)
-            .map_err(CliError::from_optimize),
-        Precision::Mixed => {
-            let sim = LithoSimulator::<f64>::from_optics(&setup.optics, setup.grid, setup.pixel_nm)
-                .map_err(|e| CliError::setup(e.to_string()))?
-                .with_mixed_backend();
-            ilt.optimize_controlled(&sim, target, control)
-                .map_err(CliError::from_optimize)
-        }
-        Precision::F32 => {
-            let sim = LithoSimulator::<f32>::from_optics(&setup.optics, setup.grid, setup.pixel_nm)
-                .map_err(|e| CliError::setup(e.to_string()))?
-                .with_accelerated_backend(setup.pool_threads);
-            let target32 = target.map(|&v| v as f32);
-            Ok(ilt
-                .optimize_controlled(&sim, &target32, control)
-                .map_err(CliError::from_optimize)?
-                .to_f64())
-        }
-    }
-}
-
-/// Sinks installed for one command run, per `--trace` / `--metrics`.
+/// Sinks built for one command run, per `--trace` / `--metrics`.
 ///
-/// The trace layer is process-global; [`TraceSession::finish`] must run
-/// even when the command fails so a later in-process caller does not
-/// inherit the sinks.
-struct TraceSession {
+/// The sinks are *scoped*, not installed process-globally: events
+/// emitted while [`CommandTrace::run`] executes the command body —
+/// including on pool workers doing its chunks — are delivered to this
+/// command's sinks without disturbing any other trace consumer in the
+/// process.
+struct CommandTrace {
+    sink: Option<Arc<dyn TraceSink>>,
     memory: Option<Arc<MemorySink>>,
     metrics_path: Option<String>,
 }
 
-impl TraceSession {
-    /// Installs the sinks the flags ask for; `None` when neither
-    /// `--trace` nor `--metrics` is present.
-    fn start(flags: &Flags) -> Result<Option<Self>, CliError> {
+impl CommandTrace {
+    /// Builds the sinks the flags ask for (none when neither `--trace`
+    /// nor `--metrics` is present).
+    fn start(flags: &Flags) -> Result<Self, CliError> {
         let trace_path = flags.get("trace").filter(|v| !v.is_empty());
         let metrics_path = flags.get("metrics").filter(|v| !v.is_empty());
-        if trace_path.is_none() && metrics_path.is_none() {
-            return Ok(None);
-        }
         let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
         if let Some(path) = trace_path {
             let sink = JsonlSink::create(std::path::Path::new(path))
@@ -456,35 +170,39 @@ impl TraceSession {
         if let Some(mem) = &memory {
             sinks.push(mem.clone());
         }
-        lsopc_trace::install(Arc::new(FanoutSink::new(sinks)));
-        Ok(Some(Self {
+        let sink: Option<Arc<dyn TraceSink>> = if sinks.is_empty() {
+            None
+        } else {
+            Some(Arc::new(FanoutSink::new(sinks)))
+        };
+        Ok(Self {
+            sink,
             memory,
             metrics_path: metrics_path.map(str::to_string),
-        }))
+        })
     }
 
-    /// Flushes the event stream, writes the `--metrics` document and
-    /// removes the sinks.
+    /// Runs the command body with the sinks scoped in, then flushes the
+    /// event stream and writes the `--metrics` document. The command's
+    /// own error wins over a teardown failure.
+    fn run(self, f: impl FnOnce() -> CliResult) -> CliResult {
+        let outcome = match &self.sink {
+            Some(sink) => lsopc_trace::with_scoped_sink(sink.clone(), f),
+            None => f(),
+        };
+        let teardown = self.finish();
+        outcome.and_then(|o| teardown.map(|()| o))
+    }
+
     fn finish(self) -> Result<(), CliError> {
-        lsopc_trace::flush();
-        lsopc_trace::uninstall();
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
         if let (Some(mem), Some(path)) = (&self.memory, &self.metrics_path) {
             std::fs::write(path, mem.report().to_json())
                 .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
         }
         Ok(())
-    }
-}
-
-/// Ends a trace session without masking the command's own error: the
-/// command outcome wins, then any sink teardown failure surfaces.
-fn finish_trace(session: Option<TraceSession>, outcome: CliResult) -> CliResult {
-    match session {
-        Some(s) => {
-            let teardown = s.finish();
-            outcome.and_then(|o| teardown.map(|()| o))
-        }
-        None => outcome,
     }
 }
 
@@ -497,8 +215,8 @@ fn load_layout(path: &str) -> Result<Layout, CliError> {
 /// `lsopc optimize`: design in, optimized mask out.
 pub fn optimize(args: &[String]) -> CliResult {
     let flags = Flags::parse(args)?;
-    let session = TraceSession::start(&flags)?;
-    finish_trace(session, optimize_run(&flags))
+    let session = CommandTrace::start(&flags)?;
+    session.run(|| optimize_run(&flags))
 }
 
 fn optimize_run(flags: &Flags) -> CliResult {
@@ -506,150 +224,119 @@ fn optimize_run(flags: &Flags) -> CliResult {
     // reported as such even when the input path is also bad.
     let glp_path = flags.require("glp")?.to_string();
     let out_path = flags.require("out")?.to_string();
-    let iters: usize = flags.num("iters", 30)?;
-    let w_pvb: f64 = flags.num("pvb-weight", 1.0)?;
-    let recovery = recovery_policy(flags)?;
-    let precision = precision(flags)?;
-    let tiling = tiling_flags(flags)?;
-    let warm_start = warm_start_cache(flags, tiling.is_some())?;
-    let warm_iters: usize = flags.num("warm-iters", 0)?;
-    let control = run_control_flags(flags)?;
-    if tiling.is_some() && precision != Precision::F64 {
-        return Err(CliError::usage(
-            "--tile runs at f64; drop --precision or the tiling flags",
-        ));
-    }
-    // The schedule resolves against the grid each solve actually runs
-    // on: the tile window in tiled mode, the full grid otherwise.
-    let grid_flag: usize = flags.num("grid", 512)?;
-    let kernels_flag: usize = flags.num("kernels", 24)?;
-    let solve_px = tiling.map_or(grid_flag, |(core, halo)| core + 2 * halo);
-    let schedule = schedule_flag(
+    let resolved = spec::resolve_spec(
         flags,
-        solve_px,
-        &OpticsConfig::iccad2013().with_kernel_count(kernels_flag),
-        iters,
+        SpecDefaults {
+            grid: 512,
+            iters: 30,
+            tiling: true,
+        },
     )?;
-    let ilt = LevelSetIlt::builder()
-        .max_iterations(iters)
-        .pvb_weight(w_pvb)
-        .recovery(recovery)
-        .schedule(schedule)
-        .build();
-    // Tile geometry is still flag validation — reject it before the
-    // filesystem comes into play.
-    let tiled = match tiling {
-        Some((core, halo)) => {
-            let mut tiled = TiledIlt::new(ilt.clone(), core, halo).map_err(CliError::from_tiled)?;
-            if let Some(cache) = warm_start {
-                tiled = tiled.with_warm_start(cache);
-            }
-            if warm_iters > 0 {
-                tiled = tiled.with_warm_iterations(warm_iters);
-            }
-            Some(tiled.with_run_control(control.clone()))
-        }
-        None => None,
-    };
+    let control = spec::run_control_flags(flags)?;
+
     let design = load_layout(&glp_path)?;
-    let setup = build_sim(flags, 512)?;
-    let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
+    let engine = spec::engine_for(flags)?;
+    let scorer = engine
+        .scorer(resolved.grid, resolved.kernels, resolved.rfft)
+        .map_err(CliError::from_engine)?;
+    let (grid, pixel_nm) = (resolved.grid, lsopc_engine::pixel_nm(resolved.grid));
 
     let target = rasterize(&design, grid, grid, pixel_nm);
     eprintln!(
-        "optimizing {} shapes at {grid}px ({pixel_nm} nm/px), {iters} iterations…",
-        design.len()
+        "optimizing {} shapes at {grid}px ({pixel_nm} nm/px), {} iterations…",
+        design.len(),
+        resolved.iters
     );
 
-    if let Some(tiled) = tiled {
-        let started = Instant::now();
-        let (mask, stats) = tiled
-            .optimize_with_stats(&setup.optics, &target, pixel_nm)
-            .map_err(CliError::from_tiled)?;
-        let runtime_s = started.elapsed().as_secs_f64();
-        if let Some(reason) = stats.stopped {
-            println!(
-                "stopped: {reason} ({} of {} tiles unfinished; best-so-far mask kept)",
-                stats.unfinished,
-                stats.tiles + stats.unfinished
-            );
-        }
-        println!(
-            "done in {runtime_s:.2}s / {} tiles ({} cold, {} warm, {} resumed), \
-             {} full-res iterations (+{} coarse)",
-            stats.tiles,
-            stats.cold,
-            stats.warm,
-            stats.resumed,
-            stats.full_iterations(),
-            stats.coarse_iterations
-        );
-        write_and_score_mask(&setup, &design, &target, &mask, &out_path, runtime_s)?;
-        return Ok(outcome_for(stats.stopped));
-    }
-
-    let result = run_ilt(&ilt, &setup, &target, precision, &control)?;
-    if result.diagnostics.has_events() {
-        eprintln!(
-            "recovery: {} backoffs, {} recoveries{}",
-            result.diagnostics.backoffs,
-            result.diagnostics.recoveries,
-            if result.diagnostics.gave_up {
-                " (guard gave up; kept best healthy iterate)"
-            } else {
-                ""
+    let job = resolved.job(target.clone(), control);
+    let outcome = engine.submit(&job).map_err(CliError::from_engine)?;
+    match &outcome.detail {
+        JobDetail::Tiled { mask, stats } => {
+            let runtime_s = outcome.runtime_s;
+            if let Some(reason) = stats.stopped {
+                println!(
+                    "stopped: {reason} ({} of {} tiles unfinished; best-so-far mask kept)",
+                    stats.unfinished,
+                    stats.tiles + stats.unfinished
+                );
             }
-        );
+            println!(
+                "done in {runtime_s:.2}s / {} tiles ({} cold, {} warm, {} resumed), \
+                 {} full-res iterations (+{} coarse)",
+                stats.tiles,
+                stats.cold,
+                stats.warm,
+                stats.resumed,
+                stats.full_iterations(),
+                stats.coarse_iterations
+            );
+            write_and_score_mask(&scorer, &design, &target, mask, &out_path, runtime_s)?;
+            Ok(outcome_for(stats.stopped))
+        }
+        JobDetail::Flat(result) => {
+            if result.diagnostics.has_events() {
+                eprintln!(
+                    "recovery: {} backoffs, {} recoveries{}",
+                    result.diagnostics.backoffs,
+                    result.diagnostics.recoveries,
+                    if result.diagnostics.gave_up {
+                        " (guard gave up; kept best healthy iterate)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            if let Some(reason) = result.stopped {
+                println!(
+                    "stopped: {reason} (after {} iterations; best-so-far mask kept)",
+                    result.iterations
+                );
+            }
+            match result.history.first() {
+                Some(first) => println!(
+                    "done in {:.2}s / {} iterations (cost {:.1} -> {:.1})",
+                    result.runtime_s,
+                    result.iterations,
+                    first.cost_total,
+                    result.final_cost()
+                ),
+                // A deadline/cancel can stop the run before any iteration
+                // completes; there is no cost pair to report.
+                None => println!(
+                    "done in {:.2}s / 0 iterations (no cost evaluated)",
+                    result.runtime_s
+                ),
+            }
+            write_and_score_mask(
+                &scorer,
+                &design,
+                &target,
+                &result.mask,
+                &out_path,
+                result.runtime_s,
+            )?;
+            Ok(outcome_for(result.stopped))
+        }
     }
-    if let Some(reason) = result.stopped {
-        println!(
-            "stopped: {reason} (after {} iterations; best-so-far mask kept)",
-            result.iterations
-        );
-    }
-    match result.history.first() {
-        Some(first) => println!(
-            "done in {:.2}s / {} iterations (cost {:.1} -> {:.1})",
-            result.runtime_s,
-            result.iterations,
-            first.cost_total,
-            result.final_cost()
-        ),
-        // A deadline/cancel can stop the run before any iteration
-        // completes; there is no cost pair to report.
-        None => println!(
-            "done in {:.2}s / 0 iterations (no cost evaluated)",
-            result.runtime_s
-        ),
-    }
-    write_and_score_mask(
-        &setup,
-        &design,
-        &target,
-        &result.mask,
-        &out_path,
-        result.runtime_s,
-    )?;
-    Ok(outcome_for(result.stopped))
 }
 
 /// Writes the optimized mask as GLP and prints the quality summary
 /// shared by the flat and tiled paths.
 fn write_and_score_mask(
-    setup: &SimSetup,
+    scorer: &Scorer,
     design: &Layout,
     target: &Grid<f64>,
     mask: &Grid<f64>,
     out_path: &str,
     runtime_s: f64,
 ) -> Result<(), CliError> {
-    let polygons = mask_to_polygons(mask, setup.pixel_nm);
+    let polygons = mask_to_polygons(mask, scorer.pixel_nm());
     let mut mask_layout = polygons_to_layout(&polygons);
     mask_layout.name = design.name.clone().map(|n| format!("{n}_opc"));
     std::fs::write(out_path, write_glp(&mask_layout))
         .map_err(|e| CliError::io(format!("cannot write {out_path}: {e}")))?;
 
-    let eval = evaluate_mask(&setup.sim, mask, design, target);
+    let eval = scorer.evaluate(mask, design, target);
     let complexity = MaskComplexity::measure(mask);
     println!(
         "#EPE {}  PVB {:.0} nm²  shapes {}  score {:.0}",
@@ -671,12 +358,12 @@ pub fn evaluate(args: &[String]) -> CliResult {
     let flags = Flags::parse(args)?;
     let design = load_layout(flags.require("glp")?)?;
     let mask_layout = load_layout(flags.require("mask")?)?;
-    let setup = build_sim(&flags, 512)?;
-    let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
+    let (scorer, grid) = scorer_for(&flags, 512)?;
+    let pixel_nm = scorer.pixel_nm();
 
     let target = rasterize(&design, grid, grid, pixel_nm);
     let mask = rasterize(&mask_layout, grid, grid, pixel_nm);
-    let eval = evaluate_mask(&setup.sim, &mask, &design, &target);
+    let eval = scorer.evaluate(&mask, &design, &target);
     println!(
         "#EPE {} / {} probes",
         eval.epe.violations, eval.epe.total_probes
@@ -693,6 +380,20 @@ pub fn evaluate(args: &[String]) -> CliResult {
     Ok(Outcome::Completed)
 }
 
+/// Builds the shared f64 scoring simulator for the read-only commands
+/// from `--grid`/`--kernels`/`--threads` (and `--rfft`, which scoring
+/// honors exactly as the optimizing commands do).
+fn scorer_for(flags: &Flags, default_grid: usize) -> Result<(Scorer, usize), CliError> {
+    let grid: usize = flags.num("grid", default_grid)?;
+    let kernels: usize = flags.num("kernels", 24)?;
+    let rfft = spec::rfft_flag(flags)?;
+    let engine = spec::engine_for(flags)?;
+    let scorer = engine
+        .scorer(grid, kernels, rfft)
+        .map_err(CliError::from_engine)?;
+    Ok((scorer, grid))
+}
+
 /// `lsopc report`: full quality + manufacturability report for a mask.
 pub fn report(args: &[String]) -> CliResult {
     let flags = Flags::parse(args)?;
@@ -700,12 +401,12 @@ pub fn report(args: &[String]) -> CliResult {
     let mask_layout = load_layout(flags.require("mask")?)?;
     let min_width_nm: f64 = flags.num("min-width-nm", 40.0)?;
     let min_space_nm: f64 = flags.num("min-space-nm", 40.0)?;
-    let setup = build_sim(&flags, 512)?;
-    let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
+    let (scorer, grid) = scorer_for(&flags, 512)?;
+    let pixel_nm = scorer.pixel_nm();
 
     let target = rasterize(&design, grid, grid, pixel_nm);
     let mask = rasterize(&mask_layout, grid, grid, pixel_nm);
-    let eval = evaluate_mask(&setup.sim, &mask, &design, &target);
+    let eval = scorer.evaluate(&mask, &design, &target);
     let complexity = MaskComplexity::measure(&mask);
     let mrc = MrcReport::check(
         &mask,
@@ -723,20 +424,27 @@ pub fn report(args: &[String]) -> CliResult {
 /// `lsopc suite`: run the level-set method over the built-in benchmarks.
 pub fn suite(args: &[String]) -> CliResult {
     let flags = Flags::parse(args)?;
-    let session = TraceSession::start(&flags)?;
-    finish_trace(session, suite_run(&flags))
+    let session = CommandTrace::start(&flags)?;
+    session.run(|| suite_run(&flags))
 }
 
 fn suite_run(flags: &Flags) -> CliResult {
     let case_filter = flags.index_list("cases")?;
-    let iters: usize = flags.num("iters", 20)?;
-    let recovery = recovery_policy(flags)?;
-    let precision = precision(flags)?;
-    let deadline_s = secs_flag(flags, "deadline")?;
-    let max_wall_s = secs_flag(flags, "max-wall")?;
-    let first = build_sim(flags, 256)?;
-    let (grid, pixel_nm) = (first.grid, first.pixel_nm);
-    let schedule = schedule_flag(flags, grid, &first.optics, iters)?;
+    let resolved = spec::resolve_spec(
+        flags,
+        SpecDefaults {
+            grid: 256,
+            iters: 20,
+            tiling: false,
+        },
+    )?;
+    let deadline_s = spec::secs_flag(flags, "deadline")?;
+    let max_wall_s = spec::secs_flag(flags, "max-wall")?;
+    let engine = spec::engine_for(flags)?;
+    let scorer = engine
+        .scorer(resolved.grid, resolved.kernels, resolved.rfft)
+        .map_err(CliError::from_engine)?;
+    let (grid, pixel_nm) = (resolved.grid, lsopc_engine::pixel_nm(resolved.grid));
 
     // --deadline bounds each case's optimization; --max-wall bounds the
     // whole command and is also checked between cases so remaining ones
@@ -770,28 +478,22 @@ fn suite_run(flags: &Flags) -> CliResult {
             continue;
         }
         let layout = suite.layout(case);
-        // Fresh simulator per case keeps kernel caches bounded.
-        let setup = build_sim(flags, 256)?;
         let target = rasterize(&layout, grid, grid, pixel_nm);
-        let ilt = LevelSetIlt::builder()
-            .max_iterations(iters)
-            .recovery(recovery)
-            .schedule(schedule)
-            .build();
         let mut control = RunControl::new().with_cancel(token.clone());
-        let case_deadline = effective_deadline(Instant::now(), deadline_s, None)
+        let case_deadline = spec::effective_deadline(Instant::now(), deadline_s, None)
             .into_iter()
             .chain(wall_deadline)
             .min();
         if let Some(d) = case_deadline {
             control = control.with_deadline(d);
         }
-        let result = run_ilt(&ilt, &setup, &target, precision, &control)?;
-        if let Some(reason) = result.stopped {
+        let job = resolved.job(target.clone(), control);
+        let outcome = engine.submit(&job).map_err(CliError::from_engine)?;
+        if let Some(reason) = outcome.stopped {
             stopped = stopped.or(Some(reason));
         }
-        let eval = evaluate_mask(&setup.sim, &result.mask, &layout, &target);
-        let score = eval.score(result.runtime_s);
+        let eval = scorer.evaluate(outcome.mask(), &layout, &target);
+        let score = eval.score(outcome.runtime_s);
         println!(
             "{:<6}{:>12}{:>8}{:>12.0}{:>8}{:>10.1}{:>12.0}{}",
             case.name,
@@ -799,9 +501,9 @@ fn suite_run(flags: &Flags) -> CliResult {
             eval.epe.violations,
             eval.pvb_area_nm2,
             eval.shapes.total(),
-            result.runtime_s,
+            outcome.runtime_s,
             score.value(),
-            if result.stopped.is_some() {
+            if outcome.stopped.is_some() {
                 "  (stopped early)"
             } else {
                 ""
@@ -862,16 +564,22 @@ pub fn profile(args: &[String]) -> CliResult {
         .filter(|v| !v.is_empty())
         .unwrap_or("wire")
         .to_string();
-    let iters: usize = flags.num("iters", 10)?;
-    let kernels: usize = flags.num("kernels", 24)?;
-    let recovery = recovery_policy(&flags)?;
+    let resolved = spec::resolve_spec(
+        &flags,
+        SpecDefaults {
+            grid: 256,
+            iters: 10,
+            tiling: false,
+        },
+    )?;
     let design = synthetic_layout(&pattern)?;
-    let setup = build_sim(&flags, 256)?;
-    let (grid, pixel_nm) = (setup.grid, setup.pixel_nm);
+    let engine = spec::engine_for(&flags)?;
+    let (grid, pixel_nm) = (resolved.grid, lsopc_engine::pixel_nm(resolved.grid));
     let target = rasterize(&design, grid, grid, pixel_nm);
 
     // `profile` always aggregates in memory; --trace/--metrics add the
-    // event stream and the JSON document on top.
+    // event stream and the JSON document on top. The sinks are scoped
+    // to this job, not installed process-globally.
     let memory = Arc::new(MemorySink::new());
     let mut sinks: Vec<Arc<dyn TraceSink>> = vec![memory.clone()];
     if let Some(path) = flags.get("trace").filter(|v| !v.is_empty()) {
@@ -879,22 +587,22 @@ pub fn profile(args: &[String]) -> CliResult {
             .map_err(|e| CliError::io(format!("cannot create {path}: {e}")))?;
         sinks.push(Arc::new(sink));
     }
-    lsopc_trace::install(Arc::new(FanoutSink::new(sinks)));
-    let ilt = LevelSetIlt::builder()
-        .max_iterations(iters)
-        .recovery(recovery)
-        .build();
-    let outcome = ilt
-        .optimize(&setup.sim, &target)
-        .map_err(CliError::from_optimize);
-    lsopc_trace::flush();
-    lsopc_trace::uninstall();
-    let result = outcome?;
+    let sink: Arc<dyn TraceSink> = Arc::new(FanoutSink::new(sinks));
+    let job = resolved.job(target, RunControl::default());
+    let outcome = lsopc_trace::with_scoped_sink(sink.clone(), || engine.submit(&job));
+    sink.flush();
+    let outcome = outcome.map_err(CliError::from_engine)?;
+    let iterations = match &outcome.detail {
+        JobDetail::Flat(result) => result.iterations,
+        JobDetail::Tiled { stats, .. } => stats.full_iterations() + stats.coarse_iterations,
+    };
 
     let report = memory.report();
     println!(
-        "profile: pattern `{pattern}`, {grid} px, K = {kernels}, {} iterations, {} threads, {:.2}s",
-        result.iterations, setup.pool_threads, result.runtime_s
+        "profile: pattern `{pattern}`, {grid} px, K = {}, {iterations} iterations, {} threads, {:.2}s",
+        resolved.kernels,
+        engine.pool_threads(),
+        outcome.runtime_s
     );
     print!("{}", report.render_text());
     if let Some(path) = flags.get("metrics").filter(|v| !v.is_empty()) {
@@ -905,565 +613,5 @@ pub fn profile(args: &[String]) -> CliResult {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tmpfile(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!("lsopc_cli_{}_{name}", std::process::id()))
-    }
-
-    fn to_args(items: &[&str]) -> Vec<String> {
-        items.iter().map(|s| s.to_string()).collect()
-    }
-
-    #[test]
-    fn optimize_then_evaluate_roundtrip() {
-        let design_path = tmpfile("design.glp");
-        let mask_path = tmpfile("mask.glp");
-        std::fs::write(
-            &design_path,
-            "BEGIN\nCELL cli_test\nRECT 832 480 384 1088 ;\nEND\n",
-        )
-        .expect("write design");
-
-        optimize(&to_args(&[
-            "--glp",
-            design_path.to_str().expect("utf8"),
-            "--out",
-            mask_path.to_str().expect("utf8"),
-            "--grid",
-            "128",
-            "--kernels",
-            "4",
-            "--iters",
-            "4",
-        ]))
-        .expect("optimize runs");
-        assert!(mask_path.exists());
-
-        evaluate(&to_args(&[
-            "--glp",
-            design_path.to_str().expect("utf8"),
-            "--mask",
-            mask_path.to_str().expect("utf8"),
-            "--grid",
-            "128",
-            "--kernels",
-            "4",
-        ]))
-        .expect("evaluate runs");
-
-        std::fs::remove_file(design_path).ok();
-        std::fs::remove_file(mask_path).ok();
-    }
-
-    #[test]
-    fn optimize_runs_at_every_precision() {
-        let design_path = tmpfile("prec_design.glp");
-        std::fs::write(
-            &design_path,
-            "BEGIN\nCELL prec_test\nRECT 832 480 384 1088 ;\nEND\n",
-        )
-        .expect("write design");
-        for prec in ["f64", "f32", "mixed"] {
-            let mask_path = tmpfile(&format!("prec_{prec}.glp"));
-            optimize(&to_args(&[
-                "--glp",
-                design_path.to_str().expect("utf8"),
-                "--out",
-                mask_path.to_str().expect("utf8"),
-                "--grid",
-                "128",
-                "--kernels",
-                "4",
-                "--iters",
-                "3",
-                "--precision",
-                prec,
-            ]))
-            .unwrap_or_else(|e| panic!("--precision {prec} runs: {e}"));
-            assert!(mask_path.exists(), "--precision {prec} wrote a mask");
-            std::fs::remove_file(mask_path).ok();
-        }
-        std::fs::remove_file(design_path).ok();
-    }
-
-    #[test]
-    fn optimize_accepts_rfft_flag() {
-        let design_path = tmpfile("rfft_design.glp");
-        let mask_path = tmpfile("rfft_mask.glp");
-        std::fs::write(
-            &design_path,
-            "BEGIN\nCELL rfft_test\nRECT 832 480 384 1088 ;\nEND\n",
-        )
-        .expect("write design");
-        optimize(&to_args(&[
-            "--glp",
-            design_path.to_str().expect("utf8"),
-            "--out",
-            mask_path.to_str().expect("utf8"),
-            "--grid",
-            "128",
-            "--kernels",
-            "4",
-            "--iters",
-            "3",
-            "--rfft",
-            "on",
-        ]))
-        .expect("--rfft on runs");
-        assert!(mask_path.exists(), "--rfft on wrote a mask");
-        // The flag sets a process-wide default; restore it for the other
-        // tests in this binary.
-        lsopc_fft::set_rfft_default(false);
-        std::fs::remove_file(design_path).ok();
-        std::fs::remove_file(mask_path).ok();
-    }
-
-    #[test]
-    fn invalid_rfft_is_a_usage_error() {
-        use crate::error::Category;
-        let design_path = tmpfile("rfft_bad_design.glp");
-        std::fs::write(
-            &design_path,
-            "BEGIN\nCELL rfft_bad\nRECT 832 480 384 1088 ;\nEND\n",
-        )
-        .expect("write design");
-        let err = optimize(&to_args(&[
-            "--glp",
-            design_path.to_str().expect("utf8"),
-            "--out",
-            "y.glp",
-            "--rfft",
-            "maybe",
-        ]))
-        .expect_err("bad rfft value");
-        assert_eq!(err.category(), Category::Usage);
-        assert!(err.to_string().contains("--rfft"));
-        std::fs::remove_file(design_path).ok();
-    }
-
-    #[test]
-    fn invalid_precision_is_a_usage_error() {
-        use crate::error::Category;
-        let err = optimize(&to_args(&[
-            "--glp",
-            "x.glp",
-            "--out",
-            "y.glp",
-            "--precision",
-            "f16",
-        ]))
-        .expect_err("bad precision");
-        assert_eq!(err.category(), Category::Usage);
-        assert!(err.to_string().contains("--precision"));
-    }
-
-    #[test]
-    fn optimize_runs_tiled_with_warm_start_and_schedule() {
-        let design_path = tmpfile("tiled_design.glp");
-        let mask_path = tmpfile("tiled_mask.glp");
-        // Two copies of one feature so the warm-start cache gets a hit.
-        std::fs::write(
-            &design_path,
-            "BEGIN\nCELL tiled_test\n\
-             RECT 160 64 160 448 ;\n\
-             RECT 1184 1088 160 448 ;\nEND\n",
-        )
-        .expect("write design");
-        optimize(&to_args(&[
-            "--glp",
-            design_path.to_str().expect("utf8"),
-            "--out",
-            mask_path.to_str().expect("utf8"),
-            "--grid",
-            "512",
-            "--kernels",
-            "4",
-            "--iters",
-            "3",
-            "--tile",
-            "128",
-            "--halo",
-            "64",
-            "--warm-start",
-            "mem",
-            "--schedule",
-            "off",
-        ]))
-        .expect("tiled optimize runs");
-        assert!(mask_path.exists(), "tiled run wrote a mask");
-        std::fs::remove_file(design_path).ok();
-        std::fs::remove_file(mask_path).ok();
-    }
-
-    #[test]
-    fn optimize_accepts_an_explicit_schedule() {
-        let design_path = tmpfile("sched_design.glp");
-        let mask_path = tmpfile("sched_mask.glp");
-        std::fs::write(
-            &design_path,
-            "BEGIN\nCELL sched_test\nRECT 832 480 384 1088 ;\nEND\n",
-        )
-        .expect("write design");
-        optimize(&to_args(&[
-            "--glp",
-            design_path.to_str().expect("utf8"),
-            "--out",
-            mask_path.to_str().expect("utf8"),
-            "--grid",
-            "256",
-            "--kernels",
-            "4",
-            "--iters",
-            "4",
-            "--schedule",
-            "128,4,3,2",
-        ]))
-        .expect("scheduled optimize runs");
-        assert!(mask_path.exists(), "scheduled run wrote a mask");
-        std::fs::remove_file(design_path).ok();
-        std::fs::remove_file(mask_path).ok();
-    }
-
-    #[test]
-    fn schedule_and_tiling_misuse_are_usage_errors() {
-        use crate::error::Category;
-        let base = ["--glp", "x.glp", "--out", "y.glp"];
-        for (extra, needle) in [
-            (&["--schedule", "fast"][..], "--schedule"),
-            (&["--schedule", "100,4,3,2"][..], "power of two"),
-            (&["--schedule", "128,4,0,2"][..], "positive"),
-            (&["--schedule", "128,4,3"][..], "--schedule"),
-            (&["--warm-start", "mem"][..], "--tile"),
-            (&["--halo", "64"][..], "--tile"),
-            (&["--tile", "100", "--halo", "64"][..], "power of two"),
-            (&["--tile", "128", "--halo", "256"][..], "smaller"),
-            (&["--tile", "128", "--warm-start", ""][..], "--warm-start"),
-            (&["--tile", "128", "--precision", "f32"][..], "f64"),
-        ] {
-            let mut args = base.to_vec();
-            args.extend_from_slice(extra);
-            let err = optimize(&to_args(&args)).expect_err("misuse rejected");
-            assert_eq!(err.category(), Category::Usage, "args {args:?}");
-            assert!(
-                err.to_string().contains(needle),
-                "args {args:?}: `{err}` lacks `{needle}`"
-            );
-        }
-    }
-
-    #[test]
-    fn optimize_requires_flags() {
-        let err = optimize(&to_args(&["--glp", "x.glp"])).expect_err("missing --out");
-        assert!(err.to_string().contains("--out") || err.to_string().contains("cannot read"));
-    }
-
-    #[test]
-    fn error_categories_map_to_distinct_exit_codes() {
-        use crate::error::Category;
-
-        // Missing required flag → usage (2).
-        let err = optimize(&to_args(&[])).expect_err("missing flags");
-        assert_eq!(err.category(), Category::Usage);
-        assert_eq!(err.exit_code(), 2);
-
-        // Bad --recover value → usage (2).
-        let err = optimize(&to_args(&[
-            "--glp",
-            "x.glp",
-            "--out",
-            "y.glp",
-            "--recover",
-            "maybe",
-        ]))
-        .expect_err("bad recover");
-        assert_eq!(err.category(), Category::Usage);
-        assert!(err.to_string().contains("--recover"));
-
-        // Unreadable input file → I/O (3).
-        let err = optimize(&to_args(&[
-            "--glp",
-            "/nonexistent/lsopc.glp",
-            "--out",
-            "y.glp",
-        ]))
-        .expect_err("unreadable file");
-        assert_eq!(err.category(), Category::Io);
-        assert_eq!(err.exit_code(), 3);
-
-        // Malformed layout → parse (4), with the line number surfaced.
-        let bad = tmpfile("bad.glp");
-        std::fs::write(&bad, "RECT 1 2 3 ;\n").expect("write bad layout");
-        let err = optimize(&to_args(&[
-            "--glp",
-            bad.to_str().expect("utf8"),
-            "--out",
-            "y.glp",
-        ]))
-        .expect_err("parse failure");
-        assert_eq!(err.category(), Category::Parse);
-        assert_eq!(err.exit_code(), 4);
-        assert!(err.to_string().contains("line 1"));
-        std::fs::remove_file(bad).ok();
-
-        // Unusable simulator configuration → setup (5).
-        let design = tmpfile("setup.glp");
-        std::fs::write(&design, "BEGIN\nRECT 0 0 64 64 ;\nEND\n").expect("write design");
-        let err = optimize(&to_args(&[
-            "--glp",
-            design.to_str().expect("utf8"),
-            "--out",
-            "y.glp",
-            "--grid",
-            "3",
-        ]))
-        .expect_err("setup failure");
-        assert_eq!(err.category(), Category::Setup);
-        assert_eq!(err.exit_code(), 5);
-        std::fs::remove_file(design).ok();
-    }
-
-    #[test]
-    fn empty_target_is_an_optimizer_error() {
-        use crate::error::Category;
-        // A design whose only shape lies outside the field rasterizes to
-        // an empty target, which the optimizer rejects (exit code 6).
-        let design = tmpfile("offfield.glp");
-        std::fs::write(&design, "BEGIN\nRECT 900000000 900000000 64 64 ;\nEND\n")
-            .expect("write design");
-        let err = optimize(&to_args(&[
-            "--glp",
-            design.to_str().expect("utf8"),
-            "--out",
-            "y.glp",
-            "--grid",
-            "128",
-            "--kernels",
-            "4",
-        ]))
-        .expect_err("empty target");
-        assert_eq!(err.category(), Category::Optimize);
-        assert_eq!(err.exit_code(), 6);
-        std::fs::remove_file(design).ok();
-    }
-
-    #[test]
-    fn profile_writes_trace_and_metrics() {
-        let trace_path = tmpfile("profile.jsonl");
-        let metrics_path = tmpfile("profile.json");
-        profile(&to_args(&[
-            "--pattern",
-            "wire",
-            "--grid",
-            "128",
-            "--kernels",
-            "4",
-            "--iters",
-            "2",
-            "--trace",
-            trace_path.to_str().expect("utf8"),
-            "--metrics",
-            metrics_path.to_str().expect("utf8"),
-        ]))
-        .expect("profile runs");
-
-        let jsonl = std::fs::read_to_string(&trace_path).expect("trace file");
-        assert!(jsonl.lines().count() > 10, "events were streamed");
-        assert!(jsonl.contains("\"kind\": \"span\""));
-        assert!(jsonl.contains("\"kind\": \"iter\""));
-        let json = std::fs::read_to_string(&metrics_path).expect("metrics file");
-        assert!(json.contains("fft2d."), "profile saw FFT spans");
-        std::fs::remove_file(trace_path).ok();
-        std::fs::remove_file(metrics_path).ok();
-    }
-
-    #[test]
-    fn profile_rejects_unknown_pattern() {
-        use crate::error::Category;
-        let err = profile(&to_args(&["--pattern", "nonsense"])).expect_err("bad pattern");
-        assert_eq!(err.category(), Category::Usage);
-        assert!(err.to_string().contains("--pattern"));
-    }
-
-    #[test]
-    fn suite_runs_one_small_case() {
-        suite(&to_args(&[
-            "--cases",
-            "4",
-            "--grid",
-            "128",
-            "--kernels",
-            "4",
-            "--iters",
-            "2",
-        ]))
-        .expect("suite runs");
-    }
-
-    #[test]
-    fn deadline_zero_stops_gracefully_with_best_so_far_mask() {
-        let design_path = tmpfile("deadline_design.glp");
-        let mask_path = tmpfile("deadline_mask.glp");
-        std::fs::write(
-            &design_path,
-            "BEGIN\nCELL deadline_test\nRECT 832 480 384 1088 ;\nEND\n",
-        )
-        .expect("write design");
-        // A zero-second deadline expires at the first iteration boundary;
-        // the run must still finish cleanly and write the initial mask.
-        let outcome = optimize(&to_args(&[
-            "--glp",
-            design_path.to_str().expect("utf8"),
-            "--out",
-            mask_path.to_str().expect("utf8"),
-            "--grid",
-            "128",
-            "--kernels",
-            "4",
-            "--iters",
-            "8",
-            "--deadline",
-            "0",
-        ]))
-        .expect("deadline stop is graceful, not an error");
-        assert_eq!(outcome, Outcome::Completed, "deadline stop exits 0");
-        assert!(mask_path.exists(), "best-so-far mask was written");
-        std::fs::remove_file(design_path).ok();
-        std::fs::remove_file(mask_path).ok();
-    }
-
-    #[test]
-    fn checkpoint_then_resume_completes_the_run() {
-        let design_path = tmpfile("ck_design.glp");
-        let mask_path = tmpfile("ck_mask.glp");
-        let ck_path = tmpfile("ck_state.lsckpt");
-        std::fs::write(
-            &design_path,
-            "BEGIN\nCELL ck_test\nRECT 832 480 384 1088 ;\nEND\n",
-        )
-        .expect("write design");
-        let common = |extra: &[&str]| {
-            let mut args = vec![
-                "--glp",
-                design_path.to_str().expect("utf8"),
-                "--out",
-                mask_path.to_str().expect("utf8"),
-                "--grid",
-                "128",
-                "--kernels",
-                "4",
-                "--iters",
-                "4",
-            ];
-            args.extend_from_slice(extra);
-            to_args(&args)
-        };
-        // Phase 1: stop after 2 iterations via the budget; the graceful
-        // stop must write a final checkpoint even though the periodic
-        // interval (default 10) never fired.
-        let outcome = optimize(&common(&[
-            "--iter-budget",
-            "2",
-            "--checkpoint",
-            ck_path.to_str().expect("utf8"),
-        ]))
-        .expect("budget stop is graceful");
-        assert_eq!(outcome, Outcome::Completed);
-        assert!(ck_path.exists(), "graceful stop wrote a checkpoint");
-        // Phase 2: resume from it and run to completion.
-        let outcome = optimize(&common(&["--resume", ck_path.to_str().expect("utf8")]))
-            .expect("resume runs to completion");
-        assert_eq!(outcome, Outcome::Completed);
-        assert!(mask_path.exists());
-        std::fs::remove_file(design_path).ok();
-        std::fs::remove_file(mask_path).ok();
-        std::fs::remove_file(ck_path).ok();
-    }
-
-    #[test]
-    fn missing_resume_file_is_a_checkpoint_error() {
-        use crate::error::Category;
-        let design_path = tmpfile("resume_missing.glp");
-        std::fs::write(
-            &design_path,
-            "BEGIN\nCELL resume_missing\nRECT 832 480 384 1088 ;\nEND\n",
-        )
-        .expect("write design");
-        let err = optimize(&to_args(&[
-            "--glp",
-            design_path.to_str().expect("utf8"),
-            "--out",
-            "y.glp",
-            "--grid",
-            "128",
-            "--kernels",
-            "4",
-            "--resume",
-            "/nonexistent/lsopc.lsckpt",
-        ]))
-        .expect_err("missing resume file");
-        assert_eq!(err.category(), Category::Checkpoint);
-        assert_eq!(err.exit_code(), 9);
-        std::fs::remove_file(design_path).ok();
-    }
-
-    #[test]
-    fn lifecycle_flag_misuse_is_a_usage_error() {
-        use crate::error::Category;
-        let base = ["--glp", "x.glp", "--out", "y.glp"];
-        for (extra, needle) in [
-            (&["--deadline", "soon"][..], "--deadline"),
-            (&["--deadline", "-1"][..], "--deadline"),
-            (&["--max-wall", "inf"][..], "--max-wall"),
-            (&["--iter-budget", "0"][..], "--iter-budget"),
-            (&["--checkpoint-every", "3"][..], "--checkpoint"),
-            (
-                &["--checkpoint", "c.lsckpt", "--checkpoint-every", "0"][..],
-                "--checkpoint-every",
-            ),
-            (&["--checkpoint", ""][..], "--checkpoint"),
-            (&["--resume", ""][..], "--resume"),
-        ] {
-            let mut args = base.to_vec();
-            args.extend_from_slice(extra);
-            let err = optimize(&to_args(&args)).expect_err("misuse rejected");
-            assert_eq!(err.category(), Category::Usage, "args {args:?}");
-            assert!(
-                err.to_string().contains(needle),
-                "args {args:?}: `{err}` lacks `{needle}`"
-            );
-        }
-    }
-}
-
-#[cfg(test)]
-mod report_tests {
-    use super::*;
-
-    #[test]
-    fn report_subcommand_runs() {
-        let dir = std::env::temp_dir();
-        let design = dir.join(format!("lsopc_rep_{}.glp", std::process::id()));
-        std::fs::write(&design, "BEGIN\nCELL rep\nRECT 832 480 384 1088 ;\nEND\n")
-            .expect("write design");
-        // Report the design against itself (uncorrected mask).
-        report(
-            &[
-                "--glp",
-                design.to_str().expect("utf8"),
-                "--mask",
-                design.to_str().expect("utf8"),
-                "--grid",
-                "128",
-                "--kernels",
-                "4",
-            ]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>(),
-        )
-        .expect("report runs");
-        std::fs::remove_file(design).ok();
-    }
-}
+#[path = "commands_tests.rs"]
+mod tests;

@@ -2,6 +2,7 @@
 //! category, so scripts can branch on *why* `lsopc` failed.
 
 use lsopc_core::{OptimizeError, TiledError};
+use lsopc_engine::EngineError;
 use std::fmt;
 
 /// Failure category; the discriminant is the process exit code.
@@ -82,6 +83,19 @@ impl CliError {
             TiledError::Simulator(e) => Self::setup(e.to_string()),
             TiledError::Optimize(e) => Self::from_optimize(e),
             TiledError::Checkpoint(msg) => Self::new(Category::Checkpoint, msg),
+        }
+    }
+
+    /// Maps engine failures onto the CLI categories: a rejected spec is
+    /// flag misuse, warm-start cache trouble is I/O, and the setup /
+    /// optimize / tiled arms keep their existing mappings.
+    pub fn from_engine(e: EngineError) -> Self {
+        match e {
+            EngineError::Spec(msg) => Self::usage(msg),
+            EngineError::Io(msg) => Self::io(msg),
+            EngineError::Setup(e) => Self::setup(e.to_string()),
+            EngineError::Optimize(e) => Self::from_optimize(e),
+            EngineError::Tiled(e) => Self::from_tiled(e),
         }
     }
 

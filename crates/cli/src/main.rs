@@ -21,6 +21,7 @@ mod args;
 mod commands;
 mod error;
 mod signal;
+mod spec;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -149,6 +149,11 @@ pub struct TiledIlt {
     /// `None` → [`ParallelContext::global`].
     ctx: Option<ParallelContext>,
     control: Option<RunControl>,
+    /// Cache handles injected into the internal tile simulator.
+    caches: Option<lsopc_litho::SimCaches>,
+    /// rfft routing for the internal tile simulator's backend (`None` →
+    /// the process default).
+    rfft: Option<bool>,
 }
 
 impl TiledIlt {
@@ -190,6 +195,8 @@ impl TiledIlt {
             warm_iterations: None,
             ctx: None,
             control: None,
+            caches: None,
+            rfft: None,
         })
     }
 
@@ -238,6 +245,24 @@ impl TiledIlt {
     /// iteration count is not meaningful across concurrent tiles.
     pub fn with_run_control(mut self, control: RunControl) -> Self {
         self.control = Some(control);
+        self
+    }
+
+    /// Injects shared cache handles ([`lsopc_litho::SimCaches`]) into the
+    /// tile simulator built by [`Self::optimize_with_stats`], so repeated
+    /// tiled runs in one host process (the engine) amortize FFT plans and
+    /// embedded spectra instead of re-warming the process globals.
+    pub fn with_caches(mut self, caches: lsopc_litho::SimCaches) -> Self {
+        self.caches = Some(caches);
+        self
+    }
+
+    /// Overrides the rfft routing of the tile simulator's backend (the
+    /// tiled path builds its simulator internally, so callers cannot set
+    /// this on a backend themselves). `None`/unset → the process default
+    /// ([`lsopc_fft::rfft_default`]).
+    pub fn with_rfft(mut self, enabled: bool) -> Self {
+        self.rfft = Some(enabled);
         self
     }
 
@@ -368,7 +393,18 @@ impl TiledIlt {
             ));
         }
         let tile = self.tile_px();
-        let sim = LithoSimulator::from_optics(optics, tile, pixel_nm)?.with_accelerated_backend(1);
+        // Each tile solve is serial (the fan-out is across tiles), hence
+        // the 1-thread backend; rfft and cache handles forward to it
+        // because the simulator is built here, out of the caller's reach.
+        let mut backend = lsopc_litho::AcceleratedBackend::new(1);
+        if let Some(rfft) = self.rfft {
+            backend = backend.with_rfft(rfft);
+        }
+        let mut sim =
+            LithoSimulator::from_optics(optics, tile, pixel_nm)?.with_backend(Box::new(backend));
+        if let Some(caches) = &self.caches {
+            sim = sim.with_caches(caches.clone());
+        }
         // Warm the per-defocus kernel cache before fanning out so
         // concurrent tiles don't all generate the same kernels on a miss.
         let corners = sim.corners();

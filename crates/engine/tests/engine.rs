@@ -1,0 +1,178 @@
+//! Integration tests for the engine's cache-sharing and session
+//! contracts: repeated submissions amortize the shared caches, and
+//! concurrent sessions stay bit-identical with cleanly separated
+//! scoped trace streams.
+
+use lsopc_engine::{Caches, Engine, JobSpec, Precision};
+use lsopc_grid::Grid;
+use lsopc_trace::MemorySink;
+use std::sync::Arc;
+
+/// A 128px vertical wire; 128px is the smallest power of two whose
+/// pixel pitch resolves the optical band of the fixed 2048nm field.
+fn target() -> Grid<f64> {
+    Grid::from_fn(128, 128, |x, y| {
+        if (52..76).contains(&x) && (30..98).contains(&y) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn small_spec() -> JobSpec {
+    let mut spec = JobSpec::new(target());
+    spec.kernels = 4;
+    spec.iterations = 2;
+    spec
+}
+
+fn counter(sink: &MemorySink, name: &str) -> u64 {
+    sink.report().counters.get(name).copied().unwrap_or(0)
+}
+
+/// Two sequential submissions of the same optics: the first job pays
+/// the FFT-plan and kernel-spectrum construction misses, the second
+/// runs entirely out of the engine's shared caches — and produces the
+/// same mask bit for bit.
+#[test]
+fn second_submission_runs_out_of_the_shared_caches() {
+    // Private caches so counters reflect only this engine's jobs, not
+    // whatever else ran in this test process.
+    let engine = Engine::builder().caches(Caches::private()).build();
+    // Mixed precision routes the convolutions through the embedded
+    // spectrum cache (the accelerated f64 path windows the kernel set
+    // directly), so both cache families show up in the counters.
+    let mut spec = small_spec();
+    spec.precision = Precision::Mixed;
+
+    let first_sink = Arc::new(MemorySink::new());
+    let first = engine
+        .session()
+        .with_sink(first_sink.clone())
+        .submit(&spec)
+        .expect("first job runs");
+    assert!(
+        counter(&first_sink, "cache.plan.miss") > 0,
+        "first job builds FFT plans"
+    );
+    assert!(
+        counter(&first_sink, "cache.spectra.miss") > 0,
+        "first job transforms the kernel bands"
+    );
+
+    let second_sink = Arc::new(MemorySink::new());
+    let second = engine
+        .session()
+        .with_sink(second_sink.clone())
+        .submit(&spec)
+        .expect("second job runs");
+    assert_eq!(
+        counter(&second_sink, "cache.plan.miss"),
+        0,
+        "second job builds no FFT plans"
+    );
+    assert_eq!(
+        counter(&second_sink, "cache.spectra.miss"),
+        0,
+        "second job re-transforms no kernel bands"
+    );
+    assert!(counter(&second_sink, "cache.plan.hit") > 0);
+    assert!(counter(&second_sink, "cache.spectra.hit") > 0);
+
+    let (a, b) = (first.mask().as_slice(), second.mask().as_slice());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "cache reuse changed the mask");
+    }
+}
+
+/// Two threads submitting the same spec through one engine: both jobs
+/// share the simulator and caches yet produce bit-identical masks, and
+/// each session's scoped sink sees only its own thread's events.
+#[test]
+fn concurrent_sessions_are_bit_identical_with_separate_streams() {
+    let engine = Engine::builder().caches(Caches::private()).build();
+    // Warm the shared caches once so both threads race on the hit path.
+    engine.submit(&small_spec()).expect("warm-up job runs");
+
+    let run = |marker: &'static str| {
+        let engine = engine.clone();
+        move || {
+            let sink = Arc::new(MemorySink::new());
+            let session = engine.session().with_sink(sink.clone());
+            let outcome = session.scoped(|| {
+                lsopc_trace::count(marker, 1);
+                session.engine().submit(&small_spec())
+            });
+            (outcome.expect("concurrent job runs"), sink)
+        }
+    };
+    let a = std::thread::spawn(run("test.marker.a"));
+    let b = std::thread::spawn(run("test.marker.b"));
+    let (outcome_a, sink_a) = a.join().expect("thread a");
+    let (outcome_b, sink_b) = b.join().expect("thread b");
+
+    for (x, y) in outcome_a
+        .mask()
+        .as_slice()
+        .iter()
+        .zip(outcome_b.mask().as_slice())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "concurrent jobs diverged");
+    }
+
+    // Each scoped stream carries its own marker and its own job's
+    // events, not the sibling's.
+    assert_eq!(counter(&sink_a, "test.marker.a"), 1);
+    assert_eq!(counter(&sink_a, "test.marker.b"), 0);
+    assert_eq!(counter(&sink_b, "test.marker.b"), 1);
+    assert_eq!(counter(&sink_b, "test.marker.a"), 0);
+    assert!(
+        counter(&sink_a, "cache.plan.hit") > 0,
+        "session a saw its job's cache traffic"
+    );
+    assert!(
+        counter(&sink_b, "cache.plan.hit") > 0,
+        "session b saw its job's cache traffic"
+    );
+}
+
+/// A session's sink only observes work submitted through that session:
+/// nothing leaks in from jobs run outside its scope, and nothing it
+/// scoped leaks out.
+#[test]
+fn session_sinks_do_not_leak_across_scopes() {
+    let engine = Engine::builder().caches(Caches::private()).build();
+    let sink = Arc::new(MemorySink::new());
+    let session = engine.session().with_sink(sink.clone());
+
+    session.submit(&small_spec()).expect("scoped job runs");
+    let seen = counter(&sink, "cache.plan.miss") + counter(&sink, "cache.plan.hit");
+    assert!(seen > 0, "scoped job was observed");
+
+    // The same engine run *outside* the session must not reach its sink.
+    engine.submit(&small_spec()).expect("unscoped job runs");
+    let after = counter(&sink, "cache.plan.miss") + counter(&sink, "cache.plan.hit");
+    assert_eq!(seen, after, "unscoped job leaked into the session sink");
+}
+
+/// Engines built with private caches are isolated from each other: one
+/// engine's warm cache does not serve another's first job.
+#[test]
+fn private_caches_isolate_engines() {
+    let first = Engine::builder().caches(Caches::private()).build();
+    first.submit(&small_spec()).expect("first engine runs");
+
+    let second = Engine::builder().caches(Caches::private()).build();
+    let sink = Arc::new(MemorySink::new());
+    second
+        .session()
+        .with_sink(sink.clone())
+        .submit(&small_spec())
+        .expect("second engine runs");
+    assert!(
+        counter(&sink, "cache.plan.miss") > 0,
+        "a fresh engine pays its own cache misses"
+    );
+}

@@ -29,6 +29,7 @@
 //! [`FftBackend`]: crate::FftBackend
 
 use crate::backend::{fold_kernel_grids, mask_spectrum, MaskSpectrum, SimBackend};
+use crate::caches::SimCaches;
 use lsopc_fft::{wrap_index, HalfSpectrum};
 use lsopc_grid::{Complex, Grid, Scalar};
 use lsopc_optics::KernelSet;
@@ -68,6 +69,8 @@ pub struct AcceleratedBackend {
     ctx: ParallelContext,
     /// `None` → the process default ([`lsopc_fft::rfft_default`]).
     rfft: Option<bool>,
+    /// Cache handles; defaults to the process globals.
+    caches: SimCaches,
 }
 
 impl AcceleratedBackend {
@@ -80,6 +83,7 @@ impl AcceleratedBackend {
             threads,
             ctx: ParallelContext::global().with_max_threads(threads),
             rfft: None,
+            caches: SimCaches::default(),
         }
     }
 
@@ -90,6 +94,7 @@ impl AcceleratedBackend {
             threads: ctx.threads(),
             ctx,
             rfft: None,
+            caches: SimCaches::default(),
         }
     }
 
@@ -200,11 +205,11 @@ impl<T: Scalar> SimBackend<T> for AcceleratedBackend {
         );
         let nc = Self::coarse_size(s, w.min(h));
         let use_rfft = self.rfft();
-        let fft_full = lsopc_fft::plan_t::<T>(w, h);
-        let fft_coarse = lsopc_fft::plan_t::<T>(nc, nc);
+        let fft_full = self.caches.plan_t::<T>(w, h);
+        let fft_coarse = self.caches.plan_t::<T>(nc, nc);
 
         // One full-size forward FFT, then only the band matters.
-        let mhat = mask_spectrum(&fft_full, mask, use_rfft);
+        let mhat = mask_spectrum(&self.caches, &fft_full, mask, use_rfft);
         let m_window = centered_window_of(&mhat, s);
 
         // Per-kernel coarse fields; e at full-grid sample points equals the
@@ -244,7 +249,10 @@ impl<T: Scalar> SimBackend<T> for AcceleratedBackend {
             for v in half.as_mut_slice() {
                 *v = v.scale(up);
             }
-            return lsopc_fft::rplan_t::<T>(w, h).inverse_with(&self.ctx, &half);
+            return self
+                .caches
+                .rplan_t::<T>(w, h)
+                .inverse_with(&self.ctx, &half);
         }
         let mut full = embed_window(&window, w, h);
         for v in full.as_mut_slice() {
@@ -265,12 +273,12 @@ impl<T: Scalar> SimBackend<T> for AcceleratedBackend {
             2 * s - 1
         );
         let use_rfft = self.rfft();
-        let fft_full = lsopc_fft::plan_t::<T>(w, h);
+        let fft_full = self.caches.plan_t::<T>(w, h);
 
         // Two full-size forward FFTs: the mask and the sensitivity field.
-        let mhat = mask_spectrum(&fft_full, mask, use_rfft);
+        let mhat = mask_spectrum(&self.caches, &fft_full, mask, use_rfft);
         let m_window = centered_window_of(&mhat, s);
-        let zhat = mask_spectrum(&fft_full, z, use_rfft);
+        let zhat = mask_spectrum(&self.caches, &fft_full, z, use_rfft);
         // Ẑ on the doubled band (κ − ν reaches offsets up to 2(S/2)·2).
         let big = 2 * s - 1;
         let z_big = centered_window_of(&zhat, big);
@@ -317,12 +325,19 @@ impl<T: Scalar> SimBackend<T> for AcceleratedBackend {
             // The gradient is 2·Re(IFFT(acc)); the Hermitian projection
             // inside `embed_window_half` computes exactly that real part.
             let half = embed_window_half(&acc_window, w, h);
-            let real = lsopc_fft::rplan_t::<T>(w, h).inverse_with(&self.ctx, &half);
+            let real = self
+                .caches
+                .rplan_t::<T>(w, h)
+                .inverse_with(&self.ctx, &half);
             return real.map(|&v| two * v);
         }
         let mut full = embed_window(&acc_window, w, h);
         fft_full.inverse(&mut full);
         full.map(|v| two * v.re)
+    }
+
+    fn set_caches(&mut self, caches: &SimCaches) {
+        self.caches = caches.clone();
     }
 }
 

@@ -1,6 +1,7 @@
 //! Simulation backends: the pluggable convolution engines.
 
-use crate::spectra::{EmbeddedSpectra, SpectrumCache};
+use crate::caches::SimCaches;
+use crate::spectra::EmbeddedSpectra;
 use lsopc_grid::{Complex, Grid, Scalar};
 use lsopc_optics::KernelSet;
 use lsopc_parallel::ParallelContext;
@@ -66,16 +67,17 @@ pub(crate) enum MaskSpectrum<T: Scalar> {
 }
 
 /// Transforms a real mask into its spectrum, routing through the rfft
-/// fast path when `use_rfft` is set (the plan comes from the shared
-/// [`lsopc_fft::rplan_t`] cache).
+/// fast path when `use_rfft` is set (the plan comes from the backend's
+/// injected plan cache via `caches`).
 pub(crate) fn mask_spectrum<T: Scalar>(
+    caches: &SimCaches,
     fft: &lsopc_fft::Fft2d<T>,
     mask: &Grid<T>,
     use_rfft: bool,
 ) -> MaskSpectrum<T> {
     if use_rfft {
         let (w, h) = mask.dims();
-        MaskSpectrum::Half(lsopc_fft::rplan_t::<T>(w, h).forward(mask))
+        MaskSpectrum::Half(caches.rplan_t::<T>(w, h).forward(mask))
     } else {
         MaskSpectrum::Dense(fft.forward_real(mask))
     }
@@ -158,6 +160,14 @@ pub trait SimBackend<T: Scalar = f64>: Send + Sync + std::fmt::Debug {
     /// Implementations panic if `mask` and `z` dimensions differ or are
     /// unsupported.
     fn gradient(&self, kernels: &KernelSet<T>, mask: &Grid<T>, z: &Grid<T>) -> Grid<T>;
+
+    /// Injects shared cache handles (FFT plans, embedded spectra).
+    /// Backends that consult caches store the bundle and route every
+    /// lookup through it; the default no-op suits cache-free backends
+    /// such as [`ReferenceBackend`].
+    fn set_caches(&mut self, caches: &SimCaches) {
+        let _ = caches;
+    }
 }
 
 /// Direct spatial-domain convolution, O(N⁴) per kernel.
@@ -273,6 +283,8 @@ pub struct FftBackend {
     ctx: Option<ParallelContext>,
     /// `None` → the process default ([`lsopc_fft::rfft_default`]).
     rfft: Option<bool>,
+    /// Cache handles; defaults to the process globals.
+    caches: SimCaches,
 }
 
 impl FftBackend {
@@ -286,7 +298,7 @@ impl FftBackend {
     pub fn with_context(ctx: ParallelContext) -> Self {
         Self {
             ctx: Some(ctx),
-            rfft: None,
+            ..Self::default()
         }
     }
 
@@ -319,9 +331,9 @@ impl<T: Scalar> SimBackend<T> for FftBackend {
     fn aerial_image(&self, kernels: &KernelSet<T>, mask: &Grid<T>) -> Grid<T> {
         let _span = lsopc_trace::span!("backend.fft.aerial");
         let (w, h) = mask.dims();
-        let fft = lsopc_fft::plan_t::<T>(w, h);
-        let spectra = SpectrumCache::global().embedded(kernels, w, h);
-        let mhat = mask_spectrum(&fft, mask, self.rfft());
+        let fft = self.caches.plan_t::<T>(w, h);
+        let spectra = self.caches.embedded(kernels, w, h);
+        let mhat = mask_spectrum(&self.caches, &fft, mask, self.rfft());
         let ctx = self.ctx();
         let empty = Grid::new(w, h, T::ZERO);
         fold_kernel_grids(ctx, kernels.len(), &empty, |range, intensity| {
@@ -339,9 +351,9 @@ impl<T: Scalar> SimBackend<T> for FftBackend {
         let _span = lsopc_trace::span!("backend.fft.gradient");
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
-        let fft = lsopc_fft::plan_t::<T>(w, h);
-        let spectra = SpectrumCache::global().embedded(kernels, w, h);
-        let mhat = mask_spectrum(&fft, mask, self.rfft());
+        let fft = self.caches.plan_t::<T>(w, h);
+        let spectra = self.caches.embedded(kernels, w, h);
+        let mhat = mask_spectrum(&self.caches, &fft, mask, self.rfft());
         let ctx = self.ctx();
         let empty: Grid<Complex<T>> = Grid::new(w, h, Complex::<T>::ZERO);
         let mut acc = fold_kernel_grids(ctx, kernels.len(), &empty, |range, acc| {
@@ -364,6 +376,10 @@ impl<T: Scalar> SimBackend<T> for FftBackend {
         fft.inverse_band_with(ctx, &mut acc, spectra.all_cols());
         let two = T::from_f64(2.0);
         acc.map(|v| two * v.re)
+    }
+
+    fn set_caches(&mut self, caches: &SimCaches) {
+        self.caches = caches.clone();
     }
 }
 

@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::backend::{batched_kernel_fields, fold_kernel_grids, mask_spectrum, SimBackend};
-use crate::spectra::SpectrumCache;
+use crate::caches::SimCaches;
 use lsopc_grid::{Grid, C64};
 use lsopc_optics::KernelSet;
 use lsopc_parallel::ParallelContext;
@@ -81,6 +81,8 @@ pub struct MixedBackend {
     /// f32 casts of the f64 kernel sets seen so far, keyed by
     /// [`KernelSet::id`] (sound: sets are immutable after construction).
     casts: RwLock<HashMap<u64, Arc<KernelSet<f32>>>>,
+    /// Cache handles; defaults to the process globals.
+    caches: SimCaches,
 }
 
 impl MixedBackend {
@@ -94,8 +96,7 @@ impl MixedBackend {
     pub fn with_context(ctx: ParallelContext) -> Self {
         Self {
             ctx: Some(ctx),
-            rfft: None,
-            casts: RwLock::default(),
+            ..Self::default()
         }
     }
 
@@ -144,10 +145,10 @@ impl SimBackend<f64> for MixedBackend {
         let _span = lsopc_trace::span!("backend.mixed.aerial");
         let (w, h) = mask.dims();
         let kernels32 = self.kernels32(kernels);
-        let fft32 = lsopc_fft::plan_t::<f32>(w, h);
-        let spectra32 = SpectrumCache::global().embedded(&kernels32, w, h);
+        let fft32 = self.caches.plan_t::<f32>(w, h);
+        let spectra32 = self.caches.embedded(&kernels32, w, h);
         let mask32 = mask.map(|&v| v as f32);
-        let mhat = mask_spectrum(&fft32, &mask32, self.rfft());
+        let mhat = mask_spectrum(&self.caches, &fft32, &mask32, self.rfft());
         let ctx = self.ctx();
         let empty = Grid::new(w, h, 0.0_f64);
         fold_kernel_grids(ctx, kernels.len(), &empty, |range, intensity| {
@@ -168,11 +169,11 @@ impl SimBackend<f64> for MixedBackend {
         assert_eq!(mask.dims(), z.dims(), "mask and z dimensions must match");
         let (w, h) = mask.dims();
         let kernels32 = self.kernels32(kernels);
-        let fft32 = lsopc_fft::plan_t::<f32>(w, h);
-        let spectra32 = SpectrumCache::global().embedded(&kernels32, w, h);
+        let fft32 = self.caches.plan_t::<f32>(w, h);
+        let spectra32 = self.caches.embedded(&kernels32, w, h);
         let mask32 = mask.map(|&v| v as f32);
         let z32 = z.map(|&v| v as f32);
-        let mhat = mask_spectrum(&fft32, &mask32, self.rfft());
+        let mhat = mask_spectrum(&self.caches, &fft32, &mask32, self.rfft());
         let ctx = self.ctx();
         let empty: Grid<C64> = Grid::new(w, h, C64::ZERO);
         let mut acc = fold_kernel_grids(ctx, kernels.len(), &empty, |range, acc| {
@@ -194,9 +195,13 @@ impl SimBackend<f64> for MixedBackend {
         });
         // Finish with one full-size inverse FFT at f64 on the
         // f64-accumulated band spectrum.
-        let fft64 = lsopc_fft::plan_t::<f64>(w, h);
+        let fft64 = self.caches.plan_t::<f64>(w, h);
         fft64.inverse_band_with(ctx, &mut acc, spectra32.all_cols());
         acc.map(|v| 2.0 * v.re)
+    }
+
+    fn set_caches(&mut self, caches: &SimCaches) {
+        self.caches = caches.clone();
     }
 }
 

@@ -1,6 +1,6 @@
 //! The forward lithography simulator facade.
 
-use crate::{AcceleratedBackend, FftBackend, ResistModel, SimBackend};
+use crate::{AcceleratedBackend, FftBackend, ResistModel, SimBackend, SimCaches};
 use lsopc_grid::{Grid, Scalar};
 use lsopc_optics::{KernelSet, OpticsConfig, ProcessCondition, ProcessCorners};
 use lsopc_parallel::ParallelContext;
@@ -98,6 +98,7 @@ pub struct LithoSimulator<T: Scalar = f64> {
     resist: ResistModel,
     corners: ProcessCorners,
     backend: Box<dyn SimBackend<T>>,
+    caches: SimCaches,
     kernel_cache: RwLock<HashMap<i64, Arc<KernelSet<T>>>>,
     #[cfg(feature = "fault-injection")]
     fault: Option<FaultHook>,
@@ -159,6 +160,7 @@ impl<T: Scalar> LithoSimulator<T> {
             resist: ResistModel::iccad2013(),
             corners: ProcessCorners::iccad2013(),
             backend: Box::new(FftBackend::new()),
+            caches: SimCaches::default(),
             kernel_cache: RwLock::new(HashMap::new()),
             #[cfg(feature = "fault-injection")]
             fault: None,
@@ -207,9 +209,25 @@ impl<T: Scalar> LithoSimulator<T> {
             .map_or(0, |h| h.calls.load(std::sync::atomic::Ordering::Relaxed))
     }
 
-    /// Replaces the compute backend.
-    pub fn with_backend(mut self, backend: Box<dyn SimBackend<T>>) -> Self {
+    /// Replaces the compute backend. The simulator's cache handles (see
+    /// [`Self::with_caches`]) are injected into the new backend, so the
+    /// calls compose in either order.
+    pub fn with_backend(mut self, mut backend: Box<dyn SimBackend<T>>) -> Self {
+        backend.set_caches(&self.caches);
         self.backend = backend;
+        self
+    }
+
+    /// Injects shared cache handles (FFT plans, embedded spectra) into
+    /// this simulator and its backend. Defaults to the process-global
+    /// caches; multi-job hosts pass one [`SimCaches`] clone per simulator
+    /// to amortize plans and spectra across submissions.
+    pub fn with_caches(mut self, caches: SimCaches) -> Self {
+        // Pre-warm the injected plan cache like `from_optics` pre-warmed
+        // the global one, so the first call pays no planning.
+        let _ = caches.plan_t::<T>(self.grid_px, self.grid_px);
+        self.backend.set_caches(&caches);
+        self.caches = caches;
         self
     }
 

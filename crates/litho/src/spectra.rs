@@ -242,23 +242,33 @@ impl<T: Scalar> EmbeddedSpectra<T> {
 /// cheap — O(K·S²) integer arithmetic, no transforms.
 const SPECTRUM_CACHE_CAPACITY: usize = 64;
 
-/// Process-global cache of [`EmbeddedSpectra`] keyed by
+/// Cache of embedded kernel spectra keyed by
 /// `(KernelSet::id(), width, height, scalar type)`.
 ///
 /// Values are type-erased (`Arc<dyn Any>`) because one map serves every
 /// scalar precision; the `TypeId` in the key guarantees each entry
 /// downcasts back to the precision it was built at.
 ///
+/// Backends default to the process-global instance ([`Self::global`]);
+/// callers that want isolation or explicit sharing across simulators
+/// (the `lsopc-engine` crate) build their own with [`Self::new`] and
+/// inject it via `SimCaches`.
+///
 /// [`KernelSet::id`]: lsopc_optics::KernelSet::id
 #[derive(Debug, Default)]
-pub(crate) struct SpectrumCache {
+pub struct SpectrumCache {
     #[allow(clippy::type_complexity)]
     map: RwLock<HashMap<(u64, usize, usize, TypeId), Arc<dyn Any + Send + Sync>>>,
 }
 
 impl SpectrumCache {
+    /// An empty cache, independent of the process-global one.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// The process-global instance shared by the simulation backends.
-    pub(crate) fn global() -> &'static SpectrumCache {
+    pub fn global() -> &'static SpectrumCache {
         static GLOBAL: std::sync::LazyLock<SpectrumCache> =
             std::sync::LazyLock::new(SpectrumCache::default);
         &GLOBAL

@@ -76,10 +76,11 @@ struct Job {
     remaining: Arc<AtomicUsize>,
     /// First panic payload raised by any chunk, re-thrown by the caller.
     panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
-    /// Span path of the submitting caller at dispatch time, so worker
-    /// threads report their spans nested under it (`None` when tracing
-    /// is disabled or no span was open).
-    trace_base: Option<Arc<str>>,
+    /// Trace scope of the submitting caller at dispatch time — span
+    /// path plus any scoped sink — so worker threads report into the
+    /// caller's scope (`None` when tracing is disabled and no scope is
+    /// active).
+    trace_scope: Option<lsopc_trace::TaskScope>,
 }
 
 impl Job {
@@ -249,7 +250,7 @@ impl ThreadPool {
             )),
             remaining: Arc::new(AtomicUsize::new(chunks)),
             panic: Arc::new(Mutex::new(None)),
-            trace_base: lsopc_trace::current_path_token(),
+            trace_scope: lsopc_trace::task_scope(),
         };
 
         {
@@ -317,9 +318,9 @@ fn worker_loop(shared: &Shared) {
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| s.checked_sub(1))
             .is_ok();
         if seated {
-            // Root this worker's spans under the submitting caller's
-            // path so pool-side work shows up in the right subtree.
-            lsopc_trace::with_base_path(job.trace_base.clone(), || {
+            // Re-enter the submitting caller's trace scope so pool-side
+            // spans nest under its path and reach its scoped sink.
+            lsopc_trace::with_task_scope(job.trace_scope.clone(), || {
                 with_task_flag(|| job.run_chunks(shared));
             });
         }

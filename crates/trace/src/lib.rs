@@ -19,10 +19,18 @@
 //! - [`iter`] — one structured record per optimizer iteration.
 //!
 //! Events flow to a process-global [`TraceSink`] installed with
-//! [`install`]. With no sink installed every instrumentation point is a
-//! single relaxed atomic load and a branch — no clock read, no
-//! allocation, no locking — which is what makes it safe to leave the
-//! instrumentation compiled into the hot paths unconditionally.
+//! [`install`], and/or to a thread-scoped sink entered with
+//! [`with_scoped_sink`]. Scoped sinks are the multi-tenant seam: two
+//! concurrent jobs in one process each wrap their run in a scope and
+//! receive separate event streams, while a globally installed sink (the
+//! CLI `--trace` default) still sees everything. Scopes hop threads with
+//! the work: [`task_scope`]/[`with_task_scope`] capture the calling
+//! thread's scope (path prefix + sink) so the `lsopc-parallel` pool can
+//! re-enter it on its workers. With no sink installed anywhere, every
+//! instrumentation point is a couple of relaxed atomic loads and a
+//! branch — no clock read, no allocation, no locking — which is what
+//! makes it safe to leave the instrumentation compiled into the hot
+//! paths unconditionally.
 //!
 //! Determinism: the layer only *observes*. It never changes chunking,
 //! iteration order, or arithmetic, so enabling any sink leaves optimizer
@@ -36,7 +44,7 @@ pub use jsonl::JsonlSink;
 pub use memory::{MemorySink, ProfileReport, SpanStat};
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -152,12 +160,17 @@ impl TraceSink for FanoutSink {
     }
 }
 
-/// Fast-path switch: true iff a sink is installed. Every instrumentation
-/// point loads this (Relaxed) before doing any other work.
+/// Fast-path switch: true iff a global sink is installed. Every
+/// instrumentation point loads this (Relaxed) before doing other work.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-/// The installed sink. Only read when `ENABLED` is true, so the lock is
-/// never touched on the disabled path.
+/// Number of live scoped-sink frames across all threads. Non-zero turns
+/// [`enabled`] on so instrumentation points take the slow path and
+/// consult the thread-local scope.
+static SCOPED_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// The installed global sink. Only read when `ENABLED` is true, so the
+/// lock is never touched on the disabled path.
 static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
 
 thread_local! {
@@ -165,13 +178,16 @@ thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
     /// Path prefix inherited from another thread (pool workers), if any.
     static BASE: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+    /// Sink scoped to this thread's current [`with_scoped_sink`] frame.
+    static SCOPED: RefCell<Option<Arc<dyn TraceSink>>> = const { RefCell::new(None) };
 }
 
-/// True when a sink is installed. One relaxed atomic load; this is the
-/// disabled-path cost of every instrumentation point.
+/// True when any sink may receive events: a global sink is installed or
+/// some thread is inside a scoped-sink frame. Two relaxed atomic loads;
+/// this is the disabled-path cost of every instrumentation point.
 #[inline(always)]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) || SCOPED_COUNT.load(Ordering::Relaxed) > 0
 }
 
 /// Installs `sink` as the process-global event receiver and enables all
@@ -195,27 +211,41 @@ pub fn uninstall() {
     }
 }
 
-/// Flushes the installed sink, if any.
+/// Flushes this thread's scoped sink and the global sink, if present.
 pub fn flush() {
-    if let Some(sink) = current_sink() {
+    if let Some(sink) = scoped_sink() {
+        sink.flush();
+    }
+    if let Some(sink) = global_sink() {
         sink.flush();
     }
 }
 
-fn current_sink() -> Option<Arc<dyn TraceSink>> {
-    if !enabled() {
+fn global_sink() -> Option<Arc<dyn TraceSink>> {
+    if !ENABLED.load(Ordering::Relaxed) {
         return None;
     }
     SINK.read().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
-/// Emits one event to the installed sink. Cheap no-op when disabled.
+fn scoped_sink() -> Option<Arc<dyn TraceSink>> {
+    if SCOPED_COUNT.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    SCOPED.with(|s| s.borrow().clone())
+}
+
+/// Emits one event to this thread's scoped sink (if inside a scope) and
+/// to the installed global sink (if any). Cheap no-op when disabled.
 #[inline]
 pub fn emit(event: &Event<'_>) {
     if !enabled() {
         return;
     }
-    if let Some(sink) = current_sink() {
+    if let Some(sink) = scoped_sink() {
+        sink.event(event);
+    }
+    if let Some(sink) = global_sink() {
         sink.event(event);
     }
 }
@@ -247,15 +277,23 @@ pub fn iter(record: &IterRecord) {
     emit(&Event::Iter(record));
 }
 
-/// Raises a structured warning. Routed through the installed sink when
-/// one is present; otherwise printed to stderr so operational warnings
-/// (invalid `LSOPC_THREADS`, …) are never silently dropped.
+/// Raises a structured warning. Routed through the scoped and global
+/// sinks when present; otherwise printed to stderr so operational
+/// warnings (invalid `LSOPC_THREADS`, …) are never silently dropped.
 pub fn warn(origin: &'static str, message: &str) {
-    if let Some(sink) = current_sink() {
-        sink.event(&Event::Warn { origin, message });
-    } else {
-        // allow-print: stderr fallback when no trace sink is installed.
+    let scoped = scoped_sink();
+    let global = global_sink();
+    if scoped.is_none() && global.is_none() {
+        // allow-print: stderr fallback when no trace sink is reachable.
         eprintln!("warning: [{origin}] {message}");
+        return;
+    }
+    let event = Event::Warn { origin, message };
+    if let Some(sink) = scoped {
+        sink.event(&event);
+    }
+    if let Some(sink) = global {
+        sink.event(&event);
     }
 }
 
@@ -366,6 +404,82 @@ pub fn with_base_path<R>(base: Option<Arc<str>>, f: impl FnOnce() -> R) -> R {
     }
     let _restore = Restore(BASE.with(|b| b.borrow_mut().replace(base)));
     f()
+}
+
+/// Runs `f` with `sink` as this thread's scoped sink. While inside the
+/// scope, every event emitted on this thread (and on pool workers that
+/// re-enter the scope via [`with_task_scope`]) is delivered to `sink`
+/// *in addition to* the global sink, if one is installed. Scopes nest:
+/// the previous scoped sink is restored afterwards, including on panic.
+///
+/// This is the multi-tenant seam: concurrent jobs on different threads
+/// each get their own event stream without touching process-global
+/// state.
+pub fn with_scoped_sink<R>(sink: Arc<dyn TraceSink>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<dyn TraceSink>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCOPED.with(|s| *s.borrow_mut() = self.0.take());
+            SCOPED_COUNT.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    SCOPED_COUNT.fetch_add(1, Ordering::Relaxed);
+    let _restore = Restore(SCOPED.with(|s| s.borrow_mut().replace(sink)));
+    f()
+}
+
+/// A captured trace scope: the calling thread's span-path prefix plus
+/// its scoped sink, if any. Cheap to clone; carried by `lsopc-parallel`
+/// jobs so worker threads report into the submitting caller's scope.
+#[derive(Clone)]
+pub struct TaskScope {
+    base: Option<Arc<str>>,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for TaskScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskScope")
+            .field("base", &self.base)
+            .field("sink", &self.sink.as_ref().map(|_| "dyn TraceSink"))
+            .finish()
+    }
+}
+
+/// Captures the calling thread's trace scope — current span path and
+/// scoped sink — or `None` when there is nothing to propagate. Pair
+/// with [`with_task_scope`] on the receiving thread.
+pub fn task_scope() -> Option<TaskScope> {
+    let sink = scoped_sink();
+    let base = if enabled() {
+        let path = STACK.with(|stack| joined_path(&stack.borrow(), None));
+        if path.is_empty() {
+            None
+        } else {
+            Some(Arc::from(path.as_str()))
+        }
+    } else {
+        None
+    };
+    if base.is_none() && sink.is_none() {
+        None
+    } else {
+        Some(TaskScope { base, sink })
+    }
+}
+
+/// Runs `f` inside `scope` (a token from [`task_scope`] on another
+/// thread): span paths root under the captured prefix and events route
+/// to the captured scoped sink. `None` runs `f` unchanged. Previous
+/// thread state is restored afterwards, including on panic.
+pub fn with_task_scope<R>(scope: Option<TaskScope>, f: impl FnOnce() -> R) -> R {
+    let Some(scope) = scope else { return f() };
+    let TaskScope { base, sink } = scope;
+    let run = move || with_base_path(base, f);
+    match sink {
+        Some(sink) => with_scoped_sink(sink, run),
+        None => run(),
+    }
 }
 
 #[cfg(test)]
@@ -524,5 +638,100 @@ mod tests {
         });
         assert_eq!(a.report().counters.get("n"), Some(&2));
         assert_eq!(b.report().counters.get("n"), Some(&2));
+    }
+
+    #[test]
+    fn scoped_sink_captures_without_global_install() {
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let sink = Arc::new(MemorySink::new());
+        with_scoped_sink(sink.clone(), || {
+            assert!(enabled());
+            let _span = span!("scoped");
+            count("scoped.hits", 3);
+        });
+        let report = sink.report();
+        assert!(report.spans.iter().any(|s| s.path == "scoped"));
+        assert_eq!(report.counters.get("scoped.hits"), Some(&3));
+        // Scope exited: thread is back to fully disabled.
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn scoped_and_global_sinks_both_receive() {
+        let scoped = Arc::new(MemorySink::new());
+        let global = with_memory_sink(|| {
+            with_scoped_sink(scoped.clone(), || {
+                count("both", 1);
+            });
+            count("global.only", 1);
+        });
+        assert_eq!(scoped.report().counters.get("both"), Some(&1));
+        assert_eq!(scoped.report().counters.get("global.only"), None);
+        assert_eq!(global.report().counters.get("both"), Some(&1));
+        assert_eq!(global.report().counters.get("global.only"), Some(&1));
+    }
+
+    #[test]
+    fn scoped_sinks_isolate_concurrent_threads() {
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        std::thread::scope(|scope| {
+            let (a, b) = (a.clone(), b.clone());
+            scope.spawn(move || {
+                with_scoped_sink(a, || {
+                    count("stream.a", 1);
+                })
+            });
+            scope.spawn(move || {
+                with_scoped_sink(b, || {
+                    count("stream.b", 1);
+                })
+            });
+        });
+        assert_eq!(a.report().counters.get("stream.a"), Some(&1));
+        assert_eq!(a.report().counters.get("stream.b"), None);
+        assert_eq!(b.report().counters.get("stream.b"), Some(&1));
+        assert_eq!(b.report().counters.get("stream.a"), None);
+    }
+
+    #[test]
+    fn task_scope_carries_sink_and_path_to_workers() {
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let sink = Arc::new(MemorySink::new());
+        with_scoped_sink(sink.clone(), || {
+            let _outer = span!("submit");
+            let scope = task_scope();
+            assert!(scope.is_some());
+            std::thread::scope(|threads| {
+                threads.spawn(move || {
+                    with_task_scope(scope, || {
+                        let _span = span!("chunk");
+                    });
+                });
+            });
+        });
+        let report = sink.report();
+        let paths: Vec<&str> = report.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"submit/chunk"), "paths: {paths:?}");
+    }
+
+    #[test]
+    fn scoped_sink_restored_after_nested_scope() {
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let outer = Arc::new(MemorySink::new());
+        let inner = Arc::new(MemorySink::new());
+        with_scoped_sink(outer.clone(), || {
+            with_scoped_sink(inner.clone(), || count("nested", 1));
+            count("outer.after", 1);
+        });
+        assert_eq!(inner.report().counters.get("nested"), Some(&1));
+        assert_eq!(outer.report().counters.get("nested"), None);
+        assert_eq!(outer.report().counters.get("outer.after"), Some(&1));
+        assert!(!enabled());
     }
 }

@@ -71,6 +71,13 @@ LSOPC_THREADS=4 cargo test -q -p lsopc-core --features fault-injection --test pr
 echo "==> resume bench smoke (checkpoint overhead pipeline runs)"
 cargo bench -p lsopc-bench --bench resume -- --test
 
+echo "==> engine suite (cache amortization + concurrent sessions)"
+# The headless engine must amortize its shared caches across sequential
+# jobs and keep concurrent sessions bit-identical with separated scoped
+# trace streams, at both pool sizes.
+LSOPC_THREADS=1 cargo test -q -p lsopc-engine
+LSOPC_THREADS=4 cargo test -q -p lsopc-engine --test engine
+
 echo "==> trace suite (overhead + determinism at both pool sizes)"
 # The trace layer must only observe: tracing on leaves the optimizer
 # bit-identical, and the disabled path costs < 1% of an evaluation.
@@ -114,6 +121,18 @@ bad=$(find crates/*/src -name '*.rs' \
 if [ -n "$bad" ]; then
   echo "error: bare print in library code (use lsopc_trace::warn, or mark" >&2
   echo "a deliberate site with an allow-print comment):" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+
+echo "==> CLI layering gate (front end talks to lsopc-engine only)"
+# The CLI reaches simulators, caches and precision variants through the
+# engine layer; a direct dependency on lsopc-fft or lsopc-litho would
+# bypass the session/cache contract (DESIGN.md §16).
+bad=$(grep -nE 'lsopc[-_](fft|litho)' crates/cli/Cargo.toml crates/cli/src/*.rs || true)
+if [ -n "$bad" ]; then
+  echo "error: crates/cli must not depend on lsopc-fft or lsopc-litho" >&2
+  echo "directly (go through lsopc-engine):" >&2
   echo "$bad" >&2
   exit 1
 fi

@@ -36,6 +36,7 @@
 pub use lsopc_baselines as baselines;
 pub use lsopc_benchsuite as benchsuite;
 pub use lsopc_core as core;
+pub use lsopc_engine as engine;
 pub use lsopc_fft as fft;
 pub use lsopc_geometry as geometry;
 pub use lsopc_grid as grid;
@@ -43,6 +44,7 @@ pub use lsopc_levelset as levelset;
 pub use lsopc_litho as litho;
 pub use lsopc_metrics as metrics;
 pub use lsopc_optics as optics;
+pub use lsopc_trace as trace;
 
 /// Convenient glob-import of the most common types.
 pub mod prelude {
