@@ -1,0 +1,172 @@
+//! Telemetry cost: histogram record latency and the price of running a
+//! simulation pass under a metrics registry sink.
+//!
+//! Two numbers from DESIGN.md §17, measured honestly:
+//!
+//! 1. `Histogram::record` per event — one relaxed bucket `fetch_add`
+//!    plus count/sum/min/max updates — in a tight loop over samples of
+//!    mixed magnitude, so the bucket-index path (leading-zeros plus
+//!    shift) is exercised, not just one hot cache line.
+//! 2. A 512² / K = 24 `cost_and_gradient` pass untraced versus the same
+//!    pass under a scoped [`MetricsRegistry`] (the sink
+//!    `lsopc-engine` layers onto every job when per-job metrics are
+//!    on, which is the default). Both walls are min-of-N to push back
+//!    scheduler noise; the overhead is reported as a percentage and not
+//!    gated here — the hard bounds live in
+//!    `lsopc-core/tests/trace_overhead.rs`.
+//!
+//! Writes `BENCH_telemetry.json` to the workspace root. `cargo test`
+//! runs this harness with `--test`: a small smoke configuration that
+//! asserts the mechanisms engage and writes no JSON.
+
+use lsopc_grid::Grid;
+use lsopc_litho::{cost_and_gradient, LithoSimulator};
+use lsopc_optics::OpticsConfig;
+use lsopc_parallel::ParallelContext;
+use lsopc_trace::{Histogram, MetricsRegistry};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    n: usize,
+    k: usize,
+    record_reps: u64,
+    passes: usize,
+}
+
+fn sim(cfg: &Config) -> LithoSimulator {
+    let pixel_nm = lsopc_benchsuite::FIELD_NM as f64 / cfg.n as f64;
+    LithoSimulator::from_optics(
+        &OpticsConfig::iccad2013().with_kernel_count(cfg.k),
+        cfg.n,
+        pixel_nm,
+    )
+    .expect("valid configuration")
+    .with_accelerated_backend(ParallelContext::global().threads())
+}
+
+fn target(cfg: &Config) -> Grid<f64> {
+    let n = cfg.n;
+    Grid::from_fn(n, n, |x, y| {
+        let period = n / 8;
+        let in_wire = (x % period) >= period / 4 && (x % period) < period / 2;
+        if in_wire && (n / 8..7 * n / 8).contains(&y) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Minimum wall time of `passes` evaluations, in seconds.
+fn min_pass_s(sim: &LithoSimulator, mask: &Grid<f64>, target: &Grid<f64>, passes: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let t = Instant::now();
+        let _ = std::hint::black_box(cost_and_gradient(sim, mask, target, 1.0));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let cfg = if smoke {
+        Config {
+            n: 128,
+            k: 4,
+            record_reps: 100_000,
+            passes: 2,
+        }
+    } else {
+        Config {
+            n: 512,
+            k: 24,
+            record_reps: 20_000_000,
+            passes: 5,
+        }
+    };
+
+    // 1. Per-event histogram record cost over mixed magnitudes. The
+    //    sample stream comes from a cheap LCG; its own cost is measured
+    //    and subtracted so the reported number is the record alone.
+    let hist = Histogram::new();
+    let lcg = |state: &mut u64| {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 20 // ~44-bit values: exercises the log-linear path
+    };
+    let mut state = 0x5eed;
+    let t = Instant::now();
+    for _ in 0..cfg.record_reps {
+        std::hint::black_box(lcg(&mut state));
+    }
+    let lcg_ns = t.elapsed().as_nanos() as f64 / cfg.record_reps as f64;
+    let mut state = 0x5eed;
+    let t = Instant::now();
+    for _ in 0..cfg.record_reps {
+        hist.record(lcg(&mut state));
+    }
+    let loop_ns = t.elapsed().as_nanos() as f64 / cfg.record_reps as f64;
+    let record_ns = (loop_ns - lcg_ns).max(0.0);
+    assert_eq!(hist.count(), cfg.record_reps, "every record landed");
+    println!(
+        "histogram.record   {record_ns:.1} ns/event ({} events, loop {loop_ns:.1} ns incl. {lcg_ns:.1} ns LCG)",
+        cfg.record_reps
+    );
+
+    // 2. Untraced vs registry-traced simulation pass.
+    let sim = sim(&cfg);
+    let tgt = target(&cfg);
+    let mask = tgt.clone();
+    let _ = cost_and_gradient(&sim, &mask, &tgt, 1.0); // warm caches
+
+    let untraced_s = min_pass_s(&sim, &mask, &tgt, cfg.passes);
+    let registry = Arc::new(MetricsRegistry::new());
+    let traced_s = lsopc_trace::with_scoped_sink(registry.clone(), || {
+        min_pass_s(&sim, &mask, &tgt, cfg.passes)
+    });
+    let span_events: u64 = registry
+        .span_paths()
+        .iter()
+        .filter_map(|p| registry.span_histogram(p).map(|h| h.count()))
+        .sum();
+    assert!(span_events > 0, "the registry saw the traced passes");
+    let overhead_pct = (traced_s - untraced_s) / untraced_s * 100.0;
+    println!(
+        "sim pass {}²/K={}  untraced={:.4}s traced={:.4}s ({overhead_pct:+.2}%, {span_events} span events)",
+        cfg.n, cfg.k, untraced_s, traced_s
+    );
+
+    if smoke {
+        return;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"telemetry\",\n",
+            "  \"histogram_record_ns\": {record:.2},\n",
+            "  \"histogram_record_events\": {reps},\n",
+            "  \"grid\": {grid},\n",
+            "  \"kernels\": {k},\n",
+            "  \"sim_pass_untraced_s\": {off:.5},\n",
+            "  \"sim_pass_registry_s\": {on:.5},\n",
+            "  \"registry_overhead_pct\": {pct:.3},\n",
+            "  \"span_events_per_run\": {events}\n",
+            "}}\n"
+        ),
+        record = record_ns,
+        reps = cfg.record_reps,
+        grid = cfg.n,
+        k = cfg.k,
+        off = untraced_s,
+        on = traced_s,
+        pct = overhead_pct,
+        events = span_events,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    std::fs::write(path, json).expect("write BENCH_telemetry.json");
+    println!("wrote {path}");
+}

@@ -48,8 +48,9 @@ USAGE:
                  [--trace <out.jsonl>] [--metrics <out.json>]
   lsopc profile  [--pattern wire|dense|contacts] [--grid 256] [--iters 10]
                  [--kernels 24] [--threads N] [--recover on|off|strict]
-                 [--rfft on|off]
+                 [--rfft on|off] [--json]
                  [--trace <out.jsonl>] [--metrics <out.json>]
+  lsopc analyze  <trace.jsonl>
   lsopc help
 
 The field is 2048nm; --grid sets the pixels per side (power of two).
@@ -104,7 +105,12 @@ file, one JSON object per line (event schema v1, see DESIGN.md §12);
 --metrics writes the aggregated per-span profile and counter totals as
 one JSON document when the run finishes. `profile` optimizes a built-in
 synthetic pattern and prints the aggregate table (calls, self and total
-time per span, sorted by self time) directly.
+time per span, sorted by self time) directly; with --json it prints the
+same machine-readable document --metrics would write instead of the
+table. `analyze` reads a --trace JSONL file back and prints the span
+tree with calls, self/total time and latency percentiles per path,
+cache hit ratios, counter totals, a convergence summary and anomaly
+flags (tail latency, cache-hit collapse, guard events, early stops).
 
 EXIT CODES:
   0 success    2 usage    3 I/O    4 layout parse
@@ -598,17 +604,51 @@ pub fn profile(args: &[String]) -> CliResult {
     };
 
     let report = memory.report();
-    println!(
-        "profile: pattern `{pattern}`, {grid} px, K = {}, {iterations} iterations, {} threads, {:.2}s",
-        resolved.kernels,
-        engine.pool_threads(),
-        outcome.runtime_s
-    );
-    print!("{}", report.render_text());
+    if flags.get("json").is_some() {
+        // Machine-readable mode: the same document --metrics writes,
+        // on stdout, with no human header around it.
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "profile: pattern `{pattern}`, {grid} px, K = {}, {iterations} iterations, {} threads, {:.2}s",
+            resolved.kernels,
+            engine.pool_threads(),
+            outcome.runtime_s
+        );
+        print!("{}", report.render_text());
+    }
     if let Some(path) = flags.get("metrics").filter(|v| !v.is_empty()) {
         std::fs::write(path, report.to_json())
             .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
     }
+    Ok(Outcome::Completed)
+}
+
+/// `lsopc analyze`: read a schema-v1 `--trace` JSONL stream back and
+/// print the offline report — span tree with self/total time and
+/// latency percentiles, cache hit ratios, counters, convergence and
+/// anomaly flags.
+pub fn analyze(args: &[String]) -> CliResult {
+    // One positional path, no flags (Flags::parse rejects positionals,
+    // so the path is taken before any flag machinery).
+    let [path] = args else {
+        return Err(CliError::usage("usage: lsopc analyze <trace.jsonl>"));
+    };
+    if path.starts_with("--") {
+        return Err(CliError::usage("usage: lsopc analyze <trace.jsonl>"));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    let report = lsopc_trace::analyze::analyze(&text)
+        .map_err(|e| CliError::parse(format!("{path}: {e}")))?;
+    if report.skipped > 0 {
+        eprintln!(
+            "note: skipped {} unparseable line(s) of {}",
+            report.skipped,
+            report.events + report.skipped
+        );
+    }
+    print!("{}", report.render_text());
     Ok(Outcome::Completed)
 }
 

@@ -372,6 +372,74 @@ mod cases {
     }
 
     #[test]
+    fn profile_json_mode_runs_and_metrics_file_matches_schema() {
+        let metrics_path = tmpfile("profile_json.json");
+        profile(&to_args(&[
+            "--pattern",
+            "wire",
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+            "--iters",
+            "2",
+            "--json",
+            "--metrics",
+            metrics_path.to_str().expect("utf8"),
+        ]))
+        .expect("profile --json runs");
+        // --json prints the same document --metrics writes; the file is
+        // the observable copy.
+        let json = std::fs::read_to_string(&metrics_path).expect("metrics file");
+        assert!(json.contains("\"v\":"), "document carries schema version");
+        assert!(json.contains("\"spans\":"), "document carries span table");
+        std::fs::remove_file(metrics_path).ok();
+    }
+
+    #[test]
+    fn analyze_round_trips_a_profile_trace() {
+        let trace_path = tmpfile("analyze.jsonl");
+        profile(&to_args(&[
+            "--pattern",
+            "wire",
+            "--grid",
+            "128",
+            "--kernels",
+            "4",
+            "--iters",
+            "3",
+            "--trace",
+            trace_path.to_str().expect("utf8"),
+        ]))
+        .expect("profile writes trace");
+        analyze(&to_args(&[trace_path.to_str().expect("utf8")]))
+            .expect("analyze reads the trace back");
+        std::fs::remove_file(trace_path).ok();
+    }
+
+    #[test]
+    fn analyze_flag_and_file_errors_are_categorized() {
+        use crate::error::Category;
+
+        let err = analyze(&to_args(&[])).expect_err("missing path");
+        assert_eq!(err.category(), Category::Usage);
+        assert!(err.to_string().contains("analyze"));
+
+        let err = analyze(&to_args(&["--help"])).expect_err("flag is not a path");
+        assert_eq!(err.category(), Category::Usage);
+
+        let err = analyze(&to_args(&["/nonexistent/lsopc.jsonl"])).expect_err("unreadable");
+        assert_eq!(err.category(), Category::Io);
+
+        let garbage = tmpfile("analyze_garbage.jsonl");
+        std::fs::write(&garbage, "not a trace\nstill not a trace\n").expect("write garbage");
+        let err =
+            analyze(&to_args(&[garbage.to_str().expect("utf8")])).expect_err("no parseable events");
+        assert_eq!(err.category(), Category::Parse);
+        std::fs::remove_file(garbage).ok();
+    }
+
+    #[test]
     fn profile_rejects_unknown_pattern() {
         use crate::error::Category;
         let err = profile(&to_args(&["--pattern", "nonsense"])).expect_err("bad pattern");

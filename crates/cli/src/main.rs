@@ -4,7 +4,8 @@
 //! lsopc optimize --glp design.glp --out mask.glp [--grid 512] [--iters 30]
 //! lsopc evaluate --glp design.glp --mask mask.glp [--grid 512]
 //! lsopc suite [--cases 1,2] [--grid 256] [--iters 20]
-//! lsopc profile [--pattern wire] [--iters 10]
+//! lsopc profile [--pattern wire] [--iters 10] [--json]
+//! lsopc analyze trace.jsonl
 //! lsopc help
 //! ```
 //!
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         "report" => commands::report(rest),
         "suite" => commands::suite(rest),
         "profile" => commands::profile(rest),
+        "analyze" => commands::analyze(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(commands::Outcome::Completed)

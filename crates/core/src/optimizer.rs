@@ -772,6 +772,7 @@ impl LevelSetIlt {
             if let Some(reason) = ctx.meta.control.stop_requested(ctx.iter_offset + i) {
                 stopped = Some(reason);
                 lsopc_trace::count("run.cancel", 1);
+                lsopc_trace::count(reason.counter_name(), 1);
                 if let Some(spec) = ctx.meta.control.checkpoint.as_ref() {
                     save_loop_checkpoint(
                         spec,

@@ -946,7 +946,12 @@ pub(crate) fn write_checkpoint(path: &Path, ck: &Checkpoint) -> io::Result<()> {
             encode_diagnostics(&mut e, &carry.diagnostics);
         }
     }
-    write_framed(path, MAGIC, &e.buf)
+    let total = 28 + e.buf.len() as u64;
+    write_framed(path, MAGIC, &e.buf)?;
+    // Full on-disk size (28-byte frame header + payload); accumulated
+    // so job summaries can report checkpoint I/O volume.
+    lsopc_trace::count("checkpoint.bytes", total);
+    Ok(())
 }
 
 /// Reads, validates and decodes an optimizer checkpoint.

@@ -651,6 +651,9 @@ impl TiledIlt {
             }
         }
         stats.stopped = token.cancelled();
+        if let Some(reason) = stats.stopped {
+            lsopc_trace::count(reason.counter_name(), 1);
+        }
 
         // Stitch in row-major tile order. On a stopped run, tiles that
         // never produced a mask fall back to their target core — the

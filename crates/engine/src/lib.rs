@@ -46,7 +46,7 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -62,7 +62,7 @@ use lsopc_litho::{
 };
 use lsopc_metrics::MaskEvaluation;
 use lsopc_optics::OpticsConfig;
-use lsopc_trace::TraceSink;
+use lsopc_trace::{MetricsRegistry, TraceSink};
 
 // Re-export the types a host needs to build and control jobs without
 // depending on the simulation crates directly.
@@ -188,6 +188,12 @@ pub struct JobSpec {
     pub warm_iterations: usize,
     /// Cancellation, deadline, iteration budget and checkpoint policy.
     pub control: RunControl,
+    /// Attach a [`JobMetrics`] summary to the outcome (default true).
+    /// Collection scopes a per-job [`MetricsRegistry`] over the run,
+    /// which turns the instrumentation points on for its duration; set
+    /// false to keep the sub-1% disabled-path cost instead of the
+    /// summary (`benches/telemetry.rs` reports the measured delta).
+    pub collect_metrics: bool,
 }
 
 impl JobSpec {
@@ -206,6 +212,7 @@ impl JobSpec {
             warm_start: None,
             warm_iterations: 0,
             control: RunControl::new(),
+            collect_metrics: true,
         }
     }
 
@@ -281,6 +288,134 @@ pub enum JobDetail {
     },
 }
 
+/// Aggregated timing for one span path over one job.
+#[derive(Clone, Debug)]
+pub struct SpanSummary {
+    /// Full `/`-joined hierarchical span path.
+    pub path: String,
+    /// Times the span closed during the job.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across all calls.
+    pub total_ns: u64,
+    /// Total minus summed direct-children totals, clamped at 0.
+    pub self_ns: u64,
+    /// Median call duration (log-linear histogram bound, ≤ 6.25% high).
+    pub p50_ns: u64,
+    /// 99th-percentile call duration.
+    pub p99_ns: u64,
+}
+
+/// Hit/miss totals for one cache family during one job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 0 with no traffic.
+    pub fn ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Telemetry summary of one job, derived from a per-job
+/// [`MetricsRegistry`] scoped over the run — embedders get stage
+/// timings, cache behaviour and guard activity without parsing JSONL.
+#[derive(Clone, Debug)]
+pub struct JobMetrics {
+    /// Wall-clock seconds spent inside [`Engine::submit`].
+    pub wall_s: f64,
+    /// Per-stage span totals and percentiles, sorted by path.
+    pub spans: Vec<SpanSummary>,
+    /// Every counter the job incremented, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Hit/miss totals per cache family (`plan`, `spectra`,
+    /// `warmstart`, …).
+    pub caches: BTreeMap<String, CacheStats>,
+    /// Health-guard rollbacks during the job.
+    pub guard_rollbacks: u64,
+    /// Health-guard successful recoveries.
+    pub guard_recoveries: u64,
+    /// True when the guard exhausted its recovery budget.
+    pub guard_gave_up: bool,
+    /// Why the run stopped early, if it did.
+    pub stop: Option<StopReason>,
+    /// Checkpoint bytes written during the job.
+    pub checkpoint_bytes: u64,
+}
+
+impl JobMetrics {
+    /// Derives the summary from a job-scoped registry.
+    fn from_registry(registry: &MetricsRegistry, wall_s: f64, stop: Option<StopReason>) -> Self {
+        let counters = registry.counters();
+        // Per-path span stats; self time = total − Σ direct children,
+        // clamped at 0 (the MemorySink rule).
+        let paths = registry.span_paths();
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for path in &paths {
+            if let Some(hist) = registry.span_histogram(path) {
+                totals.insert(path.clone(), hist.sum());
+            }
+        }
+        let mut child_sums: BTreeMap<&str, u64> = BTreeMap::new();
+        for (path, total) in &totals {
+            if let Some(idx) = path.rfind('/') {
+                let parent = &path[..idx];
+                if totals.contains_key(parent) {
+                    *child_sums.entry(parent).or_insert(0) += total;
+                }
+            }
+        }
+        let spans = paths
+            .iter()
+            .filter_map(|path| {
+                let hist = registry.span_histogram(path)?;
+                let total_ns = hist.sum();
+                let children = child_sums.get(path.as_str()).copied().unwrap_or(0);
+                Some(SpanSummary {
+                    path: path.clone(),
+                    calls: hist.count(),
+                    total_ns,
+                    self_ns: total_ns.saturating_sub(children),
+                    p50_ns: hist.quantile(0.50),
+                    p99_ns: hist.quantile(0.99),
+                })
+            })
+            .collect();
+        // Cache families: counters shaped `cache.<family>.hit|miss`.
+        let mut caches: BTreeMap<String, CacheStats> = BTreeMap::new();
+        for (name, total) in &counters {
+            if let Some(rest) = name.strip_prefix("cache.") {
+                if let Some(family) = rest.strip_suffix(".hit") {
+                    caches.entry(family.to_string()).or_default().hits += total;
+                } else if let Some(family) = rest.strip_suffix(".miss") {
+                    caches.entry(family.to_string()).or_default().misses += total;
+                }
+            }
+        }
+        let counter = |name: &str| counters.get(name).copied().unwrap_or(0);
+        Self {
+            wall_s,
+            spans,
+            guard_rollbacks: counter("guard.rollback"),
+            guard_recoveries: counter("guard.recovered"),
+            guard_gave_up: counter("guard.gave_up") > 0,
+            checkpoint_bytes: counter("checkpoint.bytes"),
+            caches,
+            counters,
+            stop,
+        }
+    }
+}
+
 /// The outcome of one [`Engine::submit`] call.
 #[derive(Clone, Debug)]
 pub struct JobOutcome {
@@ -291,6 +426,8 @@ pub struct JobOutcome {
     pub stopped: Option<StopReason>,
     /// Path-specific results.
     pub detail: JobDetail,
+    /// Telemetry summary; `None` when the spec disabled collection.
+    pub metrics: Option<JobMetrics>,
 }
 
 impl JobOutcome {
@@ -393,6 +530,7 @@ impl Engine {
         Session {
             engine: self.clone(),
             sink: None,
+            registry: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -487,7 +625,28 @@ impl Engine {
 
     /// Runs one job to completion (or to its graceful stop) and returns
     /// the mask plus statistics. Safe to call from multiple threads.
+    ///
+    /// Unless [`JobSpec::collect_metrics`] is false, a per-job
+    /// [`MetricsRegistry`] is layered over the run's trace scope —
+    /// composing with (never shadowing) any [`Session`] sink or global
+    /// sink — and the derived [`JobMetrics`] ride on the outcome.
     pub fn submit(&self, spec: &JobSpec) -> Result<JobOutcome, EngineError> {
+        if !spec.collect_metrics {
+            return self.submit_inner(spec);
+        }
+        let registry = Arc::new(MetricsRegistry::new());
+        let started = Instant::now();
+        let mut outcome =
+            lsopc_trace::with_layered_scoped_sink(registry.clone(), || self.submit_inner(spec))?;
+        outcome.metrics = Some(JobMetrics::from_registry(
+            &registry,
+            started.elapsed().as_secs_f64(),
+            outcome.stopped,
+        ));
+        Ok(outcome)
+    }
+
+    fn submit_inner(&self, spec: &JobSpec) -> Result<JobOutcome, EngineError> {
         let grid = spec.grid();
         if spec.target.height() != grid {
             return Err(EngineError::Spec(format!(
@@ -539,6 +698,7 @@ impl Engine {
             runtime_s: result.runtime_s,
             stopped: result.stopped,
             detail: JobDetail::Flat(result),
+            metrics: None,
         })
     }
 
@@ -586,6 +746,7 @@ impl Engine {
             runtime_s: started.elapsed().as_secs_f64(),
             stopped: stats.stopped,
             detail: JobDetail::Tiled { mask, stats },
+            metrics: None,
         })
     }
 }
@@ -599,10 +760,14 @@ impl Engine {
 pub struct Session {
     engine: Engine,
     sink: Option<Arc<dyn TraceSink>>,
+    /// Session-lifetime metrics, fed by every [`Session::scoped`] run
+    /// and rendered by [`Session::exposition`].
+    registry: Arc<MetricsRegistry>,
 }
 
 impl Session {
-    /// Attaches the sink this session's events are delivered to.
+    /// Attaches the sink this session's events are delivered to (in
+    /// addition to the session's own metrics registry).
     pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.sink = Some(sink);
         self
@@ -613,13 +778,17 @@ impl Session {
         &self.engine
     }
 
-    /// Runs `f` with this session's sink scoped in (a no-op wrapper
-    /// when no sink is attached).
+    /// Runs `f` with the session's metrics registry — and the attached
+    /// sink, if any — scoped in, so every event the work emits (on this
+    /// thread and on pool workers executing its chunks) feeds the
+    /// session's aggregate.
     pub fn scoped<R>(&self, f: impl FnOnce() -> R) -> R {
-        match &self.sink {
-            Some(sink) => lsopc_trace::with_scoped_sink(sink.clone(), f),
-            None => f(),
-        }
+        let registry: Arc<dyn TraceSink> = self.registry.clone();
+        let sink = match &self.sink {
+            Some(user) => Arc::new(lsopc_trace::FanoutSink::new(vec![registry, user.clone()])),
+            None => return lsopc_trace::with_scoped_sink(registry, f),
+        };
+        lsopc_trace::with_scoped_sink(sink, f)
     }
 
     /// Submits a job with this session's sink scoped in.
@@ -632,6 +801,21 @@ impl Session {
         if let Some(sink) = &self.sink {
             sink.flush();
         }
+    }
+
+    /// The session-lifetime metrics registry: span-duration histograms,
+    /// counter totals and gauge last-values aggregated across every
+    /// [`Session::scoped`] / [`Session::submit`] run so far.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Renders the session's aggregated metrics in Prometheus text
+    /// exposition format (span-duration histograms with cumulative `le`
+    /// buckets in seconds, counters, gauges) — the scrape payload a
+    /// future `lsopc serve` endpoint publishes per session.
+    pub fn exposition(&self) -> String {
+        self.registry.render_prometheus()
     }
 }
 
@@ -735,6 +919,107 @@ mod tests {
         assert!(err.to_string().contains("power of two"));
         let err = Tiling::new(128, 256).expect_err("halo too large");
         assert!(err.to_string().contains("smaller"));
+    }
+
+    #[test]
+    fn submit_attaches_job_metrics_by_default() {
+        let engine = Engine::builder().caches(SimCaches::private()).build();
+        let mut spec = JobSpec::new(small_target());
+        spec.kernels = 4;
+        spec.iterations = 2;
+        let outcome = engine.submit(&spec).expect("job runs");
+        let metrics = outcome.metrics.as_ref().expect("metrics collected");
+        assert!(metrics.wall_s > 0.0);
+        assert!(
+            metrics.spans.iter().any(|s| s.path.contains("optimize")),
+            "span paths: {:?}",
+            metrics.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+        );
+        for span in &metrics.spans {
+            assert!(span.calls > 0);
+            assert!(span.p99_ns >= span.p50_ns, "p99 < p50 on {}", span.path);
+            assert!(span.self_ns <= span.total_ns);
+        }
+        assert!(metrics.stop.is_none());
+        assert!(!metrics.guard_gave_up);
+        // A second identical job must hit the FFT-plan cache and say so
+        // in its summary.
+        let outcome2 = engine.submit(&spec).expect("job reruns");
+        let metrics2 = outcome2.metrics.as_ref().unwrap();
+        let plan = metrics2.caches.get("plan").expect("plan family");
+        assert!(plan.hits > 0, "expected warm plan cache: {plan:?}");
+        assert!(plan.ratio() > 0.0);
+    }
+
+    #[test]
+    fn metrics_collection_can_be_disabled() {
+        let engine = Engine::builder().caches(SimCaches::private()).build();
+        let mut spec = JobSpec::new(small_target());
+        spec.kernels = 4;
+        spec.iterations = 1;
+        spec.collect_metrics = false;
+        let outcome = engine.submit(&spec).expect("job runs");
+        assert!(outcome.metrics.is_none());
+    }
+
+    #[test]
+    fn metrics_cache_ratios_match_scoped_counter_totals() {
+        let engine = Engine::builder().caches(SimCaches::private()).build();
+        let mut spec = JobSpec::new(small_target());
+        spec.kernels = 4;
+        spec.iterations = 2;
+        let sink = Arc::new(lsopc_trace::MemorySink::new());
+        let session = engine.session().with_sink(sink.clone());
+        let outcome = session.submit(&spec).expect("job runs");
+        let metrics = outcome.metrics.as_ref().unwrap();
+        let report = sink.report();
+        for (family, stats) in &metrics.caches {
+            let hits = report
+                .counters
+                .get(&format!("cache.{family}.hit"))
+                .copied()
+                .unwrap_or(0);
+            let misses = report
+                .counters
+                .get(&format!("cache.{family}.miss"))
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(
+                (stats.hits, stats.misses),
+                (hits, misses),
+                "family {family}"
+            );
+        }
+        // And the per-job counters must agree with the session stream.
+        // (`iter.*` / `warnings` are synthesized by the registry from
+        // structured events, so the raw stream has no such counters.)
+        for (name, total) in &metrics.counters {
+            if name.starts_with("iter.") || name == "warnings" {
+                continue;
+            }
+            assert_eq!(
+                report.counters.get(name),
+                Some(total),
+                "counter {name} diverged between job metrics and session sink"
+            );
+        }
+    }
+
+    #[test]
+    fn session_exposition_renders_after_submit() {
+        let engine = Engine::builder().caches(SimCaches::private()).build();
+        let mut spec = JobSpec::new(small_target());
+        spec.kernels = 4;
+        spec.iterations = 1;
+        let session = engine.session();
+        session.submit(&spec).expect("job runs");
+        let text = session.exposition();
+        assert!(
+            text.contains("# TYPE lsopc_span_duration_seconds histogram"),
+            "exposition:\n{text}"
+        );
+        assert!(text.contains("lsopc_events_total"));
+        assert!(text.contains("le=\"+Inf\""));
     }
 
     #[test]

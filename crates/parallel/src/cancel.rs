@@ -53,6 +53,18 @@ impl StopReason {
         }
     }
 
+    /// Static counter name (`run.stop.<reason>`) emitted when a run
+    /// stops for this reason; the trace analyzer and the per-job
+    /// metrics summary both key off these.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            Self::Deadline => "run.stop.deadline",
+            Self::Signal => "run.stop.signal",
+            Self::Budget => "run.stop.budget",
+            Self::External => "run.stop.external",
+        }
+    }
+
     /// Non-zero wire code (zero is reserved for "not cancelled").
     fn code(self) -> u8 {
         match self {

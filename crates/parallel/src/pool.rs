@@ -30,9 +30,21 @@ use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Per-job observability counters, allocated only when tracing is
+/// enabled at submission. Purely observational: lanes update them with
+/// relaxed atomics after claiming chunks, and the submitting caller
+/// folds them into gauges once the job drains.
+#[derive(Default)]
+struct JobStats {
+    /// Lanes (caller + seated workers) that claimed at least one chunk.
+    participants: AtomicUsize,
+    /// Largest number of chunks any single lane claimed.
+    max_claimed: AtomicU64,
+}
 
 thread_local! {
     /// Set while the current thread executes a pool task; makes nested
@@ -81,6 +93,9 @@ struct Job {
     /// caller's scope (`None` when tracing is disabled and no scope is
     /// active).
     trace_scope: Option<lsopc_trace::TaskScope>,
+    /// Observability counters; `None` when tracing was disabled at
+    /// submission, so the hot path pays nothing extra.
+    stats: Option<Arc<JobStats>>,
 }
 
 impl Job {
@@ -95,6 +110,16 @@ impl Job {
                 break;
             }
             claimed += 1;
+            // Update stats *before* this chunk's `remaining` decrement:
+            // the submitting caller reads them as soon as `remaining`
+            // hits 0, and by then every claimed chunk has already
+            // folded its lane's running total in.
+            if let Some(stats) = &self.stats {
+                if claimed == 1 {
+                    stats.participants.fetch_add(1, Ordering::Relaxed);
+                }
+                stats.max_claimed.fetch_max(claimed, Ordering::Relaxed);
+            }
             // SAFETY: `remaining > 0` until this chunk's call returns, and
             // the submitting caller blocks until `remaining == 0`, so the
             // erased closure is alive for the whole call.
@@ -241,16 +266,20 @@ impl ThreadPool {
         // transmute never escapes the function.
         let erased: &'static (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+        let lanes = max_threads.min(self.threads()).min(chunks);
         let job = Job {
             task: TaskPtr(erased),
             next: Arc::new(AtomicUsize::new(0)),
             chunks,
-            seats: Arc::new(AtomicUsize::new(
-                max_threads.min(self.threads()).min(chunks) - 1,
-            )),
+            seats: Arc::new(AtomicUsize::new(lanes - 1)),
             remaining: Arc::new(AtomicUsize::new(chunks)),
             panic: Arc::new(Mutex::new(None)),
             trace_scope: lsopc_trace::task_scope(),
+            stats: if lsopc_trace::enabled() {
+                Some(Arc::new(JobStats::default()))
+            } else {
+                None
+            },
         };
 
         {
@@ -270,6 +299,25 @@ impl ThreadPool {
                 self.shared.job_done.wait(&mut state);
             }
             state.job = None;
+        }
+
+        // Job drained: fold the per-job stats into gauges (observation
+        // only, emitted on the submitting thread so they reach its
+        // scoped sink). `imbalance` is max-chunks-per-lane normalized
+        // by the fair share `chunks / participants` — 1.0 means every
+        // lane claimed the same number of chunks.
+        if let Some(stats) = &job.stats {
+            let participants = stats.participants.load(Ordering::Relaxed);
+            let max_claimed = stats.max_claimed.load(Ordering::Relaxed);
+            lsopc_trace::gauge("pool.job.participants", participants as f64);
+            lsopc_trace::gauge(
+                "pool.job.occupancy",
+                participants as f64 / lanes.max(1) as f64,
+            );
+            if participants > 0 {
+                let fair = chunks as f64 / participants as f64;
+                lsopc_trace::gauge("pool.job.imbalance", max_claimed as f64 / fair);
+            }
         }
 
         let payload = job.panic.lock().take();
@@ -404,6 +452,45 @@ mod tests {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.into_inner(), 6);
+    }
+
+    #[test]
+    fn fanned_out_jobs_emit_occupancy_gauges() {
+        let pool = ThreadPool::new(4);
+        let sink = Arc::new(lsopc_trace::MemorySink::new());
+        lsopc_trace::with_scoped_sink(sink.clone(), || {
+            pool.execute(64, usize::MAX, &|_| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            });
+        });
+        let report = sink.report();
+        let participants = report.gauges["pool.job.participants"];
+        assert!(
+            (1.0..=4.0).contains(&participants),
+            "participants: {participants}"
+        );
+        let occupancy = report.gauges["pool.job.occupancy"];
+        assert!((0.0..=1.0).contains(&occupancy), "occupancy: {occupancy}");
+        // Perfect balance is 1.0; a lone lane claiming everything is
+        // `participants`. Anything in between is legal.
+        let imbalance = report.gauges["pool.job.imbalance"];
+        assert!(
+            imbalance >= 1.0 - 1e-9 && imbalance <= participants + 1e-9,
+            "imbalance: {imbalance}"
+        );
+        assert_eq!(report.counters.get("pool.jobs"), Some(&1));
+    }
+
+    #[test]
+    fn inline_jobs_emit_no_job_gauges() {
+        let pool = ThreadPool::new(1);
+        let sink = Arc::new(lsopc_trace::MemorySink::new());
+        lsopc_trace::with_scoped_sink(sink.clone(), || {
+            pool.execute(8, usize::MAX, &|_| {});
+        });
+        let report = sink.report();
+        assert_eq!(report.counters.get("pool.jobs_inline"), Some(&1));
+        assert!(!report.gauges.contains_key("pool.job.participants"));
     }
 
     #[test]

@@ -37,11 +37,16 @@
 //! output bit-identical (covered by `trace_determinism` tests in
 //! `lsopc-core`).
 
+pub mod analyze;
+mod histogram;
 mod jsonl;
 mod memory;
+mod registry;
 
+pub use histogram::{Histogram, NUM_BUCKETS, RELATIVE_ERROR_BOUND};
 pub use jsonl::JsonlSink;
 pub use memory::{MemorySink, ProfileReport, SpanStat};
+pub use registry::MetricsRegistry;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -428,6 +433,25 @@ pub fn with_scoped_sink<R>(sink: Arc<dyn TraceSink>, f: impl FnOnce() -> R) -> R
     f()
 }
 
+/// Runs `f` with `sink` *layered over* this thread's current scoped
+/// sink: while inside, events reach both `sink` and whatever scoped
+/// sink was already in force (plus the global sink, as always). This is
+/// how a nested collector — e.g. the per-job metrics registry inside
+/// `Engine::submit` — observes a run without shadowing the stream an
+/// enclosing `Session` scope set up.
+///
+/// Contrast with [`with_scoped_sink`], which *replaces* the thread's
+/// scoped sink for the duration of the frame.
+pub fn with_layered_scoped_sink<R>(sink: Arc<dyn TraceSink>, f: impl FnOnce() -> R) -> R {
+    match scoped_sink() {
+        Some(existing) => {
+            let layered = Arc::new(FanoutSink::new(vec![existing, sink]));
+            with_scoped_sink(layered, f)
+        }
+        None => with_scoped_sink(sink, f),
+    }
+}
+
 /// A captured trace scope: the calling thread's span-path prefix plus
 /// its scoped sink, if any. Cheap to clone; carried by `lsopc-parallel`
 /// jobs so worker threads report into the submitting caller's scope.
@@ -717,6 +741,35 @@ mod tests {
         let report = sink.report();
         let paths: Vec<&str> = report.spans.iter().map(|s| s.path.as_str()).collect();
         assert!(paths.contains(&"submit/chunk"), "paths: {paths:?}");
+    }
+
+    #[test]
+    fn layered_scope_reaches_both_sinks() {
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let outer = Arc::new(MemorySink::new());
+        let inner = Arc::new(MemorySink::new());
+        with_scoped_sink(outer.clone(), || {
+            with_layered_scoped_sink(inner.clone(), || count("layered", 1));
+            count("outer.only", 1);
+        });
+        // The layered frame must not shadow the enclosing scope…
+        assert_eq!(outer.report().counters.get("layered"), Some(&1));
+        assert_eq!(inner.report().counters.get("layered"), Some(&1));
+        // …and must end with the frame.
+        assert_eq!(inner.report().counters.get("outer.only"), None);
+        assert_eq!(outer.report().counters.get("outer.only"), Some(&1));
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn layered_scope_without_enclosing_scope_is_plain() {
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let sink = Arc::new(MemorySink::new());
+        with_layered_scoped_sink(sink.clone(), || count("solo", 1));
+        assert_eq!(sink.report().counters.get("solo"), Some(&1));
+        assert!(!enabled());
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Registry sink: aggregates the event stream into per-path latency
+//! histograms, counter totals, and gauge last-values — the scrapeable
+//! metrics substrate for `lsopc serve` and the source of per-job
+//! [`JobMetrics`](crate) summaries in `lsopc-engine`.
+
+use crate::histogram::Histogram;
+use crate::{Event, TraceSink};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Aggregates spans into one [`Histogram`] per span path, counters into
+/// atomic totals, and gauges into last-value slots. Composes with
+/// `MemorySink`/`JsonlSink` via [`FanoutSink`](crate::FanoutSink) or a
+/// scoped-sink layer, and renders as Prometheus text exposition.
+///
+/// Iteration events fold into the same vocabulary: gauges
+/// `iter.cost_total`, `iter.cost_nominal`, `iter.cost_pvb`,
+/// `iter.lambda_scale` (last value wins) and counters `iter.count` /
+/// `iter.rollbacks`. Warnings count under `warnings`.
+///
+/// Locking: the maps take a read lock per event on the steady state
+/// (write lock only the first time a path/name appears); the values are
+/// `Arc<Histogram>` / `Arc<AtomicU64>`, so recording itself is
+/// lock-free. Gauges take the write lock (rare events).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    spans: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, f64>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn span_hist(&self, path: &str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .spans
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(path)
+        {
+            return h.clone();
+        }
+        let mut map = self.spans.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(path.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return c.clone();
+        }
+        let mut map = self.counters.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
+    }
+
+    /// The duration histogram for span `path`, or `None` if that path
+    /// never closed a span.
+    pub fn span_histogram(&self, path: &str) -> Option<Arc<Histogram>> {
+        self.spans
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(path)
+            .cloned()
+    }
+
+    /// All span paths seen so far, sorted.
+    pub fn span_paths(&self) -> Vec<String> {
+        self.spans
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Total of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// All counter totals, sorted by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Last sampled value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .copied()
+    }
+
+    /// All gauge last-values, sorted by name.
+    pub fn gauges(&self) -> BTreeMap<String, f64> {
+        self.gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Folds every series of `other` into `self` (histogram merge for
+    /// spans, add for counters, last-write-wins for gauges). Lets a
+    /// per-job registry roll up into a process-lifetime one.
+    pub fn absorb(&self, other: &MetricsRegistry) {
+        for (path, hist) in other.spans.read().unwrap_or_else(|e| e.into_inner()).iter() {
+            self.span_hist(path).merge(hist);
+        }
+        for (name, cell) in other
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            let n = cell.load(Ordering::Relaxed);
+            if n > 0 {
+                self.counter_cell(name).fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let theirs = other.gauges.read().unwrap_or_else(|e| e.into_inner());
+        let mut mine = self.gauges.write().unwrap_or_else(|e| e.into_inner());
+        for (name, value) in theirs.iter() {
+            mine.insert(name.clone(), *value);
+        }
+    }
+
+    /// Renders the registry in Prometheus text exposition format
+    /// (version 0.0.4): span durations as a `histogram` family in
+    /// seconds with cumulative `le` buckets (only buckets that change
+    /// the running total, plus `+Inf`), counters as
+    /// `lsopc_events_total`, gauges as `lsopc_gauge`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let spans = self.spans.read().unwrap_or_else(|e| e.into_inner());
+        if !spans.is_empty() {
+            out.push_str("# TYPE lsopc_span_duration_seconds histogram\n");
+            for (path, hist) in spans.iter() {
+                let label = prom_label(path);
+                let mut cumulative = 0u64;
+                for (upper_ns, n) in hist.nonzero_buckets() {
+                    cumulative += n;
+                    let _ = writeln!(
+                        out,
+                        "lsopc_span_duration_seconds_bucket{{path=\"{label}\",le=\"{}\"}} {cumulative}",
+                        prom_f64(upper_ns as f64 / 1e9)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "lsopc_span_duration_seconds_bucket{{path=\"{label}\",le=\"+Inf\"}} {cumulative}"
+                );
+                let _ = writeln!(
+                    out,
+                    "lsopc_span_duration_seconds_sum{{path=\"{label}\"}} {}",
+                    prom_f64(hist.sum() as f64 / 1e9)
+                );
+                let _ = writeln!(
+                    out,
+                    "lsopc_span_duration_seconds_count{{path=\"{label}\"}} {}",
+                    hist.count()
+                );
+            }
+        }
+        drop(spans);
+        let counters = self.counters();
+        if !counters.is_empty() {
+            out.push_str("# TYPE lsopc_events_total counter\n");
+            for (name, total) in &counters {
+                let _ = writeln!(
+                    out,
+                    "lsopc_events_total{{name=\"{}\"}} {total}",
+                    prom_label(name)
+                );
+            }
+        }
+        let gauges = self.gauges();
+        if !gauges.is_empty() {
+            out.push_str("# TYPE lsopc_gauge gauge\n");
+            for (name, value) in &gauges {
+                let _ = writeln!(
+                    out,
+                    "lsopc_gauge{{name=\"{}\"}} {}",
+                    prom_label(name),
+                    prom_f64(*value)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a label value per the Prometheus text format.
+fn prom_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus sample value: plain decimal, `NaN`/`+Inf`/`-Inf` spelled
+/// out per the text format.
+fn prom_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value.is_infinite() {
+        if value > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+impl TraceSink for MetricsRegistry {
+    fn event(&self, event: &Event<'_>) {
+        match event {
+            Event::Span { path, dur_ns, .. } => {
+                self.span_hist(path).record(*dur_ns);
+            }
+            Event::Count { name, delta } => {
+                self.counter_cell(name).fetch_add(*delta, Ordering::Relaxed);
+            }
+            Event::Gauge { name, value } => {
+                self.gauges
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert((*name).to_string(), *value);
+            }
+            Event::Warn { .. } => {
+                self.counter_cell("warnings")
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Iter(rec) => {
+                self.counter_cell("iter.count")
+                    .fetch_add(1, Ordering::Relaxed);
+                if rec.rolled_back {
+                    self.counter_cell("iter.rollbacks")
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let mut gauges = self.gauges.write().unwrap_or_else(|e| e.into_inner());
+                gauges.insert("iter.cost_total".to_string(), rec.cost_total);
+                gauges.insert("iter.cost_nominal".to_string(), rec.cost_nominal);
+                gauges.insert("iter.cost_pvb".to_string(), rec.cost_pvb);
+                gauges.insert("iter.lambda_scale".to_string(), rec.lambda_scale);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IterRecord;
+
+    fn span(path: &str, dur_ns: u64) -> Event<'_> {
+        Event::Span {
+            name: "leaf",
+            path,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn spans_aggregate_into_per_path_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.event(&span("a/b", 100));
+        reg.event(&span("a/b", 200));
+        reg.event(&span("c", 5));
+        let h = reg.span_histogram("a/b").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 300);
+        assert_eq!(reg.span_histogram("c").unwrap().count(), 1);
+        assert!(reg.span_histogram("missing").is_none());
+        assert_eq!(reg.span_paths(), vec!["a/b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn counters_gauges_and_iters_fold_in() {
+        let reg = MetricsRegistry::new();
+        reg.event(&Event::Count {
+            name: "cache.hit",
+            delta: 3,
+        });
+        reg.event(&Event::Gauge {
+            name: "pool.threads",
+            value: 4.0,
+        });
+        reg.event(&Event::Warn {
+            origin: "t",
+            message: "m",
+        });
+        reg.event(&Event::Iter(&IterRecord {
+            iteration: 0,
+            cost_total: 9.0,
+            cost_nominal: 7.0,
+            cost_pvb: 2.0,
+            lambda_scale: 1.0,
+            beta: 0.0,
+            time_step: 0.1,
+            max_velocity: 1.0,
+            rolled_back: true,
+        }));
+        assert_eq!(reg.counter("cache.hit"), 3);
+        assert_eq!(reg.counter("warnings"), 1);
+        assert_eq!(reg.counter("iter.count"), 1);
+        assert_eq!(reg.counter("iter.rollbacks"), 1);
+        assert_eq!(reg.gauge("pool.threads"), Some(4.0));
+        assert_eq!(reg.gauge("iter.cost_total"), Some(9.0));
+    }
+
+    #[test]
+    fn absorb_rolls_one_registry_into_another() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.event(&span("x", 10));
+        b.event(&span("x", 20));
+        b.event(&Event::Count {
+            name: "n",
+            delta: 2,
+        });
+        a.absorb(&b);
+        assert_eq!(a.span_histogram("x").unwrap().count(), 2);
+        assert_eq!(a.counter("n"), 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        reg.event(&span("fft", 100));
+        reg.event(&span("fft", 100));
+        reg.event(&span("fft", 1_000_000));
+        reg.event(&Event::Count {
+            name: "cache.hit",
+            delta: 7,
+        });
+        reg.event(&Event::Gauge {
+            name: "pool.threads",
+            value: 4.0,
+        });
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lsopc_span_duration_seconds histogram"));
+        assert!(
+            text.contains("lsopc_span_duration_seconds_bucket{path=\"fft\",le=\"+Inf\"} 3"),
+            "exposition:\n{text}"
+        );
+        assert!(text.contains("lsopc_span_duration_seconds_count{path=\"fft\"} 3"));
+        assert!(text.contains("lsopc_events_total{name=\"cache.hit\"} 7"));
+        assert!(text.contains("lsopc_gauge{name=\"pool.threads\"} 4"));
+        // Cumulative: the last finite bucket must already total 3.
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("lsopc_span_duration_seconds_bucket"))
+            .collect();
+        assert!(lines.len() >= 3, "expected >= 3 bucket lines:\n{text}");
+        assert!(lines[lines.len() - 2].ends_with(" 3"), "lines: {lines:?}");
+    }
+}

@@ -80,9 +80,38 @@ LSOPC_THREADS=4 cargo test -q -p lsopc-engine --test engine
 
 echo "==> trace suite (overhead + determinism at both pool sizes)"
 # The trace layer must only observe: tracing on leaves the optimizer
-# bit-identical, and the disabled path costs < 1% of an evaluation.
+# bit-identical, the disabled path costs < 1% of an evaluation, and the
+# histogram-registry-enabled path stays under its 10% bound.
 LSOPC_THREADS=1 cargo test -q -p lsopc-core --test trace_determinism --test trace_overhead
 LSOPC_THREADS=4 cargo test -q -p lsopc-core --test trace_determinism --test trace_overhead
+
+echo "==> histogram suite (quantile oracle + merge + thread stability)"
+# Histogram quantiles must stay within the documented 1/16 error bound
+# against an exact oracle, merges must be order-independent, and
+# recorded totals bit-stable at 1 and 4 recording threads.
+LSOPC_THREADS=1 cargo test -q -p lsopc-trace
+LSOPC_THREADS=4 cargo test -q -p lsopc-trace
+
+echo "==> telemetry bench smoke (record cost + registry overhead pipeline)"
+cargo bench -p lsopc-bench --bench telemetry -- --test
+
+echo "==> analyzer golden gate (profile --trace -> lsopc analyze round trip)"
+# A traced 3-iteration profile run must analyze back into a report that
+# names the expected spans, cache counters, convergence summary and a
+# stop-reason line; an unparseable report would fail the greps.
+tmp_trace=$(mktemp /tmp/lsopc_check_trace.XXXXXX)
+target/release/lsopc profile --pattern wire --grid 128 --kernels 4 --iters 3 \
+  --trace "$tmp_trace" > /dev/null
+report=$(target/release/lsopc analyze "$tmp_trace")
+rm -f "$tmp_trace"
+for needle in "events:" "optimize" "litho.cost_and_gradient" "cache." \
+              "counters:" "convergence:" "stop reason:"; do
+  if ! grep -q "$needle" <<< "$report"; then
+    echo "error: analyzer report lacks \"$needle\":" >&2
+    echo "$report" >&2
+    exit 1
+  fi
+done
 
 echo "==> bare f64 literal gate (generic precision paths)"
 # Code generic over Scalar must route constants through T::from_f64;
